@@ -1,0 +1,81 @@
+// Design-choice ablation: the static-graph constraint (inherited from
+// RE-GCN; the paper enables it for the ICEWS datasets, Sec. IV-A4).
+//
+// Real static information (entity types/sectors from ICEWS metadata) does
+// not exist for the synthetic stand-ins, so the constraint is demonstrated
+// with bucket types. The check is a soundness property rather than a win
+// claim: the constrained model must train to within a small margin of the
+// unconstrained one (the constraint regularises without destabilising).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/retia.h"
+#include "train/trainer.h"
+#include "util/table_printer.h"
+
+namespace {
+
+retia::eval::EvalResult TrainAndEval(const retia::tkg::TkgDataset& ds,
+                                     retia::graph::GraphCache& cache,
+                                     const retia::bench::BenchParams& p,
+                                     bool constrained) {
+  retia::core::RetiaConfig config;
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = p.dim;
+  config.history_len = p.history_len;
+  config.conv_kernels = p.conv_kernels;
+  config.use_static_constraint = constrained;
+  retia::core::RetiaModel model(config);
+  if (constrained) {
+    std::vector<int64_t> types(ds.num_entities());
+    for (size_t e = 0; e < types.size(); ++e) types[e] = e % 8;
+    model.SetEntityTypes(types, 8);
+  }
+  retia::train::TrainConfig tc;
+  tc.max_epochs = p.max_epochs;
+  tc.patience = p.patience;
+  retia::train::Trainer trainer(&model, &cache, tc);
+  trainer.TrainGeneral();
+  return trainer.Evaluate(ds.test_times(), /*online=*/false);
+}
+
+}  // namespace
+
+int main() {
+  retia::bench::PrintHeader(
+      "Design ablation — static-graph constraint (YAGO-like)",
+      "RE-GCN-style angle constraint between evolving and static entity "
+      "embeddings; demonstrated with synthetic bucket types.");
+  const retia::tkg::SyntheticConfig profile =
+      retia::tkg::SyntheticConfig::YagoLike();
+  retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(profile);
+  retia::graph::GraphCache cache(&ds);
+  const retia::bench::BenchParams p = retia::bench::ParamsFor(profile.name);
+
+  std::cerr << "[bench] training without constraint...\n";
+  retia::eval::EvalResult plain = TrainAndEval(ds, cache, p, false);
+  std::cerr << "[bench] training with constraint...\n";
+  retia::eval::EvalResult constrained = TrainAndEval(ds, cache, p, true);
+
+  retia::util::TablePrinter table(
+      {"Variant", "Entity MRR", "Entity H@10", "Relation MRR"});
+  table.AddRow({"wo. static constraint",
+                retia::util::TablePrinter::Num(plain.entity.Mrr()),
+                retia::util::TablePrinter::Num(plain.entity.Hits10()),
+                retia::util::TablePrinter::Num(plain.relation.Mrr())});
+  table.AddRow({"w. static constraint (bucket types)",
+                retia::util::TablePrinter::Num(constrained.entity.Mrr()),
+                retia::util::TablePrinter::Num(constrained.entity.Hits10()),
+                retia::util::TablePrinter::Num(constrained.relation.Mrr())});
+  table.Print(std::cout);
+
+  const bool sound =
+      constrained.entity.Mrr() >= plain.entity.Mrr() - 5.0 &&
+      constrained.relation.Mrr() >= plain.relation.Mrr() - 5.0;
+  std::cout << "check: constraint trains stably (within 5 MRR of the "
+               "unconstrained model despite uninformative types): "
+            << (sound ? "PASS" : "FAIL") << "\n";
+  return 0;
+}

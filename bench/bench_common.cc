@@ -1,0 +1,387 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "baselines/cygnet.h"
+#include "baselines/regcn.h"
+#include "baselines/renet.h"
+#include "baselines/static_models.h"
+#include "baselines/tirgn.h"
+#include "baselines/ttranse.h"
+#include "core/retia.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace retia::bench {
+
+BenchParams ParamsFor(const std::string& dataset_name) {
+  BenchParams p;
+  if (dataset_name.find("ICEWS18") != std::string::npos) {
+    p.history_len = 4;
+  } else if (dataset_name.find("ICEWS") != std::string::npos) {
+    p.history_len = 5;  // ICEWS14 / ICEWS05-15 use the longest history
+  } else {
+    p.history_len = 3;  // YAGO / WIKI
+  }
+  return p;
+}
+
+std::vector<tkg::SyntheticConfig> AllProfiles() {
+  return {tkg::SyntheticConfig::Icews14Like(),
+          tkg::SyntheticConfig::Icews0515Like(),
+          tkg::SyntheticConfig::Icews18Like(),
+          tkg::SyntheticConfig::YagoLike(), tkg::SyntheticConfig::WikiLike()};
+}
+
+std::vector<tkg::SyntheticConfig> IcewsProfiles() {
+  return {tkg::SyntheticConfig::Icews14Like(),
+          tkg::SyntheticConfig::Icews0515Like(),
+          tkg::SyntheticConfig::Icews18Like()};
+}
+
+std::vector<tkg::SyntheticConfig> YagoWikiProfiles() {
+  return {tkg::SyntheticConfig::YagoLike(), tkg::SyntheticConfig::WikiLike()};
+}
+
+// ---------------------------------------------------------------------------
+// ResultsCache.
+
+namespace {
+std::string DefaultCacheDir() {
+  const char* env = std::getenv("RETIA_BENCH_CACHE");
+  return env != nullptr ? env : "bench_cache";
+}
+}  // namespace
+
+ResultsCache::ResultsCache() : ResultsCache(DefaultCacheDir()) {}
+
+ResultsCache::ResultsCache(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ResultsCache::PathFor(const std::string& key) const {
+  std::string sanitized = key;
+  for (char& c : sanitized) {
+    if (!isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') {
+      c = '_';
+    }
+  }
+  return dir_ + "/" + sanitized + ".result";
+}
+
+bool ResultsCache::Load(const std::string& key, RunResult* out) const {
+  std::ifstream in(PathFor(key));
+  if (!in.good()) return false;
+  RunResult r;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream iss(line);
+    std::string field;
+    iss >> field;
+    if (field == "offline") {
+      iss >> r.offline_entity_mrr >> r.offline_entity_h1 >>
+          r.offline_entity_h3 >> r.offline_entity_h10 >>
+          r.offline_relation_mrr;
+    } else if (field == "online") {
+      iss >> r.online_entity_mrr >> r.online_entity_h1 >> r.online_entity_h3 >>
+          r.online_entity_h10 >> r.online_relation_mrr;
+    } else if (field == "timing") {
+      iss >> r.train_seconds >> r.predict_seconds;
+    } else if (field == "epoch") {
+      train::EpochRecord rec;
+      iss >> rec.joint_loss >> rec.entity_loss >> rec.relation_loss >>
+          rec.valid_entity_mrr >> rec.seconds;
+      r.curve.push_back(rec);
+    }
+  }
+  *out = r;
+  return true;
+}
+
+void ResultsCache::Store(const std::string& key, const RunResult& r) const {
+  std::ofstream out(PathFor(key));
+  RETIA_CHECK_MSG(out.good(), "cannot write cache file for " << key);
+  out.precision(10);
+  out << "offline " << r.offline_entity_mrr << ' ' << r.offline_entity_h1
+      << ' ' << r.offline_entity_h3 << ' ' << r.offline_entity_h10 << ' '
+      << r.offline_relation_mrr << '\n';
+  out << "online " << r.online_entity_mrr << ' ' << r.online_entity_h1 << ' '
+      << r.online_entity_h3 << ' ' << r.online_entity_h10 << ' '
+      << r.online_relation_mrr << '\n';
+  out << "timing " << r.train_seconds << ' ' << r.predict_seconds << '\n';
+  for (const train::EpochRecord& rec : r.curve) {
+    out << "epoch " << rec.joint_loss << ' ' << rec.entity_loss << ' '
+        << rec.relation_loss << ' ' << rec.valid_entity_mrr << ' '
+        << rec.seconds << '\n';
+  }
+}
+
+RunResult ResultsCache::GetOrCompute(const std::string& key,
+                                     const std::function<RunResult()>& fn) {
+  RunResult r;
+  if (Load(key, &r)) return r;
+  std::cerr << "[bench] computing " << key << " ..." << std::endl;
+  util::Timer timer;
+  r = fn();
+  std::cerr << "[bench] " << key << " done in "
+            << util::FormatDuration(timer.Seconds()) << std::endl;
+  Store(key, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Runners.
+
+namespace {
+
+std::unique_ptr<core::EvolutionModel> MakeVariant(
+    const std::string& variant, const tkg::TkgDataset& ds,
+    const BenchParams& p, bool* online_eval) {
+  *online_eval = true;
+  if (variant == "regcn" || variant == "rgcrn") {
+    baselines::RegcnConfig config;
+    config.num_entities = ds.num_entities();
+    config.num_relations = ds.num_relations();
+    config.dim = p.dim;
+    config.history_len = p.history_len;
+    config.num_bases = p.num_bases;
+    config.conv_kernels = p.conv_kernels;
+    config.evolve_relations = (variant == "regcn");
+    config.time_variability_decode = false;
+    *online_eval = false;  // RE-GCN / RGCRN do not train online
+    return std::make_unique<baselines::RegcnModel>(config);
+  }
+  if (variant == "renet") {
+    baselines::RenetConfig config;
+    config.num_entities = ds.num_entities();
+    config.num_relations = ds.num_relations();
+    config.dim = p.dim;
+    config.history_len = p.history_len;
+    *online_eval = false;  // RE-NET does not train online
+    return std::make_unique<baselines::RenetModel>(config);
+  }
+  if (variant == "tirgn") {
+    baselines::TirgnConfig config;
+    config.local.num_entities = ds.num_entities();
+    config.local.num_relations = ds.num_relations();
+    config.local.dim = p.dim;
+    config.local.history_len = p.history_len;
+    config.local.num_bases = p.num_bases;
+    config.local.conv_kernels = p.conv_kernels;
+    *online_eval = false;  // TiRGN does not train online
+    auto model = std::make_unique<baselines::TirgnModel>(config);
+    model->SetDataset(&ds);
+    return model;
+  }
+  if (variant == "cen") {
+    baselines::RegcnConfig config;
+    config.num_entities = ds.num_entities();
+    config.num_relations = ds.num_relations();
+    config.dim = p.dim;
+    config.history_len = p.history_len;
+    config.num_bases = p.num_bases;
+    config.conv_kernels = p.conv_kernels;
+    config.time_variability_decode = true;  // multi-length ensemble
+    return std::make_unique<baselines::RegcnModel>(config);
+  }
+  core::RetiaConfig config;
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = p.dim;
+  config.history_len = p.history_len;
+  config.num_bases = p.num_bases;
+  config.conv_kernels = p.conv_kernels;
+  if (variant == "retia_wo_eam") config.use_eam = false;
+  else if (variant == "retia_wo_ram") config.use_ram = false;
+  else if (variant == "retia_wo_tim") config.use_tim = false;
+  else if (variant == "retia_hyper_none") config.hyper_mode = core::HyperMode::kNone;
+  else if (variant == "retia_hyper_hmp") config.hyper_mode = core::HyperMode::kHmp;
+  else if (variant == "retia_rm_none") config.relation_mode = core::RelationMode::kNone;
+  else if (variant == "retia_rm_mp") config.relation_mode = core::RelationMode::kMp;
+  else if (variant == "retia_rm_mp_lstm") config.relation_mode = core::RelationMode::kMpLstm;
+  else RETIA_CHECK_MSG(variant == "retia", "unknown variant " << variant);
+  return std::make_unique<core::RetiaModel>(config);
+}
+
+}  // namespace
+
+RunResult RunEvolution(const tkg::SyntheticConfig& profile,
+                       const std::string& variant, ResultsCache& cache) {
+  const std::string key = profile.name + "__" + variant;
+  return cache.GetOrCompute(key, [&] {
+    tkg::TkgDataset ds = tkg::GenerateSynthetic(profile);
+    const BenchParams p = ParamsFor(profile.name);
+    bool online_eval = true;
+    std::unique_ptr<core::EvolutionModel> model =
+        MakeVariant(variant, ds, p, &online_eval);
+    graph::GraphCache graphs(&ds);
+    train::TrainConfig tc;
+    tc.max_epochs = p.max_epochs;
+    tc.patience = p.patience;
+    tc.online_steps = p.online_steps;
+    train::Trainer trainer(model.get(), &graphs, tc);
+
+    RunResult r;
+    util::Timer timer;
+    r.curve = trainer.TrainGeneral();
+    r.train_seconds = timer.Seconds();
+
+    // Offline pass first (parameters frozen), then the online pass which
+    // fine-tunes through valid+test in time order.
+    eval::EvalResult offline =
+        trainer.Evaluate(ds.test_times(), /*online=*/false);
+    r.offline_entity_mrr = offline.entity.Mrr();
+    r.offline_entity_h1 = offline.entity.Hits1();
+    r.offline_entity_h3 = offline.entity.Hits3();
+    r.offline_entity_h10 = offline.entity.Hits10();
+    r.offline_relation_mrr = offline.relation.Mrr();
+    r.predict_seconds = offline.predict_seconds;
+
+    if (online_eval) {
+      // The time-variability protocol consumes the newly emerging facts of
+      // the validation period before reaching the test period.
+      trainer.Evaluate(ds.valid_times(), /*online=*/true,
+                       eval::EvalOptions{.evaluate_entities = false,
+                                         .evaluate_relations = false});
+      eval::EvalResult online =
+          trainer.Evaluate(ds.test_times(), /*online=*/true);
+      r.online_entity_mrr = online.entity.Mrr();
+      r.online_entity_h1 = online.entity.Hits1();
+      r.online_entity_h3 = online.entity.Hits3();
+      r.online_entity_h10 = online.entity.Hits10();
+      r.online_relation_mrr = online.relation.Mrr();
+    } else {
+      r.online_entity_mrr = r.offline_entity_mrr;
+      r.online_entity_h1 = r.offline_entity_h1;
+      r.online_entity_h3 = r.offline_entity_h3;
+      r.online_entity_h10 = r.offline_entity_h10;
+      r.online_relation_mrr = r.offline_relation_mrr;
+    }
+    return r;
+  });
+}
+
+RunResult RunStatic(const tkg::SyntheticConfig& profile,
+                    const std::string& kind_name, ResultsCache& cache) {
+  const std::string key = profile.name + "__static_" + kind_name;
+  return cache.GetOrCompute(key, [&] {
+    tkg::TkgDataset ds = tkg::GenerateSynthetic(profile);
+    const BenchParams p = ParamsFor(profile.name);
+    baselines::StaticModelConfig config;
+    if (kind_name == "DistMult") config.kind = baselines::StaticScorerKind::kDistMult;
+    else if (kind_name == "ComplEx") config.kind = baselines::StaticScorerKind::kComplEx;
+    else if (kind_name == "RotatE") config.kind = baselines::StaticScorerKind::kRotatE;
+    else if (kind_name == "TransE") config.kind = baselines::StaticScorerKind::kTransE;
+    else if (kind_name == "ConvE") config.kind = baselines::StaticScorerKind::kConvE;
+    else if (kind_name == "Conv-TransE") config.kind = baselines::StaticScorerKind::kConvTransE;
+    else RETIA_CHECK_MSG(false, "unknown static kind " << kind_name);
+    config.num_entities = ds.num_entities();
+    config.num_relations = ds.num_relations();
+    config.dim = p.dim;
+    config.conv_kernels = p.conv_kernels;
+    baselines::StaticModel model(config);
+
+    RunResult r;
+    util::Timer timer;
+    model.Fit(ds, p.static_epochs, 2e-3f);
+    r.train_seconds = timer.Seconds();
+
+    const bool relation_capable =
+        config.kind != baselines::StaticScorerKind::kRotatE;
+    eval::ObjectScoreFn object_fn =
+        [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>& q) {
+          tensor::NoGradGuard guard;
+          return model.ScoreObjects(q);
+        };
+    eval::RelationScoreFn relation_fn =
+        [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>& q) {
+          tensor::NoGradGuard guard;
+          return model.ScoreRelations(q);
+        };
+    eval::EvalOptions options;
+    options.evaluate_relations = relation_capable;
+    eval::EvalResult res = eval::EvaluateTimes(ds, ds.test_times(), object_fn,
+                                               relation_fn, options);
+    r.offline_entity_mrr = r.online_entity_mrr = res.entity.Mrr();
+    r.offline_entity_h1 = r.online_entity_h1 = res.entity.Hits1();
+    r.offline_entity_h3 = r.online_entity_h3 = res.entity.Hits3();
+    r.offline_entity_h10 = r.online_entity_h10 = res.entity.Hits10();
+    r.offline_relation_mrr = r.online_relation_mrr = res.relation.Mrr();
+    r.predict_seconds = res.predict_seconds;
+    return r;
+  });
+}
+
+RunResult RunTTransE(const tkg::SyntheticConfig& profile,
+                     ResultsCache& cache) {
+  const std::string key = profile.name + "__ttranse";
+  return cache.GetOrCompute(key, [&] {
+    tkg::TkgDataset ds = tkg::GenerateSynthetic(profile);
+    const BenchParams p = ParamsFor(profile.name);
+    baselines::TTransEModel model(ds.num_entities(), ds.num_relations(),
+                                  profile.num_timestamps, p.dim);
+    RunResult r;
+    util::Timer timer;
+    model.Fit(ds, p.static_epochs, 2e-3f);
+    r.train_seconds = timer.Seconds();
+    eval::ObjectScoreFn object_fn =
+        [&](int64_t t, const std::vector<std::pair<int64_t, int64_t>>& q) {
+          tensor::NoGradGuard guard;
+          return model.ScoreObjects(t, q);
+        };
+    eval::EvalOptions options;
+    options.evaluate_relations = false;
+    eval::EvalResult res =
+        eval::EvaluateTimes(ds, ds.test_times(), object_fn, nullptr, options);
+    r.offline_entity_mrr = r.online_entity_mrr = res.entity.Mrr();
+    r.offline_entity_h1 = r.online_entity_h1 = res.entity.Hits1();
+    r.offline_entity_h3 = r.online_entity_h3 = res.entity.Hits3();
+    r.offline_entity_h10 = r.online_entity_h10 = res.entity.Hits10();
+    r.predict_seconds = res.predict_seconds;
+    return r;
+  });
+}
+
+RunResult RunCygnet(const tkg::SyntheticConfig& profile, ResultsCache& cache) {
+  const std::string key = profile.name + "__cygnet";
+  return cache.GetOrCompute(key, [&] {
+    tkg::TkgDataset ds = tkg::GenerateSynthetic(profile);
+    const BenchParams p = ParamsFor(profile.name);
+    baselines::CygnetModel model(ds.num_entities(), ds.num_relations(), p.dim);
+    RunResult r;
+    util::Timer timer;
+    model.Fit(ds, p.static_epochs, 2e-3f);
+    r.train_seconds = timer.Seconds();
+    eval::ObjectScoreFn object_fn =
+        [&](int64_t t, const std::vector<std::pair<int64_t, int64_t>>& q) {
+          tensor::NoGradGuard guard;
+          model.ObserveUpTo(ds, t);  // copy vocabulary sees all facts < t
+          return model.ScoreObjects(t, q);
+        };
+    eval::EvalOptions options;
+    options.evaluate_relations = false;
+    eval::EvalResult res =
+        eval::EvaluateTimes(ds, ds.test_times(), object_fn, nullptr, options);
+    r.offline_entity_mrr = r.online_entity_mrr = res.entity.Mrr();
+    r.offline_entity_h1 = r.online_entity_h1 = res.entity.Hits1();
+    r.offline_entity_h3 = r.online_entity_h3 = res.entity.Hits3();
+    r.offline_entity_h10 = r.online_entity_h10 = res.entity.Hits10();
+    r.predict_seconds = res.predict_seconds;
+    return r;
+  });
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << title << "\n" << paper_ref << "\n"
+            << "Data: scaled synthetic stand-ins for the paper benchmarks (see\n"
+            << "DESIGN.md, 'Substitutions'); absolute numbers differ from the\n"
+            << "paper, the qualitative ordering is what is being reproduced.\n"
+            << "================================================================\n";
+}
+
+}  // namespace retia::bench

@@ -1,0 +1,96 @@
+#ifndef RETIA_BENCH_BENCH_COMMON_H_
+#define RETIA_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tkg/synthetic.h"
+#include "train/trainer.h"
+
+namespace retia::bench {
+
+// Per-dataset hyperparameters for the benchmark sweep: a CPU-scale analogue
+// of Sec. IV-A4 (d=200, k in {3,4,9} there). The history-length ordering
+// across datasets is preserved: YAGO/WIKI (3) < ICEWS18 (4) < ICEWS14/05-15
+// (5).
+struct BenchParams {
+  int64_t dim = 24;
+  int64_t history_len = 3;
+  int64_t conv_kernels = 8;
+  int64_t num_bases = 2;
+  int64_t max_epochs = 10;
+  int64_t patience = 3;
+  int64_t static_epochs = 6;
+  int64_t online_steps = 1;
+};
+BenchParams ParamsFor(const std::string& dataset_name);
+
+// The five benchmark profiles (Table V analogues), in the paper's order:
+// ICEWS14, ICEWS05-15, ICEWS18, YAGO, WIKI.
+std::vector<tkg::SyntheticConfig> AllProfiles();
+std::vector<tkg::SyntheticConfig> IcewsProfiles();
+std::vector<tkg::SyntheticConfig> YagoWikiProfiles();
+
+// Outcome of one (dataset, method) run. Evolution models are evaluated
+// twice from the same trained parameters: offline (frozen) and online
+// (continuous training, the paper's time-variability protocol). Methods
+// without a notion of online updates fill both views identically.
+struct RunResult {
+  double offline_entity_mrr = 0, offline_entity_h1 = 0,
+         offline_entity_h3 = 0, offline_entity_h10 = 0;
+  double offline_relation_mrr = 0;
+  double online_entity_mrr = 0, online_entity_h1 = 0, online_entity_h3 = 0,
+         online_entity_h10 = 0;
+  double online_relation_mrr = 0;
+  double train_seconds = 0;
+  double predict_seconds = 0;  // offline scoring time over the test split
+  std::vector<train::EpochRecord> curve;  // general-training loss curve
+};
+
+// File-backed memoisation of RunResults so every bench binary shares one
+// training sweep. Directory: $RETIA_BENCH_CACHE or ./bench_cache.
+class ResultsCache {
+ public:
+  ResultsCache();
+  explicit ResultsCache(std::string dir);
+
+  RunResult GetOrCompute(const std::string& key,
+                         const std::function<RunResult()>& compute);
+
+  bool Load(const std::string& key, RunResult* out) const;
+  void Store(const std::string& key, const RunResult& result) const;
+
+ private:
+  std::string PathFor(const std::string& key) const;
+  std::string dir_;
+};
+
+// ---- Method runners (train + evaluate test split) --------------------------
+// `variant` names for RunEvolution:
+//   retia           full RETIA
+//   retia_wo_eam    Table VI ablation
+//   retia_wo_ram    Table VI ablation
+//   retia_wo_tim    Table IX / Figs. 3-4
+//   retia_hyper_none / retia_hyper_hmp       Fig. 5 sweep
+//   retia_rm_none / retia_rm_mp / retia_rm_mp_lstm   Figs. 6-7 sweep
+//   regcn           RE-GCN baseline (offline, last-step decoding)
+//   rgcrn           RGCRN baseline (static relations)
+//   cen             CEN baseline (multi-history decoding + online)
+RunResult RunEvolution(const tkg::SyntheticConfig& profile,
+                       const std::string& variant, ResultsCache& cache);
+
+RunResult RunStatic(const tkg::SyntheticConfig& profile,
+                    const std::string& kind_name, ResultsCache& cache);
+
+RunResult RunTTransE(const tkg::SyntheticConfig& profile,
+                     ResultsCache& cache);
+
+RunResult RunCygnet(const tkg::SyntheticConfig& profile, ResultsCache& cache);
+
+// Human-readable banner printed by every bench driver.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+}  // namespace retia::bench
+
+#endif  // RETIA_BENCH_BENCH_COMMON_H_

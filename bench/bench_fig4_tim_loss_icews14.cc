@@ -1,0 +1,10 @@
+// Fig. 4: role of the TIM in the general training process on ICEWS14.
+// Shares the curve-printing implementation with Fig. 3.
+
+#define RETIA_FIG4_MAIN
+#include "bench_fig3_tim_loss_yago.cc"
+
+int main() {
+  return retia::bench::RunTimLossFigure(
+      retia::tkg::SyntheticConfig::Icews14Like(), "Fig. 4");
+}

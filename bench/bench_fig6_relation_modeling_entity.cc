@@ -1,0 +1,79 @@
+// Fig. 6: role of relation modeling in *entity* forecasting on ICEWS18.
+//
+// The relation-modeling depth sweep: "wo. RM" (initial relation embeddings
+// straight to the decoder), "w. MP" (mean-pooled adjacent entities),
+// "w. MP+LSTM" (the RE-GCN/TiRGN level, which the paper identifies as
+// suffering from the "message islands" problem) and "w. MP+LSTM+Agg" (full
+// RETIA: messages cross the one-hop gap through the hyperrelation
+// subgraph).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace retia::bench {
+
+int RunRelationModelingFigure(bool entity_task, const std::string& figure) {
+  const tkg::SyntheticConfig profile = tkg::SyntheticConfig::Icews18Like();
+  PrintHeader(
+      figure + " — Role of relation modeling in " +
+          (entity_task ? std::string("entity") : std::string("relation")) +
+          " forecasting (" + profile.name + ")",
+      entity_task
+          ? "Paper: each relation-modeling level adds entity-forecasting "
+            "accuracy; the Agg step (RAM) tops the sweep."
+          : "Paper: 'wo. RM' is fatal for relation forecasting; the Agg "
+            "step gives the final improvement over the RE-GCN level.");
+  ResultsCache cache;
+  const std::vector<std::pair<std::string, std::string>> sweep = {
+      {"wo. RM", "retia_rm_none"},
+      {"w. MP", "retia_rm_mp"},
+      {"w. MP+LSTM", "retia_rm_mp_lstm"},
+      {"w. MP+LSTM+Agg", "retia"},
+  };
+  util::TablePrinter table({"Variant", "MRR", "Hits@1", "Hits@3", "Hits@10"});
+  std::map<std::string, RunResult> results;
+  for (const auto& [label, variant] : sweep) {
+    RunResult r = RunEvolution(profile, variant, cache);
+    results[label] = r;
+    if (entity_task) {
+      table.AddRow({label, util::TablePrinter::Num(r.online_entity_mrr),
+                    util::TablePrinter::Num(r.online_entity_h1),
+                    util::TablePrinter::Num(r.online_entity_h3),
+                    util::TablePrinter::Num(r.online_entity_h10)});
+    } else {
+      table.AddRow({label, util::TablePrinter::Num(r.online_relation_mrr),
+                    "-", "-", "-"});
+    }
+  }
+  table.Print(std::cout);
+  auto metric = [&](const std::string& label) {
+    return entity_task ? results[label].online_entity_mrr
+                       : results[label].online_relation_mrr;
+  };
+  const bool agg_beats_regcn_level =
+      metric("w. MP+LSTM+Agg") > metric("w. MP+LSTM");
+  const bool modeled_beats_unmodeled =
+      metric("w. MP+LSTM+Agg") > metric("wo. RM");
+  std::cout << "checks: Agg (RETIA) > MP+LSTM (RE-GCN level): "
+            << (agg_beats_regcn_level ? "PASS" : "FAIL")
+            << " | full modeling > no relation modeling: "
+            << (modeled_beats_unmodeled ? "PASS" : "FAIL") << "\n";
+  if (!entity_task) {
+    const bool worm_fatal = metric("wo. RM") < metric("w. MP+LSTM+Agg") * 0.5;
+    std::cout << "check: 'wo. RM' loses most of the relation forecasting "
+                 "ability: "
+              << (worm_fatal ? "PASS" : "FAIL") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace retia::bench
+
+#ifndef RETIA_FIG7_MAIN
+int main() {
+  return retia::bench::RunRelationModelingFigure(/*entity_task=*/true,
+                                                 "Fig. 6");
+}
+#endif

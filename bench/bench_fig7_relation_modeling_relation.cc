@@ -1,0 +1,10 @@
+// Fig. 7: role of relation modeling in *relation* forecasting on ICEWS18.
+// Shares its implementation with Fig. 6.
+
+#define RETIA_FIG7_MAIN
+#include "bench_fig6_relation_modeling_entity.cc"
+
+int main() {
+  return retia::bench::RunRelationModelingFigure(/*entity_task=*/false,
+                                                 "Fig. 7");
+}

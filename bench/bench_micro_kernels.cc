@@ -1,0 +1,124 @@
+// Micro-benchmarks of the tensor/graph kernels the RETIA pipeline is built
+// from (google-benchmark). These are not a paper table; they document the
+// substrate's throughput and make kernel-level regressions visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rgcn.h"
+#include "graph/graph_cache.h"
+#include "tensor/ops.h"
+#include "tkg/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using retia::tensor::Tensor;
+
+Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+  retia::util::Rng rng(seed);
+  Tensor t = Tensor::Zeros(std::move(shape));
+  for (int64_t i = 0; i < t.NumElements(); ++i)
+    t.Data()[i] = rng.Uniform(-1.0f, 1.0f);
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({n, n}, 1);
+  Tensor b = RandomTensor({n, n}, 2);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retia::tensor::MatMul(a, b).Data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({256, 32}, 3);   // queries x d
+  Tensor b = RandomTensor({n, 32}, 4);     // candidates x d
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retia::tensor::MatMulTransposeB(a, b).Data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * n * 32);
+}
+BENCHMARK(BM_MatMulTransposeB)->Arg(256)->Arg(1024);
+
+void BM_GatherScatter(benchmark::State& state) {
+  const int64_t edges = state.range(0);
+  Tensor nodes = RandomTensor({500, 32}, 5);
+  retia::util::Rng rng(6);
+  std::vector<int64_t> idx(edges);
+  for (auto& i : idx) i = rng.UniformInt(0, 499);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    Tensor g = retia::tensor::GatherRows(nodes, idx);
+    benchmark::DoNotOptimize(
+        retia::tensor::ScatterAddRows(g, idx, 500).Data());
+  }
+  state.SetItemsProcessed(state.iterations() * edges * 32);
+}
+BENCHMARK(BM_GatherScatter)->Arg(200)->Arg(2000);
+
+void BM_Softmax(benchmark::State& state) {
+  Tensor a = RandomTensor({128, state.range(0)}, 7);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retia::tensor::Softmax(a).Data());
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(300)->Arg(3000);
+
+void BM_HypergraphConstruction(benchmark::State& state) {
+  retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(
+      retia::tkg::SyntheticConfig::Icews18Like());
+  for (auto _ : state) {
+    retia::graph::Subgraph g(ds.FactsAt(0), ds.num_entities(),
+                             ds.num_relations());
+    retia::graph::HyperSubgraph hg(g);
+    benchmark::DoNotOptimize(hg.num_edges());
+  }
+}
+BENCHMARK(BM_HypergraphConstruction);
+
+void BM_EntityRgcnLayerForward(benchmark::State& state) {
+  retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(
+      retia::tkg::SyntheticConfig::Icews14Like());
+  retia::graph::Subgraph g(ds.FactsAt(0), ds.num_entities(),
+                           ds.num_relations());
+  retia::util::Rng rng(8);
+  retia::core::EntityRgcnLayer layer(32, 2 * ds.num_relations(), 2, 0.0f,
+                                     &rng);
+  layer.SetTraining(false);
+  Tensor nodes = RandomTensor({ds.num_entities(), 32}, 9);
+  Tensor rels = RandomTensor({2 * ds.num_relations(), 32}, 10);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(nodes, rels, g, &rng).Data());
+  }
+}
+BENCHMARK(BM_EntityRgcnLayerForward);
+
+void BM_RelationRgcnLayerForward(benchmark::State& state) {
+  retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(
+      retia::tkg::SyntheticConfig::Icews14Like());
+  retia::graph::Subgraph g(ds.FactsAt(0), ds.num_entities(),
+                           ds.num_relations());
+  retia::graph::HyperSubgraph hg(g);
+  retia::util::Rng rng(11);
+  retia::core::RelationRgcnLayer layer(32, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor rels = RandomTensor({2 * ds.num_relations(), 32}, 12);
+  Tensor hypers = RandomTensor({8, 32}, 13);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.Forward(rels, hypers, hg, &rng).Data());
+  }
+}
+BENCHMARK(BM_RelationRgcnLayerForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

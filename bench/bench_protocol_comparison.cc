@@ -1,0 +1,75 @@
+// Evaluation-protocol ablation (Sec. IV-A3 discussion): raw setting vs the
+// time-aware filtered setting.
+//
+// The paper argues the time-aware filter handles one-to-many facts crudely
+// and "tends to obtain better results", and therefore reports raw metrics.
+// This driver quantifies the gap on one trained RETIA model: filtered
+// metrics must dominate raw metrics, with the gap coming entirely from
+// queries that conflict with other true facts at the same timestamp.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/retia.h"
+#include "nn/checkpoint.h"
+#include "train/trainer.h"
+#include "util/table_printer.h"
+
+int main() {
+  retia::bench::PrintHeader(
+      "Protocol ablation — raw vs time-aware filtered evaluation "
+      "(YAGO-like, RETIA)",
+      "Paper (Sec. IV-A3): the time-aware filter removes conflicting true "
+      "candidates and thus reports higher numbers; raw is stricter.");
+  const retia::tkg::SyntheticConfig profile =
+      retia::tkg::SyntheticConfig::YagoLike();
+  retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(profile);
+  const retia::bench::BenchParams p = retia::bench::ParamsFor(profile.name);
+
+  retia::core::RetiaConfig config;
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = p.dim;
+  config.history_len = p.history_len;
+  config.conv_kernels = p.conv_kernels;
+  retia::core::RetiaModel model(config);
+  retia::graph::GraphCache cache(&ds);
+  retia::train::TrainConfig tc;
+  tc.max_epochs = p.max_epochs;
+  tc.patience = p.patience;
+  retia::train::Trainer trainer(&model, &cache, tc);
+  std::cerr << "[bench] training RETIA once for the protocol comparison...\n";
+  trainer.TrainGeneral();
+
+  retia::eval::EvalOptions raw;
+  retia::eval::EvalResult raw_result =
+      trainer.Evaluate(ds.test_times(), /*online=*/false, raw);
+  retia::eval::EvalOptions filtered;
+  filtered.time_aware_filter = true;
+  retia::eval::EvalResult filtered_result =
+      trainer.Evaluate(ds.test_times(), /*online=*/false, filtered);
+
+  retia::util::TablePrinter table(
+      {"Protocol", "Entity MRR", "Entity H@1", "Entity H@10",
+       "Relation MRR"});
+  table.AddRow({"raw (paper's choice)",
+                retia::util::TablePrinter::Num(raw_result.entity.Mrr()),
+                retia::util::TablePrinter::Num(raw_result.entity.Hits1()),
+                retia::util::TablePrinter::Num(raw_result.entity.Hits10()),
+                retia::util::TablePrinter::Num(raw_result.relation.Mrr())});
+  table.AddRow(
+      {"time-aware filtered",
+       retia::util::TablePrinter::Num(filtered_result.entity.Mrr()),
+       retia::util::TablePrinter::Num(filtered_result.entity.Hits1()),
+       retia::util::TablePrinter::Num(filtered_result.entity.Hits10()),
+       retia::util::TablePrinter::Num(filtered_result.relation.Mrr())});
+  table.Print(std::cout);
+
+  const bool dominates =
+      filtered_result.entity.Mrr() >= raw_result.entity.Mrr() &&
+      filtered_result.relation.Mrr() >= raw_result.relation.Mrr();
+  std::cout << "check: filtered metrics dominate raw metrics (the paper's "
+               "reason for reporting raw): "
+            << (dominates ? "PASS" : "FAIL") << "\n";
+  return 0;
+}

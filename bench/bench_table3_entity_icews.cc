@@ -1,0 +1,140 @@
+// Table III: entity forecasting on the ICEWS-family datasets (raw metrics).
+//
+// Reproduces the method x metric grid for every baseline family implemented
+// in this repository; methods the paper lists but that are out of scope
+// (xERTE, CluSTeR, TITer, TLogic, TiRGN, RE-NET, HyTE, TA-DistMult, R-GCN)
+// are printed with their paper MRR and "-" for measured values, so the
+// table keeps the paper's shape.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using retia::bench::ResultsCache;
+using retia::bench::RunResult;
+using retia::util::TablePrinter;
+
+struct MethodSpec {
+  std::string name;
+  // empty kind => not reproduced, print paper numbers only.
+  std::string runner;  // "static:<Kind>", "ttranse", "cygnet", "evo:<variant>"
+  bool online_protocol = false;  // report the online-evaluation numbers
+};
+
+const std::vector<MethodSpec> kMethods = {
+    {"DistMult", "static:DistMult"},
+    {"ConvE", "static:ConvE"},
+    {"ComplEx", "static:ComplEx"},
+    {"Conv-TransE", "static:Conv-TransE"},
+    {"RotatE", "static:RotatE"},
+    {"TTransE", "ttranse"},
+    {"CyGNet", "cygnet"},
+    {"RE-NET", "evo:renet"},
+    {"xERTE", ""},
+    {"CluSTeR", ""},
+    {"RE-GCN", "evo:regcn"},
+    {"TITer", ""},
+    {"TLogic", ""},
+    {"CEN", "evo:cen", true},
+    {"TiRGN", "evo:tirgn"},
+    {"RETIA", "evo:retia", true},
+};
+
+// Paper Table III MRR values, for the side-by-side comparison column.
+const std::map<std::string, std::map<std::string, double>> kPaperMrr = {
+    {"ICEWS14-like",
+     {{"DistMult", 20.32}, {"ConvE", 30.30},   {"ComplEx", 22.61},
+      {"Conv-TransE", 31.50}, {"RotatE", 25.71}, {"TTransE", 12.86},
+      {"CyGNet", 34.68},   {"RE-NET", 35.77},  {"xERTE", 32.23},
+      {"CluSTeR", 46.00},  {"RE-GCN", 41.50},  {"TITer", 40.90},
+      {"TLogic", 41.80},   {"CEN", 41.64},     {"TiRGN", 43.88},
+      {"RETIA", 45.29}}},
+    {"ICEWS05-15-like",
+     {{"DistMult", 19.91}, {"ConvE", 31.40},   {"ComplEx", 20.26},
+      {"Conv-TransE", 30.28}, {"RotatE", 19.01}, {"TTransE", 16.53},
+      {"CyGNet", 35.46},   {"RE-NET", 36.86},  {"xERTE", 38.07},
+      {"CluSTeR", 44.60},  {"RE-GCN", 46.41},  {"TITer", 46.62},
+      {"TLogic", 45.99},   {"CEN", 49.57},     {"TiRGN", 48.72},
+      {"RETIA", 52.17}}},
+    {"ICEWS18-like",
+     {{"DistMult", 13.86}, {"ConvE", 22.81},   {"ComplEx", 15.45},
+      {"Conv-TransE", 23.22}, {"RotatE", 14.53}, {"TTransE", 8.44},
+      {"CyGNet", 24.98},   {"RE-NET", 26.17},  {"xERTE", 27.98},
+      {"CluSTeR", 32.30},  {"RE-GCN", 30.55},  {"TITer", 28.44},
+      {"TLogic", 28.41},   {"CEN", 29.70},     {"TiRGN", 32.06},
+      {"RETIA", 34.16}}},
+};
+
+bool Run(const MethodSpec& spec, const retia::tkg::SyntheticConfig& profile,
+         ResultsCache& cache, RunResult* out) {
+  if (spec.runner.empty()) return false;
+  if (spec.runner.rfind("static:", 0) == 0) {
+    *out = retia::bench::RunStatic(profile, spec.runner.substr(7), cache);
+  } else if (spec.runner == "ttranse") {
+    *out = retia::bench::RunTTransE(profile, cache);
+  } else if (spec.runner == "cygnet") {
+    *out = retia::bench::RunCygnet(profile, cache);
+  } else {
+    *out = retia::bench::RunEvolution(profile, spec.runner.substr(4), cache);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  retia::bench::PrintHeader(
+      "Table III — Entity forecasting on ICEWS14 / ICEWS05-15 / ICEWS18 "
+      "(raw metrics)",
+      "Paper: RETIA best on all three; RE-GCN-family > copy/static; "
+      "interpolation (TTransE) worst.");
+  ResultsCache cache;
+  for (const auto& profile : retia::bench::IcewsProfiles()) {
+    std::cout << "\n--- " << profile.name << " ---\n";
+    double retia_mrr = 0.0, regcn_mrr = 0.0, static_best = 0.0,
+           ttranse_mrr = 0.0;
+    TablePrinter table({"Method", "paper MRR", "MRR", "Hits@1", "Hits@3",
+                        "Hits@10"});
+    for (const MethodSpec& spec : kMethods) {
+      const auto& paper = kPaperMrr.at(profile.name);
+      RunResult r;
+      if (!Run(spec, profile, cache, &r)) {
+        table.AddRow({spec.name + " (not reproduced)",
+                      TablePrinter::Num(paper.at(spec.name)), "-", "-", "-",
+                      "-"});
+        continue;
+      }
+      const double mrr =
+          spec.online_protocol ? r.online_entity_mrr : r.offline_entity_mrr;
+      const double h1 =
+          spec.online_protocol ? r.online_entity_h1 : r.offline_entity_h1;
+      const double h3 =
+          spec.online_protocol ? r.online_entity_h3 : r.offline_entity_h3;
+      const double h10 =
+          spec.online_protocol ? r.online_entity_h10 : r.offline_entity_h10;
+      table.AddRow({spec.name, TablePrinter::Num(paper.at(spec.name)),
+                    TablePrinter::Num(mrr), TablePrinter::Num(h1),
+                    TablePrinter::Num(h3), TablePrinter::Num(h10)});
+      if (spec.name == "RETIA") retia_mrr = mrr;
+      if (spec.name == "RE-GCN") regcn_mrr = mrr;
+      if (spec.name == "TTransE") ttranse_mrr = mrr;
+      if (spec.runner.rfind("static:", 0) == 0)
+        static_best = std::max(static_best, mrr);
+    }
+    table.Print(std::cout);
+    std::cout << "note: CyGNet overperforms its paper rank here because the\n"
+                 "synthetic recurring facts repeat *exactly*, which is ideal\n"
+                 "for pure copying; real ICEWS recurrences are noisier.\n";
+    std::cout << "qualitative checks: RETIA > RE-GCN: "
+              << (retia_mrr > regcn_mrr ? "PASS" : "FAIL")
+              << " | RE-GCN > best static: "
+              << (regcn_mrr > static_best ? "PASS" : "FAIL")
+              << " | TTransE weakest family: "
+              << (ttranse_mrr < static_best ? "PASS" : "FAIL") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table IV: entity forecasting on YAGO and WIKI (raw MRR / Hits@3 / Hits@10).
+//
+// The paper's headline here: yearly-granularity datasets are dominated by
+// persistent facts, so evolution models score far higher than on ICEWS, and
+// RETIA's relation modeling gives it a wide margin (especially on WIKI).
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using retia::bench::ResultsCache;
+using retia::bench::RunResult;
+using retia::util::TablePrinter;
+
+struct MethodSpec {
+  std::string name;
+  std::string runner;
+  bool online_protocol = false;
+};
+
+const std::vector<MethodSpec> kMethods = {
+    {"DistMult", "static:DistMult"},
+    {"ConvE", "static:ConvE"},
+    {"ComplEx", "static:ComplEx"},
+    {"Conv-TransE", "static:Conv-TransE"},
+    {"RotatE", "static:RotatE"},
+    {"TTransE", "ttranse"},
+    {"CyGNet", "cygnet"},
+    {"RE-NET", "evo:renet"},
+    {"xERTE", ""},
+    {"RE-GCN", "evo:regcn"},
+    {"TITer", ""},
+    {"CEN", "evo:cen", true},
+    {"TiRGN", "evo:tirgn"},
+    {"RETIA", "evo:retia", true},
+};
+
+const std::map<std::string, std::map<std::string, double>> kPaperMrr = {
+    {"YAGO-like",
+     {{"DistMult", 44.05}, {"ConvE", 41.22}, {"ComplEx", 44.09},
+      {"Conv-TransE", 46.67}, {"RotatE", 42.08}, {"TTransE", 26.10},
+      {"CyGNet", 46.72}, {"RE-NET", 46.81}, {"xERTE", 64.29},
+      {"RE-GCN", 63.07}, {"TITer", 64.97}, {"CEN", 63.39},
+      {"TiRGN", 64.71}, {"RETIA", 67.58}}},
+    {"WIKI-like",
+     {{"DistMult", 27.96}, {"ConvE", 26.03}, {"ComplEx", 27.69},
+      {"Conv-TransE", 30.89}, {"RotatE", 26.08}, {"TTransE", 20.66},
+      {"CyGNet", 30.77}, {"RE-NET", 30.87}, {"xERTE", 52.85},
+      {"RE-GCN", 51.53}, {"TITer", 57.36}, {"CEN", 51.98},
+      {"TiRGN", 53.20}, {"RETIA", 70.11}}},
+};
+
+}  // namespace
+
+int main() {
+  retia::bench::PrintHeader(
+      "Table IV — Entity forecasting on YAGO and WIKI (raw metrics)",
+      "Paper: evolution models far above static ones; RETIA best; absolute "
+      "MRR much higher than on ICEWS.");
+  ResultsCache cache;
+  for (const auto& profile : retia::bench::YagoWikiProfiles()) {
+    std::cout << "\n--- " << profile.name << " ---\n";
+    TablePrinter table({"Method", "paper MRR", "MRR", "Hits@3", "Hits@10"});
+    double retia = 0, regcn = 0, conv_transe = 0;
+    for (const MethodSpec& spec : kMethods) {
+      const double paper = kPaperMrr.at(profile.name).at(spec.name);
+      if (spec.runner.empty()) {
+        table.AddRow({spec.name + " (not reproduced)",
+                      TablePrinter::Num(paper), "-", "-", "-"});
+        continue;
+      }
+      RunResult r;
+      if (spec.runner.rfind("static:", 0) == 0) {
+        r = retia::bench::RunStatic(profile, spec.runner.substr(7), cache);
+      } else if (spec.runner == "ttranse") {
+        r = retia::bench::RunTTransE(profile, cache);
+      } else if (spec.runner == "cygnet") {
+        r = retia::bench::RunCygnet(profile, cache);
+      } else {
+        r = retia::bench::RunEvolution(profile, spec.runner.substr(4), cache);
+      }
+      const double mrr =
+          spec.online_protocol ? r.online_entity_mrr : r.offline_entity_mrr;
+      const double h3 =
+          spec.online_protocol ? r.online_entity_h3 : r.offline_entity_h3;
+      const double h10 =
+          spec.online_protocol ? r.online_entity_h10 : r.offline_entity_h10;
+      table.AddRow({spec.name, TablePrinter::Num(paper),
+                    TablePrinter::Num(mrr), TablePrinter::Num(h3),
+                    TablePrinter::Num(h10)});
+      if (spec.name == "RETIA") retia = mrr;
+      if (spec.name == "RE-GCN") regcn = mrr;
+      if (spec.name == "Conv-TransE") conv_transe = mrr;
+    }
+    table.Print(std::cout);
+    std::cout << "qualitative checks: RETIA > RE-GCN: "
+              << (retia > regcn ? "PASS" : "FAIL")
+              << " | RE-GCN > Conv-TransE (evolution beats static): "
+              << (regcn > conv_transe ? "PASS" : "FAIL") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table VII: relation forecasting (MRR) on all five datasets.
+//
+// Paper findings: the relation task saturates (MRR ~98) on YAGO/WIKI
+// because they have few, stable relations; it stays low (~40) on the ICEWS
+// datasets; dynamic methods beat static ones; RETIA leads almost
+// everywhere.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using retia::bench::ResultsCache;
+using retia::bench::RunResult;
+using retia::util::TablePrinter;
+
+struct MethodSpec {
+  std::string name;
+  std::string runner;
+  bool online_protocol = false;
+};
+
+const std::vector<MethodSpec> kMethods = {
+    {"ConvE", "static:ConvE"},
+    {"Conv-TransE", "static:Conv-TransE"},
+    {"RGCRN", "evo:rgcrn"},
+    {"RE-GCN", "evo:regcn"},
+    {"TiRGN", "evo:tirgn"},
+    {"RETIA", "evo:retia", true},
+};
+
+const std::map<std::string, std::map<std::string, double>> kPaper = {
+    {"YAGO-like",
+     {{"ConvE", 91.33}, {"Conv-TransE", 90.98}, {"RGCRN", 90.18},
+      {"RE-GCN", 97.74}, {"TiRGN", 93.58}, {"RETIA", 98.91}}},
+    {"WIKI-like",
+     {{"ConvE", 78.23}, {"Conv-TransE", 86.64}, {"RGCRN", 88.88},
+      {"RE-GCN", 97.92}, {"TiRGN", 98.12}, {"RETIA", 98.21}}},
+    {"ICEWS14-like",
+     {{"ConvE", 38.80}, {"Conv-TransE", 38.40}, {"RGCRN", 38.04},
+      {"RE-GCN", 41.06}, {"TiRGN", 42.57}, {"RETIA", 42.05}}},
+    {"ICEWS05-15-like",
+     {{"ConvE", 37.89}, {"Conv-TransE", 38.26}, {"RGCRN", 38.37},
+      {"RE-GCN", 40.63}, {"TiRGN", 42.12}, {"RETIA", 43.19}}},
+    {"ICEWS18-like",
+     {{"ConvE", 37.73}, {"Conv-TransE", 38.00}, {"RGCRN", 37.14},
+      {"RE-GCN", 40.53}, {"TiRGN", 41.78}, {"RETIA", 41.78}}},
+};
+
+}  // namespace
+
+int main() {
+  retia::bench::PrintHeader(
+      "Table VII — Relation forecasting (MRR) on all datasets",
+      "Paper: near-saturation on YAGO/WIKI, ~40 on ICEWS; RETIA best or "
+      "tied on 4 of 5.");
+  ResultsCache cache;
+  // Column layout mirrors the paper: one row per method, one column per
+  // dataset (paper value in parentheses).
+  TablePrinter table({"Method", "ICEWS14", "ICEWS05-15", "ICEWS18", "YAGO",
+                      "WIKI"});
+  std::map<std::string, std::map<std::string, double>> measured;
+  for (const MethodSpec& spec : kMethods) {
+    std::vector<std::string> row = {spec.name};
+    for (const auto& profile : retia::bench::AllProfiles()) {
+      const double paper = kPaper.at(profile.name).at(spec.name);
+      if (spec.runner.empty()) {
+        row.push_back("- (paper " + TablePrinter::Num(paper) + ")");
+        continue;
+      }
+      RunResult r;
+      if (spec.runner.rfind("static:", 0) == 0) {
+        r = retia::bench::RunStatic(profile, spec.runner.substr(7), cache);
+      } else {
+        r = retia::bench::RunEvolution(profile, spec.runner.substr(4), cache);
+      }
+      const double mrr = spec.online_protocol ? r.online_relation_mrr
+                                              : r.offline_relation_mrr;
+      measured[spec.name][profile.name] = mrr;
+      row.push_back(TablePrinter::Num(mrr) + " (paper " +
+                    TablePrinter::Num(paper) + ")");
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  const bool saturation =
+      measured["RETIA"]["YAGO-like"] > measured["RETIA"]["ICEWS18-like"] &&
+      measured["RETIA"]["WIKI-like"] > measured["RETIA"]["ICEWS18-like"];
+  int retia_wins = 0;
+  for (const auto& profile : retia::bench::AllProfiles()) {
+    if (measured["RETIA"][profile.name] >=
+        measured["RE-GCN"][profile.name]) {
+      ++retia_wins;
+    }
+  }
+  std::cout << "checks: relation task easier on YAGO/WIKI than ICEWS: "
+            << (saturation ? "PASS" : "FAIL")
+            << " | RETIA >= RE-GCN on " << retia_wins << "/5 datasets\n";
+  return 0;
+}

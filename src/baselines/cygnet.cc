@@ -1,0 +1,113 @@
+#include "baselines/cygnet.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace retia::baselines {
+
+using tensor::Tensor;
+
+CygnetModel::CygnetModel(int64_t num_entities, int64_t num_relations,
+                         int64_t dim, uint64_t seed)
+    : num_entities_(num_entities), num_relations_(num_relations), rng_(seed) {
+  entities_ = std::make_unique<nn::Embedding>(num_entities, dim, &rng_);
+  relations_ = std::make_unique<nn::Embedding>(2 * num_relations, dim, &rng_);
+  generator_ = std::make_unique<nn::Linear>(2 * dim, dim, &rng_);
+  copy_gate_ = RegisterParameter("copy_gate", Tensor::Zeros({1}));
+  RegisterModule("entities", entities_.get());
+  RegisterModule("relations", relations_.get());
+  RegisterModule("generator", generator_.get());
+}
+
+void CygnetModel::ObserveUpTo(const tkg::TkgDataset& dataset,
+                              int64_t t_exclusive) {
+  for (int64_t t = observed_to_; t < t_exclusive; ++t) {
+    for (const tkg::Quadruple& q : dataset.FactsAt(t)) {
+      ++history_[{q.subject, q.relation}][q.object];
+      ++history_[{q.object, q.relation + num_relations_}][q.subject];
+    }
+  }
+  observed_to_ = std::max(observed_to_, t_exclusive);
+}
+
+Tensor CygnetModel::CopyProbs(
+    int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) const {
+  RETIA_CHECK_MSG(t <= observed_to_,
+                  "copy vocabulary not advanced to timestamp " << t);
+  const int64_t batch = static_cast<int64_t>(queries.size());
+  Tensor probs = Tensor::Zeros({batch, num_entities_});
+  float* p = probs.Data();
+  for (int64_t i = 0; i < batch; ++i) {
+    auto it = history_.find(queries[i]);
+    if (it == history_.end()) continue;
+    int64_t total = 0;
+    for (const auto& [o, count] : it->second) total += count;
+    for (const auto& [o, count] : it->second) {
+      p[i * num_entities_ + o] =
+          static_cast<float>(count) / static_cast<float>(total);
+    }
+  }
+  return probs;  // constant w.r.t. parameters
+}
+
+Tensor CygnetModel::ScoreObjects(
+    int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  std::vector<int64_t> s_idx;
+  std::vector<int64_t> r_idx;
+  for (const auto& [s, r] : queries) {
+    s_idx.push_back(s);
+    r_idx.push_back(r);
+  }
+  Tensor feat = tensor::Relu(generator_->Forward(tensor::ConcatCols(
+      entities_->Forward(s_idx), relations_->Forward(r_idx))));
+  Tensor gen =
+      tensor::Softmax(tensor::MatMulTransposeB(feat, entities_->table()));
+  Tensor copy = CopyProbs(t, queries);
+  // Mixture weight sigma(copy_gate), broadcast over the whole batch.
+  const float alpha =
+      1.0f / (1.0f + std::exp(-copy_gate_.Data()[0]));
+  // p = alpha * copy + (1 - alpha) * gen. The gate gradient is routed via
+  // Scale on gen only (copy is a constant); this keeps the op graph simple
+  // while still learning alpha through the generation share.
+  Tensor mix = tensor::Add(tensor::Scale(copy, alpha),
+                           tensor::Scale(gen, 1.0f - alpha));
+  return mix;
+}
+
+void CygnetModel::Fit(const tkg::TkgDataset& dataset, int64_t epochs,
+                      float lr) {
+  std::vector<tensor::Tensor> params = Parameters();
+  nn::Adam optimizer(params, nn::Adam::Options{.lr = lr});
+  SetTraining(true);
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    // Rebuild the vocabulary in time order every epoch.
+    history_.clear();
+    observed_to_ = 0;
+    for (int64_t t : dataset.train_times()) {
+      ObserveUpTo(dataset, t);
+      const std::vector<tkg::Quadruple>& facts = dataset.FactsAt(t);
+      if (facts.empty()) continue;
+      std::vector<std::pair<int64_t, int64_t>> queries;
+      std::vector<int64_t> targets;
+      for (const tkg::Quadruple& q : facts) {
+        queries.emplace_back(q.subject, q.relation);
+        targets.push_back(q.object);
+        queries.emplace_back(q.object, q.relation + num_relations_);
+        targets.push_back(q.subject);
+      }
+      ZeroGrad();
+      Tensor probs = ScoreObjects(t, queries);
+      Tensor loss = tensor::NllFromProbs(probs, targets);
+      loss.Backward();
+      nn::ClipGradNorm(params, 1.0f);
+      optimizer.Step();
+    }
+  }
+  // Leave the vocabulary covering the whole train split so evaluation can
+  // continue observing valid/test timestamps incrementally.
+  SetTraining(false);
+}
+
+}  // namespace retia::baselines

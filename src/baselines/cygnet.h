@@ -1,0 +1,64 @@
+#ifndef RETIA_BASELINES_CYGNET_H_
+#define RETIA_BASELINES_CYGNET_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tkg/dataset.h"
+#include "util/rng.h"
+
+namespace retia::baselines {
+
+// CyGNet-style copy-generation baseline (Zhu et al. 2021). The copy mode
+// scores candidates by how often (s, r, o) repeated in the observed past;
+// the generation mode scores them with a learned embedding decoder. The
+// final distribution mixes the two with a learned gate:
+//
+//   p(o | s, r, t) = sigma(alpha) * copy(s, r, <t) + (1-sigma(alpha)) * gen.
+//
+// The historical vocabulary is maintained incrementally in time order, so
+// evaluating a timestamp automatically sees all facts observed before it
+// (the paper's raw extrapolation protocol).
+class CygnetModel : public nn::Module {
+ public:
+  CygnetModel(int64_t num_entities, int64_t num_relations, int64_t dim,
+              uint64_t seed = 17);
+
+  // Probabilities [B, N] for object queries (s, r) forecast at timestamp
+  // `t`. Only facts with time < t contribute to the copy vocabulary
+  // (ObserveUpTo must have been called with some bound >= t).
+  tensor::Tensor ScoreObjects(
+      int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries);
+
+  // Adds all facts with time < `t_exclusive` to the copy vocabulary
+  // (idempotent; facts are consumed in time order).
+  void ObserveUpTo(const tkg::TkgDataset& dataset, int64_t t_exclusive);
+
+  // Trains on the train split in time order: for each timestamp, the copy
+  // vocabulary holds exactly the facts before it.
+  void Fit(const tkg::TkgDataset& dataset, int64_t epochs, float lr);
+
+ private:
+  tensor::Tensor CopyProbs(
+      int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) const;
+
+  int64_t num_entities_;
+  int64_t num_relations_;
+  util::Rng rng_;
+  std::unique_ptr<nn::Embedding> entities_;
+  std::unique_ptr<nn::Embedding> relations_;  // 2M rows
+  std::unique_ptr<nn::Linear> generator_;     // [s;r] -> d
+  tensor::Tensor copy_gate_;                  // scalar, mixed via sigmoid
+
+  // (s, r) -> object -> count of occurrences strictly before observed_to_.
+  std::map<std::pair<int64_t, int64_t>, std::map<int64_t, int64_t>> history_;
+  int64_t observed_to_ = 0;  // exclusive bound of consumed facts
+};
+
+}  // namespace retia::baselines
+
+#endif  // RETIA_BASELINES_CYGNET_H_

@@ -1,0 +1,260 @@
+#include "baselines/static_models.h"
+
+#include <algorithm>
+#include <set>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace retia::baselines {
+
+using tensor::Tensor;
+
+std::string StaticScorerName(StaticScorerKind kind) {
+  switch (kind) {
+    case StaticScorerKind::kDistMult: return "DistMult";
+    case StaticScorerKind::kComplEx: return "ComplEx";
+    case StaticScorerKind::kRotatE: return "RotatE";
+    case StaticScorerKind::kTransE: return "TransE";
+    case StaticScorerKind::kConvE: return "ConvE";
+    case StaticScorerKind::kConvTransE: return "Conv-TransE";
+  }
+  return "unknown";
+}
+
+StaticModel::StaticModel(const StaticModelConfig& config)
+    : config_(config), rng_(config.seed) {
+  RETIA_CHECK(config.num_entities > 0);
+  RETIA_CHECK(config.num_relations > 0);
+  if (config.kind == StaticScorerKind::kComplEx ||
+      config.kind == StaticScorerKind::kRotatE) {
+    RETIA_CHECK_MSG(config.dim % 2 == 0,
+                    "complex scorers need an even embedding dim");
+  }
+  entities_ =
+      std::make_unique<nn::Embedding>(config.num_entities, config.dim, &rng_);
+  relations_ = std::make_unique<nn::Embedding>(2 * config.num_relations,
+                                               config.dim, &rng_);
+  RegisterModule("entities", entities_.get());
+  RegisterModule("relations", relations_.get());
+  if (config.kind == StaticScorerKind::kConvTransE) {
+    conv_weight_ = RegisterParameter(
+        "conv_weight", nn::XavierUniform({config.conv_kernels, 2, 3}, &rng_));
+    conv_bias_ =
+        RegisterParameter("conv_bias", Tensor::Zeros({config.conv_kernels}));
+    fc_ = std::make_unique<nn::Linear>(config.conv_kernels * config.dim,
+                                       config.dim, &rng_);
+    RegisterModule("fc", fc_.get());
+  } else if (config.kind == StaticScorerKind::kConvE) {
+    RETIA_CHECK_MSG(config.dim % config.reshape_h == 0,
+                    "ConvE reshape must divide the embedding dim");
+    conv_weight_ = RegisterParameter(
+        "conv_weight",
+        nn::XavierUniform({config.conv_kernels, 1, 3, 3}, &rng_));
+    conv_bias_ =
+        RegisterParameter("conv_bias", Tensor::Zeros({config.conv_kernels}));
+    fc_ = std::make_unique<nn::Linear>(config.conv_kernels * 2 * config.dim,
+                                       config.dim, &rng_);
+    RegisterModule("fc", fc_.get());
+  }
+}
+
+Tensor StaticModel::QueryFeature(const std::vector<int64_t>& a_idx,
+                                 const std::vector<int64_t>& b_idx,
+                                 bool relation_task) {
+  const int64_t batch = static_cast<int64_t>(a_idx.size());
+  const int64_t d = config_.dim;
+  Tensor a = entities_->Forward(a_idx);
+  Tensor b = relation_task ? entities_->Forward(b_idx)
+                           : relations_->Forward(b_idx);
+  Tensor stacked = tensor::ConcatCols(a, b);
+  if (config_.kind == StaticScorerKind::kConvTransE) {
+    Tensor x = tensor::Reshape(stacked, {batch, 2, d});
+    x = tensor::Dropout(x, config_.dropout, training(), &rng_);
+    Tensor conv = tensor::Relu(tensor::Conv1d(x, conv_weight_, conv_bias_, 1));
+    conv = tensor::Dropout(conv, config_.dropout, training(), &rng_);
+    Tensor flat =
+        tensor::Reshape(conv, {batch, config_.conv_kernels * d});
+    return tensor::Relu(fc_->Forward(flat));
+  }
+  RETIA_CHECK(config_.kind == StaticScorerKind::kConvE);
+  const int64_t h = config_.reshape_h;
+  const int64_t w = d / h;
+  Tensor x = tensor::Reshape(stacked, {batch, 1, 2 * h, w});
+  x = tensor::Dropout(x, config_.dropout, training(), &rng_);
+  Tensor conv = tensor::Relu(tensor::Conv2d(x, conv_weight_, conv_bias_, 1));
+  conv = tensor::Dropout(conv, config_.dropout, training(), &rng_);
+  Tensor flat =
+      tensor::Reshape(conv, {batch, config_.conv_kernels * 2 * d});
+  return tensor::Relu(fc_->Forward(flat));
+}
+
+Tensor StaticModel::ScoreObjects(
+    const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  std::vector<int64_t> s_idx;
+  std::vector<int64_t> r_idx;
+  s_idx.reserve(queries.size());
+  r_idx.reserve(queries.size());
+  for (const auto& [s, r] : queries) {
+    s_idx.push_back(s);
+    r_idx.push_back(r);
+  }
+  const Tensor& table = entities_->table();
+  const int64_t d = config_.dim;
+  const int64_t h = d / 2;
+  switch (config_.kind) {
+    case StaticScorerKind::kDistMult: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor r = relations_->Forward(r_idx);
+      return tensor::MatMulTransposeB(tensor::Mul(s, r), table);
+    }
+    case StaticScorerKind::kComplEx: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor r = relations_->Forward(r_idx);
+      Tensor s_re = tensor::SliceCols(s, 0, h);
+      Tensor s_im = tensor::SliceCols(s, h, h);
+      Tensor r_re = tensor::SliceCols(r, 0, h);
+      Tensor r_im = tensor::SliceCols(r, h, h);
+      // (s*r) = a + ib; score = a . o_re + b . o_im.
+      Tensor a = tensor::Sub(tensor::Mul(s_re, r_re), tensor::Mul(s_im, r_im));
+      Tensor b = tensor::Add(tensor::Mul(s_re, r_im), tensor::Mul(s_im, r_re));
+      Tensor e_re = tensor::SliceCols(table, 0, h);
+      Tensor e_im = tensor::SliceCols(table, h, h);
+      return tensor::Add(tensor::MatMulTransposeB(a, e_re),
+                         tensor::MatMulTransposeB(b, e_im));
+    }
+    case StaticScorerKind::kRotatE: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor r = relations_->Forward(r_idx);
+      Tensor s_re = tensor::SliceCols(s, 0, h);
+      Tensor s_im = tensor::SliceCols(s, h, h);
+      Tensor phase = tensor::SliceCols(r, 0, h);
+      Tensor cosp = tensor::Cos(phase);
+      Tensor sinp = tensor::Sin(phase);
+      Tensor q_re =
+          tensor::Sub(tensor::Mul(s_re, cosp), tensor::Mul(s_im, sinp));
+      Tensor q_im =
+          tensor::Add(tensor::Mul(s_re, sinp), tensor::Mul(s_im, cosp));
+      Tensor e_re = tensor::SliceCols(table, 0, h);
+      Tensor e_im = tensor::SliceCols(table, h, h);
+      return tensor::PairwiseComplexNegDist(q_re, q_im, e_re, e_im,
+                                            config_.rotate_gamma);
+    }
+    case StaticScorerKind::kTransE: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor r = relations_->Forward(r_idx);
+      return tensor::PairwiseNegL1(tensor::Add(s, r), table);
+    }
+    case StaticScorerKind::kConvE:
+    case StaticScorerKind::kConvTransE: {
+      Tensor feat = QueryFeature(s_idx, r_idx, /*relation_task=*/false);
+      return tensor::MatMulTransposeB(feat, table);
+    }
+  }
+  RETIA_CHECK_MSG(false, "unreachable");
+  return {};
+}
+
+Tensor StaticModel::ScoreRelations(
+    const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  std::vector<int64_t> s_idx;
+  std::vector<int64_t> o_idx;
+  s_idx.reserve(queries.size());
+  o_idx.reserve(queries.size());
+  for (const auto& [s, o] : queries) {
+    s_idx.push_back(s);
+    o_idx.push_back(o);
+  }
+  Tensor candidates =
+      tensor::SliceRows(relations_->table(), 0, config_.num_relations);
+  const int64_t d = config_.dim;
+  const int64_t h = d / 2;
+  switch (config_.kind) {
+    case StaticScorerKind::kDistMult: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor o = entities_->Forward(o_idx);
+      return tensor::MatMulTransposeB(tensor::Mul(s, o), candidates);
+    }
+    case StaticScorerKind::kComplEx: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor o = entities_->Forward(o_idx);
+      Tensor s_re = tensor::SliceCols(s, 0, h);
+      Tensor s_im = tensor::SliceCols(s, h, h);
+      Tensor o_re = tensor::SliceCols(o, 0, h);
+      Tensor o_im = tensor::SliceCols(o, h, h);
+      // Coefficients of r in Re<s, r, conj(o)>.
+      Tensor c_re =
+          tensor::Add(tensor::Mul(s_re, o_re), tensor::Mul(s_im, o_im));
+      Tensor c_im =
+          tensor::Sub(tensor::Mul(s_re, o_im), tensor::Mul(s_im, o_re));
+      return tensor::MatMulTransposeB(tensor::ConcatCols(c_re, c_im),
+                                      candidates);
+    }
+    case StaticScorerKind::kTransE: {
+      Tensor s = entities_->Forward(s_idx);
+      Tensor o = entities_->Forward(o_idx);
+      return tensor::PairwiseNegL1(tensor::Sub(o, s), candidates);
+    }
+    case StaticScorerKind::kConvE:
+    case StaticScorerKind::kConvTransE: {
+      Tensor feat = QueryFeature(s_idx, o_idx, /*relation_task=*/true);
+      return tensor::MatMulTransposeB(feat, candidates);
+    }
+    case StaticScorerKind::kRotatE:
+      RETIA_CHECK_MSG(false,
+                      "RotatE relation scoring is undefined (Table VII)");
+  }
+  return {};
+}
+
+void StaticModel::Fit(const tkg::TkgDataset& dataset, int64_t epochs, float lr,
+                      int64_t batch_size) {
+  // Collapse the time dimension: unique (s, r, o) triples of the train set.
+  std::set<std::tuple<int64_t, int64_t, int64_t>> unique;
+  for (const tkg::Quadruple& q : dataset.train()) {
+    unique.insert({q.subject, q.relation, q.object});
+  }
+  std::vector<std::tuple<int64_t, int64_t, int64_t>> triples(unique.begin(),
+                                                             unique.end());
+  std::vector<tensor::Tensor> params = Parameters();
+  nn::Adam optimizer(params, nn::Adam::Options{.lr = lr});
+  const int64_t m = config_.num_relations;
+  const bool relation_capable = config_.kind != StaticScorerKind::kRotatE;
+  SetTraining(true);
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    std::shuffle(triples.begin(), triples.end(), rng_.engine());
+    for (size_t begin = 0; begin < triples.size();
+         begin += static_cast<size_t>(batch_size)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(batch_size), triples.size());
+      std::vector<std::pair<int64_t, int64_t>> obj_queries;
+      std::vector<int64_t> obj_targets;
+      std::vector<std::pair<int64_t, int64_t>> rel_queries;
+      std::vector<int64_t> rel_targets;
+      for (size_t i = begin; i < end; ++i) {
+        const auto& [s, r, o] = triples[i];
+        obj_queries.emplace_back(s, r);
+        obj_targets.push_back(o);
+        obj_queries.emplace_back(o, r + m);
+        obj_targets.push_back(s);
+        rel_queries.emplace_back(s, o);
+        rel_targets.push_back(r);
+      }
+      ZeroGrad();
+      Tensor loss =
+          tensor::CrossEntropyLogits(ScoreObjects(obj_queries), obj_targets);
+      if (relation_capable) {
+        Tensor rel_loss = tensor::CrossEntropyLogits(
+            ScoreRelations(rel_queries), rel_targets);
+        loss = tensor::Add(tensor::Scale(loss, 0.7f),
+                           tensor::Scale(rel_loss, 0.3f));
+      }
+      loss.Backward();
+      nn::ClipGradNorm(params, 1.0f);
+      optimizer.Step();
+    }
+  }
+  SetTraining(false);
+}
+
+}  // namespace retia::baselines

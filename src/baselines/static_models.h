@@ -1,0 +1,85 @@
+#ifndef RETIA_BASELINES_STATIC_MODELS_H_
+#define RETIA_BASELINES_STATIC_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+#include "tkg/dataset.h"
+#include "util/rng.h"
+
+namespace retia::baselines {
+
+// The static KG-embedding baselines of Tables III/IV/VII. They ignore the
+// time dimension entirely (Sec. IV-A2: "the static methods are trained
+// without the time dimension"): all training facts are collapsed into one
+// graph and scored with the method's scoring function.
+enum class StaticScorerKind {
+  kDistMult,    // <s, r, o> trilinear
+  kComplEx,     // Re<s, r, conj(o)> in C^{d/2}
+  kRotatE,      // -|s * r - o| with r a complex rotation
+  kTransE,      // -|s + r - o|_1
+  kConvE,       // 2D convolution over stacked reshaped embeddings
+  kConvTransE,  // 1D convolution, translation-preserving
+};
+
+std::string StaticScorerName(StaticScorerKind kind);
+
+struct StaticModelConfig {
+  StaticScorerKind kind = StaticScorerKind::kDistMult;
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;  // M; inverse relations are added internally
+  int64_t dim = 32;           // must be even for ComplEx/RotatE
+  int64_t conv_kernels = 16;
+  float dropout = 0.2f;
+  // ConvE reshapes d into a (reshape_h x d/reshape_h) image.
+  int64_t reshape_h = 4;
+  float rotate_gamma = 6.0f;
+  uint64_t seed = 11;
+};
+
+// A static scorer with full-softmax training over the collapsed graph.
+class StaticModel : public nn::Module {
+ public:
+  explicit StaticModel(const StaticModelConfig& config);
+
+  // Logits of all entities for object queries (s, r), r in [0, 2M).
+  tensor::Tensor ScoreObjects(
+      const std::vector<std::pair<int64_t, int64_t>>& queries);
+
+  // Logits of the M forward relations for queries (s, o). Supported by all
+  // scorers except RotatE (whose relation scoring is not linear in r);
+  // RotatE CHECK-fails here, matching its absence from Table VII.
+  tensor::Tensor ScoreRelations(
+      const std::vector<std::pair<int64_t, int64_t>>& queries);
+
+  // Trains on the time-collapsed training split with cross-entropy over
+  // objects (both directions) and, when supported, relations.
+  void Fit(const tkg::TkgDataset& dataset, int64_t epochs, float lr,
+           int64_t batch_size = 256);
+
+  const StaticModelConfig& config() const { return config_; }
+
+ private:
+  tensor::Tensor QueryFeature(const std::vector<int64_t>& a_idx,
+                              const std::vector<int64_t>& b_idx,
+                              bool relation_task);
+
+  StaticModelConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<nn::Embedding> entities_;
+  std::unique_ptr<nn::Embedding> relations_;  // 2M rows
+  // Convolutional decoders (ConvE / Conv-TransE only).
+  tensor::Tensor conv_weight_;
+  tensor::Tensor conv_bias_;
+  std::unique_ptr<nn::Linear> fc_;
+};
+
+}  // namespace retia::baselines
+
+#endif  // RETIA_BASELINES_STATIC_MODELS_H_

@@ -1,0 +1,90 @@
+#include "baselines/ttranse.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace retia::baselines {
+
+using tensor::Tensor;
+
+TTransEModel::TTransEModel(int64_t num_entities, int64_t num_relations,
+                           int64_t num_timestamps, int64_t dim, uint64_t seed)
+    : num_relations_(num_relations),
+      num_timestamps_(num_timestamps),
+      rng_(seed) {
+  entities_ = std::make_unique<nn::Embedding>(num_entities, dim, &rng_);
+  relations_ = std::make_unique<nn::Embedding>(2 * num_relations, dim, &rng_);
+  timestamps_ = std::make_unique<nn::Embedding>(num_timestamps, dim, &rng_);
+  RegisterModule("entities", entities_.get());
+  RegisterModule("relations", relations_.get());
+  RegisterModule("timestamps", timestamps_.get());
+}
+
+Tensor TTransEModel::ScoreObjects(
+    int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  std::vector<int64_t> s_idx;
+  std::vector<int64_t> r_idx;
+  std::vector<int64_t> t_idx;
+  // Clamp to the last timestamp the model has embeddings for: an
+  // interpolation model has no representation of the future.
+  const int64_t clamped =
+      std::min(std::min(t, num_timestamps_ - 1), max_trained_time_);
+  for (const auto& [s, r] : queries) {
+    s_idx.push_back(s);
+    r_idx.push_back(r);
+    t_idx.push_back(clamped);
+  }
+  Tensor q = tensor::Add(
+      tensor::Add(entities_->Forward(s_idx), relations_->Forward(r_idx)),
+      timestamps_->Forward(t_idx));
+  return tensor::PairwiseNegL1(q, entities_->table());
+}
+
+void TTransEModel::Fit(const tkg::TkgDataset& dataset, int64_t epochs,
+                       float lr, int64_t batch_size) {
+  std::vector<tkg::Quadruple> quads = dataset.train();
+  for (const tkg::Quadruple& q : quads) {
+    max_trained_time_ = std::max(max_trained_time_, q.time);
+  }
+  std::vector<tensor::Tensor> params = Parameters();
+  nn::Adam optimizer(params, nn::Adam::Options{.lr = lr});
+  const int64_t m = num_relations_;
+  SetTraining(true);
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    std::shuffle(quads.begin(), quads.end(), rng_.engine());
+    for (size_t begin = 0; begin < quads.size();
+         begin += static_cast<size_t>(batch_size)) {
+      const size_t end =
+          std::min(begin + static_cast<size_t>(batch_size), quads.size());
+      std::vector<int64_t> s_idx;
+      std::vector<int64_t> r_idx;
+      std::vector<int64_t> t_idx;
+      std::vector<int64_t> targets;
+      for (size_t i = begin; i < end; ++i) {
+        const tkg::Quadruple& q = quads[i];
+        s_idx.push_back(q.subject);
+        r_idx.push_back(q.relation);
+        t_idx.push_back(q.time);
+        targets.push_back(q.object);
+        s_idx.push_back(q.object);
+        r_idx.push_back(q.relation + m);
+        t_idx.push_back(q.time);
+        targets.push_back(q.subject);
+      }
+      ZeroGrad();
+      Tensor q_emb = tensor::Add(
+          tensor::Add(entities_->Forward(s_idx), relations_->Forward(r_idx)),
+          timestamps_->Forward(t_idx));
+      Tensor logits = tensor::PairwiseNegL1(q_emb, entities_->table());
+      Tensor loss = tensor::CrossEntropyLogits(logits, targets);
+      loss.Backward();
+      nn::ClipGradNorm(params, 1.0f);
+      optimizer.Step();
+    }
+  }
+  SetTraining(false);
+}
+
+}  // namespace retia::baselines

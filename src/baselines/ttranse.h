@@ -1,0 +1,46 @@
+#ifndef RETIA_BASELINES_TTRANSE_H_
+#define RETIA_BASELINES_TTRANSE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tkg/dataset.h"
+#include "util/rng.h"
+
+namespace retia::baselines {
+
+// TTransE (Jiang et al. 2016): the translational interpolation baseline of
+// Tables III/IV. Facts are scored as -|s + r + tau_t - o|_1 with learned
+// per-timestamp embeddings tau_t. Timestamps beyond the training range are
+// clamped to the last trained embedding, which is exactly the weakness the
+// paper highlights for interpolation methods applied to extrapolation.
+class TTransEModel : public nn::Module {
+ public:
+  TTransEModel(int64_t num_entities, int64_t num_relations,
+               int64_t num_timestamps, int64_t dim, uint64_t seed = 13);
+
+  // Logits [B, N] for object queries (s, r), r in [0, 2M), predicting at
+  // timestamp `t`.
+  tensor::Tensor ScoreObjects(
+      int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries);
+
+  // Trains on the train split with full-softmax cross-entropy.
+  void Fit(const tkg::TkgDataset& dataset, int64_t epochs, float lr,
+           int64_t batch_size = 256);
+
+ private:
+  int64_t num_relations_;
+  int64_t num_timestamps_;
+  int64_t max_trained_time_ = 0;
+  util::Rng rng_;
+  std::unique_ptr<nn::Embedding> entities_;
+  std::unique_ptr<nn::Embedding> relations_;   // 2M rows
+  std::unique_ptr<nn::Embedding> timestamps_;  // num_timestamps rows
+};
+
+}  // namespace retia::baselines
+
+#endif  // RETIA_BASELINES_TTRANSE_H_

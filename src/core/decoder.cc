@@ -1,0 +1,50 @@
+#include "core/decoder.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace retia::core {
+
+using tensor::Tensor;
+
+ConvTransEDecoder::ConvTransEDecoder(int64_t dim, int64_t kernels,
+                                     int64_t kernel_size, float dropout,
+                                     util::Rng* rng, bool with_layernorm)
+    : dim_(dim), kernels_(kernels), dropout_(dropout) {
+  if (with_layernorm) {
+    ln_gamma_ = RegisterParameter("ln_gamma", Tensor::Full({dim}, 1.0f));
+    ln_beta_ = RegisterParameter("ln_beta", Tensor::Zeros({dim}));
+  }
+  RETIA_CHECK(kernel_size % 2 == 1);  // same-length output needs odd kernels
+  conv_weight_ = RegisterParameter(
+      "conv_weight", nn::XavierUniform({kernels, 2, kernel_size}, rng));
+  conv_bias_ = RegisterParameter("conv_bias", Tensor::Zeros({kernels}));
+  fc_ = std::make_unique<nn::Linear>(kernels * dim, dim, rng);
+  RegisterModule("fc", fc_.get());
+}
+
+Tensor ConvTransEDecoder::Forward(const Tensor& a, const Tensor& b,
+                                  const Tensor& candidates,
+                                  util::Rng* rng) const {
+  RETIA_CHECK_EQ(a.Dim(1), dim_);
+  RETIA_CHECK_EQ(b.Dim(1), dim_);
+  const int64_t batch = a.Dim(0);
+  const int64_t pad = (conv_weight_.Dim(2) - 1) / 2;
+  // Stack the two embeddings as channels: [B, 2, d].
+  Tensor stacked =
+      tensor::Reshape(tensor::ConcatCols(a, b), {batch, 2, dim_});
+  stacked = tensor::Dropout(stacked, dropout_, training(), rng);
+  Tensor conv = tensor::Conv1d(stacked, conv_weight_, conv_bias_, pad);
+  conv = tensor::Relu(conv);
+  conv = tensor::Dropout(conv, dropout_, training(), rng);
+  Tensor flat = tensor::Reshape(conv, {batch, kernels_ * dim_});
+  Tensor feat = fc_->Forward(flat);
+  if (ln_gamma_.defined()) {
+    feat = tensor::LayerNormRows(feat, ln_gamma_, ln_beta_);
+  }
+  feat = tensor::Relu(feat);
+  feat = tensor::Dropout(feat, dropout_, training(), rng);
+  return tensor::MatMulTransposeB(feat, candidates);
+}
+
+}  // namespace retia::core

@@ -1,0 +1,46 @@
+#ifndef RETIA_CORE_DECODER_H_
+#define RETIA_CORE_DECODER_H_
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace retia::core {
+
+// Conv-TransE decoder (Shang et al. 2019), the component unit of the
+// time-variability E-decoder and R-decoder (Eq. 11/12). The two query
+// embeddings are stacked as a 2-channel length-d signal, convolved with
+// `kernels` 2x`kernel_size` filters, flattened and projected back to d;
+// scores are inner products with every candidate embedding.
+class ConvTransEDecoder : public nn::Module {
+ public:
+  // `with_layernorm` inserts layer normalisation after the fully connected
+  // projection (the normalisation whose interaction with mean pooling the
+  // paper discusses in Sec. IV-D2/IV-E). Off by default, matching the
+  // released RETIA configuration.
+  ConvTransEDecoder(int64_t dim, int64_t kernels, int64_t kernel_size,
+                    float dropout, util::Rng* rng,
+                    bool with_layernorm = false);
+
+  // a:[B,d], b:[B,d] (e.g. subject and relation embeddings),
+  // candidates:[X,d] -> logits [B,X].
+  tensor::Tensor Forward(const tensor::Tensor& a, const tensor::Tensor& b,
+                         const tensor::Tensor& candidates,
+                         util::Rng* rng) const;
+
+ private:
+  int64_t dim_;
+  int64_t kernels_;
+  float dropout_;
+  tensor::Tensor conv_weight_;  // [kernels, 2, kernel_size]
+  tensor::Tensor conv_bias_;    // [kernels]
+  std::unique_ptr<nn::Linear> fc_;  // kernels*d -> d
+  tensor::Tensor ln_gamma_;  // layer-norm scale (when with_layernorm)
+  tensor::Tensor ln_beta_;   // layer-norm shift
+};
+
+}  // namespace retia::core
+
+#endif  // RETIA_CORE_DECODER_H_

@@ -1,0 +1,351 @@
+#include "core/retia.h"
+
+#include <cmath>
+#include <utility>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace retia::core {
+
+using tensor::Tensor;
+
+RetiaModel::RetiaModel(const RetiaConfig& config)
+    : config_(config), rng_(config.seed) {
+  RETIA_CHECK(config.num_entities > 0);
+  RETIA_CHECK(config.num_relations > 0);
+  const int64_t d = config.dim;
+  const int64_t rel_aug = 2 * config.num_relations;
+
+  entity_init_ =
+      std::make_unique<nn::Embedding>(config.num_entities, d, &rng_);
+  relation_init_ = std::make_unique<nn::Embedding>(rel_aug, d, &rng_);
+  hyper_init_ = std::make_unique<nn::Embedding>(
+      graph::kNumHyperRelationsAug, d, &rng_);
+  RegisterModule("entity_init", entity_init_.get());
+  RegisterModule("relation_init", relation_init_.get());
+  RegisterModule("hyper_init", hyper_init_.get());
+  // Ablation protocol (Sec. IV-C / IV-D1): the ablated side keeps its
+  // *randomly initialized* embeddings "unchanged", i.e. frozen constants,
+  // not trainable parameters.
+  if (!config.use_eam) {
+    frozen_entities_ = nn::XavierUniform({config.num_entities, d}, &rng_);
+  }
+  if (!config.use_ram) {
+    frozen_relations_ = nn::XavierUniform({rel_aug, d}, &rng_);
+  }
+  if (!config.use_tim) {
+    // The EAM's private relation embeddings when the TIM channel is cut:
+    // "two different and inconsistent individuals".
+    eam_static_relations_ = nn::XavierUniform({rel_aug, d}, &rng_);
+  }
+
+  entity_rgcn_ = std::make_unique<EntityRgcnStack>(
+      d, rel_aug, config.num_bases, config.rgcn_layers, config.dropout, &rng_);
+  relation_rgcn_ = std::make_unique<RelationRgcnStack>(
+      d, config.rgcn_layers, config.dropout, &rng_);
+  entity_gru_ = std::make_unique<nn::GruCell>(d, d, &rng_);
+  relation_gru_ = std::make_unique<nn::GruCell>(d, d, &rng_);
+  relation_lstm_ = std::make_unique<nn::ProjectedLstmCell>(
+      /*input_size=*/2 * d, /*hidden_size=*/d, /*cell_size=*/2 * d, &rng_);
+  hyper_lstm_ = std::make_unique<nn::ProjectedLstmCell>(
+      /*input_size=*/2 * d, /*hidden_size=*/d, /*cell_size=*/2 * d, &rng_);
+  mp_proj_ = std::make_unique<nn::Linear>(2 * d, d, &rng_);
+  RegisterModule("entity_rgcn", entity_rgcn_.get());
+  RegisterModule("relation_rgcn", relation_rgcn_.get());
+  RegisterModule("entity_gru", entity_gru_.get());
+  RegisterModule("relation_gru", relation_gru_.get());
+  RegisterModule("relation_lstm", relation_lstm_.get());
+  RegisterModule("hyper_lstm", hyper_lstm_.get());
+  RegisterModule("mp_proj", mp_proj_.get());
+
+  entity_decoder_ = std::make_unique<ConvTransEDecoder>(
+      d, config.conv_kernels, config.conv_kernel_size, config.dropout, &rng_);
+  relation_decoder_ = std::make_unique<ConvTransEDecoder>(
+      d, config.conv_kernels, config.conv_kernel_size, config.dropout, &rng_);
+  RegisterModule("entity_decoder", entity_decoder_.get());
+  RegisterModule("relation_decoder", relation_decoder_.get());
+}
+
+void RetiaModel::SetEntityTypes(const std::vector<int64_t>& types,
+                                int64_t num_types) {
+  RETIA_CHECK_MSG(config_.use_static_constraint,
+                  "enable config.use_static_constraint first");
+  RETIA_CHECK_EQ(static_cast<int64_t>(types.size()), config_.num_entities);
+  RETIA_CHECK(num_types > 0);
+  for (int64_t t : types) RETIA_CHECK_LT(t, num_types);
+  entity_types_ = types;
+  static_type_init_ =
+      std::make_unique<nn::Embedding>(num_types, config_.dim, &rng_);
+  RegisterModule("static_type_init", static_type_init_.get());
+}
+
+Tensor RetiaModel::MeanPoolEntities(const Tensor& entities,
+                                    const graph::Subgraph& g) const {
+  const int64_t rel_aug = 2 * config_.num_relations;
+  std::vector<int64_t> ent_idx;
+  std::vector<int64_t> rel_idx;
+  std::vector<float> weights;
+  for (int64_t r : g.active_relations()) {
+    const auto& ents = g.relation_entities()[r];
+    const float w = 1.0f / static_cast<float>(ents.size());
+    for (int64_t e : ents) {
+      ent_idx.push_back(e);
+      rel_idx.push_back(r);
+      weights.push_back(w);
+    }
+  }
+  if (ent_idx.empty()) {
+    return Tensor::Zeros({rel_aug, config_.dim});
+  }
+  Tensor gathered =
+      tensor::ScaleRows(tensor::GatherRows(entities, ent_idx), weights);
+  return tensor::ScatterAddRows(gathered, rel_idx, rel_aug);
+}
+
+Tensor RetiaModel::HyperMeanPoolRelations(
+    const Tensor& relations, const graph::HyperSubgraph& hg) const {
+  std::vector<int64_t> rel_idx;
+  std::vector<int64_t> hr_idx;
+  std::vector<float> weights;
+  for (int64_t hr = 0; hr < graph::kNumHyperRelationsAug; ++hr) {
+    const auto& rels = hg.hyperrelation_relations()[hr];
+    if (rels.empty()) continue;
+    const float w = 1.0f / static_cast<float>(rels.size());
+    for (int64_t r : rels) {
+      rel_idx.push_back(r);
+      hr_idx.push_back(hr);
+      weights.push_back(w);
+    }
+  }
+  if (rel_idx.empty()) {
+    return Tensor::Zeros({graph::kNumHyperRelationsAug, config_.dim});
+  }
+  Tensor gathered =
+      tensor::ScaleRows(tensor::GatherRows(relations, rel_idx), weights);
+  return tensor::ScatterAddRows(gathered, hr_idx,
+                                graph::kNumHyperRelationsAug);
+}
+
+std::vector<RetiaModel::StepState> RetiaModel::Evolve(
+    graph::GraphCache& cache, const std::vector<int64_t>& history) {
+  const Tensor e0 =
+      config_.use_eam ? entity_init_->table() : frozen_entities_;
+  const Tensor r0 =
+      config_.use_ram ? relation_init_->table() : frozen_relations_;
+  const Tensor hr0 = hyper_init_->table();
+
+  Tensor e_prev = e0;
+  Tensor r_prev = r0;
+  Tensor hr_prev = hr0;
+  Tensor lstm_cell;   // C_{t-1}, lazily set to R_Mean^0 (Eq. 8)
+  Tensor hlstm_cell;  // HC_{t-1}, lazily set to HR_Mean^0 (Eq. 10)
+
+  std::vector<StepState> states;
+  if (history.empty()) {
+    states.push_back({e0, r0});
+    return states;
+  }
+  states.reserve(history.size());
+
+  const bool run_ram = config_.use_ram &&
+                       config_.relation_mode == RelationMode::kMpLstmAgg;
+  for (int64_t t : history) {
+    const graph::Subgraph& g = cache.subgraph(t);
+
+    // ---- TIM + RAM: produce R_t ----------------------------------------
+    Tensor r_input;  // relation embeddings fed to the RAM / decoder
+    if (!config_.use_ram) {
+      // Table VI "wo. RAM": relations stay at their initial embeddings.
+      r_input = r0;
+    } else if (config_.relation_mode == RelationMode::kNone) {
+      // Fig. 6/7 "wo. RM": raw initial embeddings, no modeling at all.
+      r_input = r0;
+    } else if (!config_.use_tim) {
+      // Table IX / Fig. 3-4 "wo. TIM": no communication from the EAM; the
+      // relation pipeline evolves on its own previous output.
+      r_input = r_prev;
+    } else {
+      // Eq. 7: R_Mean^t = [R_0 ; MP(E_{t-1}, E_r^t)].
+      Tensor pooled = MeanPoolEntities(e_prev, g);
+      Tensor r_mean = tensor::ConcatCols(r0, pooled);
+      if (config_.relation_mode == RelationMode::kMp) {
+        // Fig. 6/7 "w. MP": no LSTM evolution; a learned projection brings
+        // the 2d-wide pooled features back to width d.
+        r_input = mp_proj_->Forward(r_mean);
+      } else {
+        // Eq. 8, with C_0 = R_Mean^0.
+        if (!lstm_cell.defined()) lstm_cell = r_mean;
+        nn::ProjectedLstmCell::State state =
+            relation_lstm_->Forward(r_mean, {r_prev, lstm_cell});
+        r_input = state.h;
+        lstm_cell = state.c;
+      }
+    }
+
+    Tensor r_t = r_input;
+    if (run_ram) {
+      const graph::HyperSubgraph& hg = cache.hypergraph(t);
+      // Hyperrelation embeddings delivered to the RAM (Fig. 5 sweep).
+      Tensor hr_t;
+      if (!config_.use_tim || config_.hyper_mode == HyperMode::kNone) {
+        hr_t = hr0;
+      } else if (config_.hyper_mode == HyperMode::kHmp) {
+        // "w. HMP": hyperrelation representations replaced by the mean of
+        // the immediately adjacent relation embeddings.
+        hr_t = HyperMeanPoolRelations(r_input, hg);
+      } else {
+        // Eq. 9/10, with HC_0 = HR_Mean^0.
+        Tensor hr_mean = tensor::ConcatCols(
+            hr0, HyperMeanPoolRelations(r_input, hg));
+        if (!hlstm_cell.defined()) hlstm_cell = hr_mean;
+        nn::ProjectedLstmCell::State state =
+            hyper_lstm_->Forward(hr_mean, {hr_prev, hlstm_cell});
+        hr_t = state.h;
+        hlstm_cell = state.c;
+      }
+      hr_prev = hr_t;
+      // Eq. 2 + Eq. 3: aggregate in the twin hyperrelation subgraph, then
+      // gate against the input through the R-GRU.
+      Tensor r_agg = relation_rgcn_->Forward(r_input, hr_t, hg, &rng_);
+      r_t = relation_gru_->Forward(r_agg, r_input);
+    }
+
+    // ---- EAM: produce E_t ------------------------------------------------
+    Tensor e_t = e_prev;
+    if (config_.use_eam) {
+      // Table IX "wo. TIM" severs the channel from the RAM: the EAM sees
+      // its own private static relation embeddings.
+      const Tensor& eam_rel = config_.use_tim ? r_t : eam_static_relations_;
+      // Eq. 5 + Eq. 6.
+      Tensor e_agg = entity_rgcn_->Forward(e_prev, eam_rel, g, &rng_);
+      e_t = entity_gru_->Forward(e_agg, e_prev);
+    }
+
+    states.push_back({e_t, r_t});
+    e_prev = e_t;
+    r_prev = r_t;
+  }
+  return states;
+}
+
+RetiaModel::LossParts RetiaModel::ComputeLoss(
+    const std::vector<StepState>& states,
+    const std::vector<tkg::Quadruple>& facts) {
+  RETIA_CHECK(!states.empty());
+  RETIA_CHECK(!facts.empty());
+  const int64_t m = config_.num_relations;
+
+  // Entity task: object queries plus inverse subject queries (Sec. III-A).
+  std::vector<std::pair<int64_t, int64_t>> entity_queries;
+  std::vector<int64_t> entity_targets;
+  entity_queries.reserve(facts.size() * 2);
+  for (const tkg::Quadruple& q : facts) {
+    entity_queries.emplace_back(q.subject, q.relation);
+    entity_targets.push_back(q.object);
+    entity_queries.emplace_back(q.object, q.relation + m);
+    entity_targets.push_back(q.subject);
+  }
+  Tensor p_entity = ScoreObjects(states, entity_queries);
+  Tensor loss_e = tensor::NllFromProbs(p_entity, entity_targets);
+
+  // Relation task (Eq. 12/14).
+  std::vector<std::pair<int64_t, int64_t>> relation_queries;
+  std::vector<int64_t> relation_targets;
+  relation_queries.reserve(facts.size());
+  for (const tkg::Quadruple& q : facts) {
+    relation_queries.emplace_back(q.subject, q.object);
+    relation_targets.push_back(q.relation);
+  }
+  Tensor p_relation = ScoreRelations(states, relation_queries);
+  Tensor loss_r = tensor::NllFromProbs(p_relation, relation_targets);
+
+  LossParts parts;
+  parts.entity_loss = loss_e.Item();
+  parts.relation_loss = loss_r.Item();
+  parts.joint = tensor::Add(tensor::Scale(loss_e, config_.lambda_entity),
+                            tensor::Scale(loss_r, 1.0f - config_.lambda_entity));
+
+  // Static-graph constraint (RE-GCN): at evolution step i the angle between
+  // the evolved entity embeddings and the static per-type embeddings may
+  // open by at most (i+1) * static_angle_step_deg.
+  if (config_.use_static_constraint && static_type_init_ != nullptr) {
+    Tensor static_rows = static_type_init_->Forward(entity_types_);
+    Tensor static_total;
+    for (size_t i = 0; i < states.size(); ++i) {
+      const float angle_deg = std::min(
+          90.0f, static_cast<float>(i + 1) * config_.static_angle_step_deg);
+      const float min_cos =
+          std::cos(angle_deg * 3.14159265f / 180.0f);
+      Tensor step = tensor::CosineHingeLoss(states[i].entities, static_rows,
+                                            min_cos);
+      static_total =
+          static_total.defined() ? tensor::Add(static_total, step) : step;
+    }
+    static_total = tensor::Scale(
+        static_total, config_.static_weight /
+                          static_cast<float>(states.size()));
+    parts.joint = tensor::Add(parts.joint, static_total);
+  }
+  return parts;
+}
+
+Tensor RetiaModel::ScoreObjects(
+    const std::vector<StepState>& states,
+    const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  RETIA_CHECK(!states.empty());
+  std::vector<int64_t> subj_idx;
+  std::vector<int64_t> rel_idx;
+  subj_idx.reserve(queries.size());
+  rel_idx.reserve(queries.size());
+  for (const auto& [s, r] : queries) {
+    subj_idx.push_back(s);
+    rel_idx.push_back(r);
+  }
+  const size_t first =
+      config_.time_variability_decode ? 0 : states.size() - 1;
+  Tensor total;
+  for (size_t i = first; i < states.size(); ++i) {
+    const StepState& st = states[i];
+    Tensor s_emb = tensor::GatherRows(st.entities, subj_idx);
+    Tensor r_emb = tensor::GatherRows(st.relations, rel_idx);
+    Tensor logits =
+        entity_decoder_->Forward(s_emb, r_emb, st.entities, &rng_);
+    Tensor p = tensor::Softmax(logits);
+    total = total.defined() ? tensor::Add(total, p) : p;
+  }
+  return total;
+}
+
+Tensor RetiaModel::ScoreRelations(
+    const std::vector<StepState>& states,
+    const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  RETIA_CHECK(!states.empty());
+  const int64_t m = config_.num_relations;
+  std::vector<int64_t> subj_idx;
+  std::vector<int64_t> obj_idx;
+  subj_idx.reserve(queries.size());
+  obj_idx.reserve(queries.size());
+  for (const auto& [s, o] : queries) {
+    subj_idx.push_back(s);
+    obj_idx.push_back(o);
+  }
+  const size_t first =
+      config_.time_variability_decode ? 0 : states.size() - 1;
+  Tensor total;
+  for (size_t i = first; i < states.size(); ++i) {
+    const StepState& st = states[i];
+    Tensor s_emb = tensor::GatherRows(st.entities, subj_idx);
+    Tensor o_emb = tensor::GatherRows(st.entities, obj_idx);
+    // Candidates are the M forward relations (the paper's p^r is
+    // M-dimensional).
+    Tensor candidates = tensor::SliceRows(st.relations, 0, m);
+    Tensor logits =
+        relation_decoder_->Forward(s_emb, o_emb, candidates, &rng_);
+    Tensor p = tensor::Softmax(logits);
+    total = total.defined() ? tensor::Add(total, p) : p;
+  }
+  return total;
+}
+
+}  // namespace retia::core

@@ -1,0 +1,140 @@
+#include "core/rgcn.h"
+
+#include <string>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace retia::core {
+
+using tensor::Tensor;
+
+namespace {
+constexpr float kRReluLo = 1.0f / 8.0f;
+constexpr float kRReluHi = 1.0f / 3.0f;
+}  // namespace
+
+EntityRgcnLayer::EntityRgcnLayer(int64_t dim, int64_t num_relations_aug,
+                                 int64_t num_bases, float dropout,
+                                 util::Rng* rng)
+    : num_bases_(num_bases), dropout_(dropout) {
+  RETIA_CHECK(num_bases >= 1);
+  for (int64_t b = 0; b < num_bases; ++b) {
+    bases_.push_back(RegisterParameter("basis" + std::to_string(b),
+                                       nn::XavierUniform({dim, dim}, rng)));
+  }
+  coeff_ = RegisterParameter(
+      "coeff", nn::XavierUniform({num_relations_aug, num_bases}, rng));
+  self_weight_ =
+      RegisterParameter("self_weight", nn::XavierUniform({dim, dim}, rng));
+}
+
+Tensor EntityRgcnLayer::Forward(const Tensor& nodes, const Tensor& relations,
+                                const graph::Subgraph& g,
+                                util::Rng* rng) const {
+  RETIA_CHECK_EQ(relations.Dim(0), g.num_relations_aug());
+  const int64_t num_nodes = nodes.Dim(0);
+  // Per-edge input: e_s + r.
+  Tensor x = tensor::Add(tensor::GatherRows(nodes, g.src()),
+                         tensor::GatherRows(relations, g.rel()));
+  // Basis-decomposed per-edge transform:
+  //   m_e = sum_b coeff[rel_e, b] * (x_e V_b^T).
+  Tensor coeff_e = tensor::GatherRows(coeff_, g.rel());
+  Tensor msg;
+  for (int64_t b = 0; b < num_bases_; ++b) {
+    Tensor part = tensor::MulColBroadcast(
+        tensor::MatMulTransposeB(x, bases_[b]),
+        tensor::SliceCols(coeff_e, b, 1));
+    msg = msg.defined() ? tensor::Add(msg, part) : part;
+  }
+  // Degree normalisation 1/c_{o,r} and aggregation.
+  msg = tensor::ScaleRows(msg, g.edge_norm());
+  Tensor agg = tensor::ScatterAddRows(msg, g.dst(), num_nodes);
+  // Self loop and activation.
+  Tensor out = tensor::Add(agg, tensor::MatMulTransposeB(nodes, self_weight_));
+  out = tensor::RRelu(out, kRReluLo, kRReluHi, training(), rng);
+  return tensor::Dropout(out, dropout_, training(), rng);
+}
+
+RelationRgcnLayer::RelationRgcnLayer(int64_t dim, float dropout,
+                                     util::Rng* rng)
+    : dropout_(dropout) {
+  for (int64_t hr = 0; hr < graph::kNumHyperRelationsAug; ++hr) {
+    weights_.push_back(RegisterParameter("w_hr" + std::to_string(hr),
+                                         nn::XavierUniform({dim, dim}, rng)));
+  }
+  self_weight_ =
+      RegisterParameter("self_weight", nn::XavierUniform({dim, dim}, rng));
+}
+
+Tensor RelationRgcnLayer::Forward(const Tensor& relations,
+                                  const Tensor& hyperrelations,
+                                  const graph::HyperSubgraph& hg,
+                                  util::Rng* rng) const {
+  RETIA_CHECK_EQ(hyperrelations.Dim(0), graph::kNumHyperRelationsAug);
+  const int64_t num_rel_nodes = relations.Dim(0);
+  Tensor out = tensor::MatMulTransposeB(relations, self_weight_);
+  if (hg.num_edges() > 0) {
+    // Per-edge input r_s + hr, transformed by the edge's W_hr. Edges are
+    // processed grouped by hyperrelation type so each group is one matmul.
+    Tensor x = tensor::Add(tensor::GatherRows(relations, hg.src()),
+                           tensor::GatherRows(hyperrelations, hg.hyper_rel()));
+    const int64_t num_edges = hg.num_edges();
+    for (int64_t hr = 0; hr < graph::kNumHyperRelationsAug; ++hr) {
+      std::vector<int64_t> edge_ids;
+      std::vector<int64_t> dsts;
+      std::vector<float> norms;
+      for (int64_t e = 0; e < num_edges; ++e) {
+        if (hg.hyper_rel()[e] != hr) continue;
+        edge_ids.push_back(e);
+        dsts.push_back(hg.dst()[e]);
+        norms.push_back(hg.edge_norm()[e]);
+      }
+      if (edge_ids.empty()) continue;
+      Tensor group = tensor::GatherRows(x, edge_ids);
+      Tensor msg = tensor::ScaleRows(
+          tensor::MatMulTransposeB(group, weights_[hr]), norms);
+      out = tensor::Add(out, tensor::ScatterAddRows(msg, dsts, num_rel_nodes));
+    }
+  }
+  out = tensor::RRelu(out, kRReluLo, kRReluHi, training(), rng);
+  return tensor::Dropout(out, dropout_, training(), rng);
+}
+
+EntityRgcnStack::EntityRgcnStack(int64_t dim, int64_t num_relations_aug,
+                                 int64_t num_bases, int64_t layers,
+                                 float dropout, util::Rng* rng) {
+  for (int64_t l = 0; l < layers; ++l) {
+    layers_.push_back(std::make_unique<EntityRgcnLayer>(
+        dim, num_relations_aug, num_bases, dropout, rng));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+  }
+}
+
+Tensor EntityRgcnStack::Forward(const Tensor& nodes, const Tensor& relations,
+                                const graph::Subgraph& g,
+                                util::Rng* rng) const {
+  Tensor h = nodes;
+  for (const auto& layer : layers_) h = layer->Forward(h, relations, g, rng);
+  return h;
+}
+
+RelationRgcnStack::RelationRgcnStack(int64_t dim, int64_t layers,
+                                     float dropout, util::Rng* rng) {
+  for (int64_t l = 0; l < layers; ++l) {
+    layers_.push_back(std::make_unique<RelationRgcnLayer>(dim, dropout, rng));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+  }
+}
+
+Tensor RelationRgcnStack::Forward(const Tensor& relations,
+                                  const Tensor& hyperrelations,
+                                  const graph::HyperSubgraph& hg,
+                                  util::Rng* rng) const {
+  Tensor h = relations;
+  for (const auto& layer : layers_)
+    h = layer->Forward(h, hyperrelations, hg, rng);
+  return h;
+}
+
+}  // namespace retia::core

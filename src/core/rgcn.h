@@ -1,0 +1,95 @@
+#ifndef RETIA_CORE_RGCN_H_
+#define RETIA_CORE_RGCN_H_
+
+#include <vector>
+
+#include "graph/hypergraph.h"
+#include "graph/subgraph.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace retia::core {
+
+// One layer of the entity-aggregating R-GCN (Eq. 4):
+//
+//   e_o' = f( sum_r sum_{s in E_o^r} (1/c_{o,r}) W_r (e_s + r)  +  W_0 e_o )
+//
+// with f = RReLU. The per-relation transforms W_r use the basis
+// decomposition of Schlichtkrull et al. (W_r = sum_b a_{r,b} V_b) so the
+// parameter count is independent of the relation vocabulary size.
+class EntityRgcnLayer : public nn::Module {
+ public:
+  EntityRgcnLayer(int64_t dim, int64_t num_relations_aug, int64_t num_bases,
+                  float dropout, util::Rng* rng);
+
+  // nodes:[N,d], relations:[2M,d] -> [N,d].
+  tensor::Tensor Forward(const tensor::Tensor& nodes,
+                         const tensor::Tensor& relations,
+                         const graph::Subgraph& g, util::Rng* rng) const;
+
+ private:
+  int64_t num_bases_;
+  float dropout_;
+  std::vector<tensor::Tensor> bases_;  // num_bases x [d,d]
+  tensor::Tensor coeff_;               // [2M, num_bases]
+  tensor::Tensor self_weight_;         // [d,d]
+};
+
+// One layer of the relation-aggregating R-GCN over a twin hyperrelation
+// subgraph (Eq. 1):
+//
+//   r_o' = f( sum_hr sum_{r_s in R_o^hr} (1/c_{o,hr}) W_hr (r_s + hr)
+//             + W_0 r_o )
+//
+// The hyperrelation vocabulary is fixed at 2H = 8 so each hyperrelation
+// gets its own full transform W_hr.
+class RelationRgcnLayer : public nn::Module {
+ public:
+  RelationRgcnLayer(int64_t dim, float dropout, util::Rng* rng);
+
+  // relations:[2M,d], hyperrelations:[8,d] -> [2M,d].
+  tensor::Tensor Forward(const tensor::Tensor& relations,
+                         const tensor::Tensor& hyperrelations,
+                         const graph::HyperSubgraph& hg,
+                         util::Rng* rng) const;
+
+ private:
+  float dropout_;
+  std::vector<tensor::Tensor> weights_;  // 8 x [d,d]
+  tensor::Tensor self_weight_;           // [d,d]
+};
+
+// A stack of `layers` EntityRgcnLayer applications, all consuming the same
+// relation embeddings (as in RE-GCN): EAR_GCN of Eq. 5.
+class EntityRgcnStack : public nn::Module {
+ public:
+  EntityRgcnStack(int64_t dim, int64_t num_relations_aug, int64_t num_bases,
+                  int64_t layers, float dropout, util::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& nodes,
+                         const tensor::Tensor& relations,
+                         const graph::Subgraph& g, util::Rng* rng) const;
+
+ private:
+  std::vector<std::unique_ptr<EntityRgcnLayer>> layers_;
+};
+
+// A stack of RelationRgcnLayer applications: RAR_GCN of Eq. 2.
+class RelationRgcnStack : public nn::Module {
+ public:
+  RelationRgcnStack(int64_t dim, int64_t layers, float dropout,
+                    util::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& relations,
+                         const tensor::Tensor& hyperrelations,
+                         const graph::HyperSubgraph& hg,
+                         util::Rng* rng) const;
+
+ private:
+  std::vector<std::unique_ptr<RelationRgcnLayer>> layers_;
+};
+
+}  // namespace retia::core
+
+#endif  // RETIA_CORE_RGCN_H_

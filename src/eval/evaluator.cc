@@ -1,0 +1,121 @@
+#include "eval/evaluator.h"
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace retia::eval {
+
+namespace {
+
+// All true objects per (subject, relation) at one timestamp, both query
+// directions (inverse relations included), for the time-aware filter.
+std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> TrueObjectsAt(
+    const std::vector<tkg::Quadruple>& facts, int64_t num_relations) {
+  std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> out;
+  for (const tkg::Quadruple& q : facts) {
+    out[{q.subject, q.relation}].insert(q.object);
+    out[{q.object, q.relation + num_relations}].insert(q.subject);
+  }
+  return out;
+}
+
+// All true relations per (subject, object) at one timestamp.
+std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> TrueRelationsAt(
+    const std::vector<tkg::Quadruple>& facts) {
+  std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> out;
+  for (const tkg::Quadruple& q : facts) {
+    out[{q.subject, q.object}].insert(q.relation);
+  }
+  return out;
+}
+
+}  // namespace
+
+EvalResult EvaluateTimes(const tkg::TkgDataset& dataset,
+                         const std::vector<int64_t>& times,
+                         const ObjectScoreFn& object_fn,
+                         const RelationScoreFn& relation_fn,
+                         const EvalOptions& options,
+                         const AfterTimestampFn& after_timestamp) {
+  EvalResult result;
+  const int64_t m = dataset.num_relations();
+  for (int64_t t : times) {
+    const std::vector<tkg::Quadruple>& facts = dataset.FactsAt(t);
+    if (facts.empty()) continue;
+    util::Timer timer;
+    if (options.evaluate_entities) {
+      // Object direction (s, r, ?) and subject direction (?, r, o) via the
+      // inverse relation; the paper reports the mean of the two.
+      std::vector<std::pair<int64_t, int64_t>> queries;
+      std::vector<int64_t> targets;
+      queries.reserve(facts.size() * 2);
+      for (const tkg::Quadruple& q : facts) {
+        queries.emplace_back(q.subject, q.relation);
+        targets.push_back(q.object);
+        queries.emplace_back(q.object, q.relation + m);
+        targets.push_back(q.subject);
+      }
+      tensor::Tensor scores = object_fn(t, queries);
+      RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(queries.size()));
+      RETIA_CHECK_EQ(scores.Dim(1), dataset.num_entities());
+      const int64_t n = scores.Dim(1);
+      const auto true_objects =
+          options.time_aware_filter
+              ? TrueObjectsAt(facts, dataset.num_relations())
+              : std::map<std::pair<int64_t, int64_t>, std::set<int64_t>>{};
+      for (size_t i = 0; i < queries.size(); ++i) {
+        float* row = scores.Data() + i * n;
+        if (options.time_aware_filter) {
+          auto it = true_objects.find(queries[i]);
+          if (it != true_objects.end()) {
+            for (int64_t other : it->second) {
+              if (other != targets[i]) {
+                row[other] = -std::numeric_limits<float>::infinity();
+              }
+            }
+          }
+        }
+        result.entity.AddRank(RankOf(row, n, targets[i]));
+      }
+    }
+    if (options.evaluate_relations) {
+      std::vector<std::pair<int64_t, int64_t>> queries;
+      std::vector<int64_t> targets;
+      queries.reserve(facts.size());
+      for (const tkg::Quadruple& q : facts) {
+        queries.emplace_back(q.subject, q.object);
+        targets.push_back(q.relation);
+      }
+      tensor::Tensor scores = relation_fn(t, queries);
+      RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(queries.size()));
+      RETIA_CHECK_EQ(scores.Dim(1), m);
+      const auto true_relations =
+          options.time_aware_filter
+              ? TrueRelationsAt(facts)
+              : std::map<std::pair<int64_t, int64_t>, std::set<int64_t>>{};
+      for (size_t i = 0; i < queries.size(); ++i) {
+        float* row = scores.Data() + i * m;
+        if (options.time_aware_filter) {
+          auto it = true_relations.find(queries[i]);
+          if (it != true_relations.end()) {
+            for (int64_t other : it->second) {
+              if (other != targets[i]) {
+                row[other] = -std::numeric_limits<float>::infinity();
+              }
+            }
+          }
+        }
+        result.relation.AddRank(RankOf(row, m, targets[i]));
+      }
+    }
+    result.predict_seconds += timer.Seconds();
+    if (after_timestamp) after_timestamp(t);
+  }
+  return result;
+}
+
+}  // namespace retia::eval

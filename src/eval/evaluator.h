@@ -1,0 +1,58 @@
+#ifndef RETIA_EVAL_EVALUATOR_H_
+#define RETIA_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "tensor/tensor.h"
+#include "tkg/dataset.h"
+
+namespace retia::eval {
+
+// Callback scoring object queries (s, r) for a prediction at timestamp `t`;
+// must return a [B, num_entities] score (or probability) matrix. Subject
+// queries are issued by the evaluator with the inverse relation id r + M.
+using ObjectScoreFn = std::function<tensor::Tensor(
+    int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries)>;
+
+// Callback scoring relation queries (s, o) at timestamp `t`; must return a
+// [B, num_relations] matrix.
+using RelationScoreFn = std::function<tensor::Tensor(
+    int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries)>;
+
+// Optional hook invoked after a timestamp is fully evaluated, enabling the
+// online-continuous-training (time-variability) protocol of Sec. III-F.
+using AfterTimestampFn = std::function<void(int64_t t)>;
+
+struct EvalResult {
+  Metrics entity;    // mean of subject and object forecasting
+  Metrics relation;  // relation forecasting
+  double predict_seconds = 0.0;  // scoring time (excludes online updates)
+};
+
+struct EvalOptions {
+  bool evaluate_entities = true;
+  bool evaluate_relations = true;
+  // Time-aware filtered setting (Sec. IV-A3): candidates that form another
+  // *true* fact at the same timestamp are removed from the ranking (except
+  // the query's own ground truth). The paper argues this treatment of
+  // one-to-many facts is crude and reports raw metrics instead; both
+  // protocols are supported so the difference can be measured
+  // (bench_protocol_comparison).
+  bool time_aware_filter = false;
+};
+
+// Evaluates the facts of `times` (one ranked batch per timestamp, mirroring
+// the paper's per-timestamp protocol) under the raw setting.
+EvalResult EvaluateTimes(const tkg::TkgDataset& dataset,
+                         const std::vector<int64_t>& times,
+                         const ObjectScoreFn& object_fn,
+                         const RelationScoreFn& relation_fn,
+                         const EvalOptions& options = {},
+                         const AfterTimestampFn& after_timestamp = nullptr);
+
+}  // namespace retia::eval
+
+#endif  // RETIA_EVAL_EVALUATOR_H_

@@ -1,0 +1,47 @@
+#include "eval/metrics.h"
+
+#include "util/check.h"
+
+namespace retia::eval {
+
+void Metrics::AddRank(int64_t rank) {
+  RETIA_CHECK(rank >= 1);
+  ++count_;
+  reciprocal_sum_ += 1.0 / static_cast<double>(rank);
+  if (rank <= 1) ++hits1_;
+  if (rank <= 3) ++hits3_;
+  if (rank <= 10) ++hits10_;
+}
+
+void Metrics::Merge(const Metrics& other) {
+  count_ += other.count_;
+  reciprocal_sum_ += other.reciprocal_sum_;
+  hits1_ += other.hits1_;
+  hits3_ += other.hits3_;
+  hits10_ += other.hits10_;
+}
+
+double Metrics::Mrr() const {
+  return count_ == 0 ? 0.0 : 100.0 * reciprocal_sum_ / count_;
+}
+double Metrics::Hits1() const {
+  return count_ == 0 ? 0.0 : 100.0 * hits1_ / count_;
+}
+double Metrics::Hits3() const {
+  return count_ == 0 ? 0.0 : 100.0 * hits3_ / count_;
+}
+double Metrics::Hits10() const {
+  return count_ == 0 ? 0.0 : 100.0 * hits10_ / count_;
+}
+
+int64_t RankOf(const float* scores, int64_t n, int64_t target) {
+  RETIA_CHECK_LT(target, n);
+  const float t = scores[target];
+  int64_t higher = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (scores[i] > t) ++higher;
+  }
+  return higher + 1;
+}
+
+}  // namespace retia::eval

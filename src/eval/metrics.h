@@ -1,0 +1,39 @@
+#ifndef RETIA_EVAL_METRICS_H_
+#define RETIA_EVAL_METRICS_H_
+
+#include <cstdint>
+
+namespace retia::eval {
+
+// Accumulator for the paper's link-prediction metrics under the raw setting
+// (Sec. IV-A3): MRR and Hits@{1,3,10}, reported x100.
+class Metrics {
+ public:
+  // Records one query given the rank (1-based) of the ground truth.
+  void AddRank(int64_t rank);
+
+  // Merges another accumulator into this one.
+  void Merge(const Metrics& other);
+
+  int64_t count() const { return count_; }
+  double Mrr() const;     // x100
+  double Hits1() const;   // x100
+  double Hits3() const;   // x100
+  double Hits10() const;  // x100
+
+ private:
+  int64_t count_ = 0;
+  double reciprocal_sum_ = 0.0;
+  int64_t hits1_ = 0;
+  int64_t hits3_ = 0;
+  int64_t hits10_ = 0;
+};
+
+// Raw-setting rank of `target` within `scores` (1-based): one plus the
+// number of strictly higher scores; ties are broken optimistically,
+// matching the common open-source evaluation of RE-GCN-family models.
+int64_t RankOf(const float* scores, int64_t n, int64_t target);
+
+}  // namespace retia::eval
+
+#endif  // RETIA_EVAL_METRICS_H_

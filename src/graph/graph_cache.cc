@@ -1,0 +1,48 @@
+#include "graph/graph_cache.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace retia::graph {
+
+GraphCache::GraphCache(const tkg::TkgDataset* dataset) : dataset_(dataset) {
+  RETIA_CHECK(dataset != nullptr);
+  std::set<int64_t> times;
+  for (const auto* split :
+       {&dataset->train(), &dataset->valid(), &dataset->test()}) {
+    for (const tkg::Quadruple& q : *split) times.insert(q.time);
+  }
+  all_times_.assign(times.begin(), times.end());
+}
+
+const Subgraph& GraphCache::subgraph(int64_t t) {
+  auto it = subgraphs_.find(t);
+  if (it == subgraphs_.end()) {
+    it = subgraphs_
+             .emplace(t, std::make_unique<Subgraph>(
+                             dataset_->FactsAt(t), dataset_->num_entities(),
+                             dataset_->num_relations()))
+             .first;
+  }
+  return *it->second;
+}
+
+const HyperSubgraph& GraphCache::hypergraph(int64_t t) {
+  auto it = hypergraphs_.find(t);
+  if (it == hypergraphs_.end()) {
+    it = hypergraphs_.emplace(t, std::make_unique<HyperSubgraph>(subgraph(t)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<int64_t> GraphCache::HistoryBefore(int64_t t, int64_t k) const {
+  auto end = std::lower_bound(all_times_.begin(), all_times_.end(), t);
+  auto begin = end;
+  for (int64_t i = 0; i < k && begin != all_times_.begin(); ++i) --begin;
+  return {begin, end};
+}
+
+}  // namespace retia::graph

@@ -1,0 +1,43 @@
+#ifndef RETIA_GRAPH_GRAPH_CACHE_H_
+#define RETIA_GRAPH_GRAPH_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/hypergraph.h"
+#include "graph/subgraph.h"
+#include "tkg/dataset.h"
+
+namespace retia::graph {
+
+// Lazily-built cache of per-timestamp subgraphs and twin hyperrelation
+// subgraphs for a dataset. Training revisits the same timestamps every
+// epoch, so graph construction (including Algorithm 1) is paid once.
+class GraphCache {
+ public:
+  explicit GraphCache(const tkg::TkgDataset* dataset);
+
+  const tkg::TkgDataset& dataset() const { return *dataset_; }
+
+  // Subgraph at timestamp `t` (possibly empty if the timestamp has no
+  // facts; an empty Subgraph is still valid).
+  const Subgraph& subgraph(int64_t t);
+
+  // Twin hyperrelation subgraph of timestamp `t` (Algorithm 1).
+  const HyperSubgraph& hypergraph(int64_t t);
+
+  // The latest `k` fact-bearing timestamps strictly before `t`, ascending.
+  // Fewer than `k` are returned near the start of the dataset.
+  std::vector<int64_t> HistoryBefore(int64_t t, int64_t k) const;
+
+ private:
+  const tkg::TkgDataset* dataset_;
+  std::vector<int64_t> all_times_;  // sorted fact-bearing timestamps
+  std::map<int64_t, std::unique_ptr<Subgraph>> subgraphs_;
+  std::map<int64_t, std::unique_ptr<HyperSubgraph>> hypergraphs_;
+};
+
+}  // namespace retia::graph
+
+#endif  // RETIA_GRAPH_GRAPH_CACHE_H_

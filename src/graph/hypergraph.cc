@@ -1,0 +1,94 @@
+#include "graph/hypergraph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace retia::graph {
+
+int64_t InverseHyperRelation(int64_t hr) {
+  RETIA_CHECK_LT(hr, kNumHyperRelationsAug);
+  RETIA_CHECK_LE(0, hr);
+  return hr < kNumHyperRelations ? hr + kNumHyperRelations
+                                 : hr - kNumHyperRelations;
+}
+
+HyperSubgraph::HyperSubgraph(const Subgraph& base)
+    : num_relation_nodes_(base.num_relations_aug()) {
+  // RO_t and RS_t: for each entity, the relations having it as object /
+  // subject (Algorithm 1, lines 1-3). Stored entity-indexed so the boolean
+  // matrix products reduce to per-entity pair enumeration.
+  std::map<int64_t, std::set<int64_t>> rels_with_object;   // entity -> {r}
+  std::map<int64_t, std::set<int64_t>> rels_with_subject;  // entity -> {r}
+  const int64_t num_edges = base.num_edges();
+  for (int64_t e = 0; e < num_edges; ++e) {
+    rels_with_subject[base.src()[e]].insert(base.rel()[e]);
+    rels_with_object[base.dst()[e]].insert(base.rel()[e]);
+  }
+
+  // (r_s, hr, r_o) triples, deduplicated.
+  std::set<std::tuple<int64_t, int64_t, int64_t>> hyper_facts;
+  auto add = [&](int64_t rs, int64_t hr, int64_t ro) {
+    hyper_facts.insert({rs, hr, ro});
+    // Inverse hyperrelation fact (r_o, hyper-r^-1, r_s), Sec. III-A.
+    hyper_facts.insert({ro, InverseHyperRelation(hr), rs});
+  };
+
+  // o-s (RO x RS): object of r_s is the subject of r_o (lines 4-6).
+  for (const auto& [entity, objs] : rels_with_object) {
+    auto it = rels_with_subject.find(entity);
+    if (it == rels_with_subject.end()) continue;
+    for (int64_t rs : objs)
+      for (int64_t ro : it->second) add(rs, kObjectSubject, ro);
+  }
+  // s-o (RS x RO): subject of r_s is the object of r_o (lines 7-9).
+  for (const auto& [entity, subs] : rels_with_subject) {
+    auto it = rels_with_object.find(entity);
+    if (it == rels_with_object.end()) continue;
+    for (int64_t rs : subs)
+      for (int64_t ro : it->second) add(rs, kSubjectObject, ro);
+  }
+  // o-o (RO x RO, zero diagonal): shared object (lines 10-12).
+  for (const auto& [entity, objs] : rels_with_object) {
+    for (int64_t rs : objs)
+      for (int64_t ro : objs)
+        if (rs != ro) add(rs, kObjectObject, ro);
+  }
+  // s-s (RS x RS, zero diagonal): shared subject (lines 13-15).
+  for (const auto& [entity, subs] : rels_with_subject) {
+    for (int64_t rs : subs)
+      for (int64_t ro : subs)
+        if (rs != ro) add(rs, kSubjectSubject, ro);
+  }
+
+  src_.reserve(hyper_facts.size());
+  hyper_rel_.reserve(hyper_facts.size());
+  dst_.reserve(hyper_facts.size());
+  for (const auto& [rs, hr, ro] : hyper_facts) {
+    src_.push_back(rs);
+    hyper_rel_.push_back(hr);
+    dst_.push_back(ro);
+  }
+
+  // c_{r_o,hr} = |R_{r_o}^{hr}| (Eq. 1 normalisation).
+  std::map<std::pair<int64_t, int64_t>, int64_t> counts;
+  for (size_t e = 0; e < src_.size(); ++e) ++counts[{dst_[e], hyper_rel_[e]}];
+  edge_norm_.resize(src_.size());
+  for (size_t e = 0; e < src_.size(); ++e) {
+    edge_norm_[e] = 1.0f / static_cast<float>(counts[{dst_[e], hyper_rel_[e]}]);
+  }
+
+  hyperrelation_relations_.assign(kNumHyperRelationsAug, {});
+  for (size_t e = 0; e < src_.size(); ++e) {
+    hyperrelation_relations_[hyper_rel_[e]].push_back(src_[e]);
+    hyperrelation_relations_[hyper_rel_[e]].push_back(dst_[e]);
+  }
+  for (auto& rels : hyperrelation_relations_) {
+    std::sort(rels.begin(), rels.end());
+    rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  }
+}
+
+}  // namespace retia::graph

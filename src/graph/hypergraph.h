@@ -1,0 +1,67 @@
+#ifndef RETIA_GRAPH_HYPERGRAPH_H_
+#define RETIA_GRAPH_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.h"
+
+namespace retia::graph {
+
+// The four positional hyperrelation types of Table II. Ids 4..7 are the
+// inverse hyperrelations added per Sec. III-A (hyper-r^-1), so the modeled
+// hyperrelation vocabulary has 2H = 8 entries.
+enum HyperRelationType : int64_t {
+  kObjectSubject = 0,  // o-s: object of r_s is subject of r_o
+  kSubjectObject = 1,  // s-o: subject of r_s is object of r_o
+  kObjectObject = 2,   // o-o: r_s and r_o share an object
+  kSubjectSubject = 3, // s-s: r_s and r_o share a subject
+};
+
+inline constexpr int64_t kNumHyperRelations = 4;      // H
+inline constexpr int64_t kNumHyperRelationsAug = 8;   // 2H
+
+// Inverse hyperrelation id for an augmented id in [0, 8).
+int64_t InverseHyperRelation(int64_t hr);
+
+// The twin hyperrelation subgraph HG_t of a temporal subgraph G_t
+// (Algorithm 1). Nodes are the 2M augmented relations of G_t; edges are
+// hyperrelation facts (r_s, hyper-r, r_o).
+//
+// Construction follows Algorithm 1: the relation-object adjacency RO_t and
+// relation-subject adjacency RS_t are assembled in one pass over the edges;
+// the boolean products RO x RS, RS x RO, RO x RO, RS x RS then yield the
+// o-s / s-o / o-o / s-s adjacency, with the diagonals of the o-o and s-s
+// products zeroed to suppress self-loop relation pairs. Inverse hyperedges
+// are appended so only in-neighbourhoods need aggregation.
+class HyperSubgraph {
+ public:
+  explicit HyperSubgraph(const Subgraph& base);
+
+  int64_t num_relation_nodes() const { return num_relation_nodes_; }
+
+  int64_t num_edges() const { return static_cast<int64_t>(src_.size()); }
+  const std::vector<int64_t>& src() const { return src_; }
+  const std::vector<int64_t>& hyper_rel() const { return hyper_rel_; }
+  const std::vector<int64_t>& dst() const { return dst_; }
+  // 1/c_{r_o,hr} per hyperedge (Eq. 1).
+  const std::vector<float>& edge_norm() const { return edge_norm_; }
+
+  // Relations incident to each of the 8 hyperrelation ids (deduplicated);
+  // the R_hr^t sets consumed by hyper mean pooling (Eq. 9).
+  const std::vector<std::vector<int64_t>>& hyperrelation_relations() const {
+    return hyperrelation_relations_;
+  }
+
+ private:
+  int64_t num_relation_nodes_;
+  std::vector<int64_t> src_;
+  std::vector<int64_t> hyper_rel_;
+  std::vector<int64_t> dst_;
+  std::vector<float> edge_norm_;
+  std::vector<std::vector<int64_t>> hyperrelation_relations_;
+};
+
+}  // namespace retia::graph
+
+#endif  // RETIA_GRAPH_HYPERGRAPH_H_

@@ -1,0 +1,77 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace retia::nn {
+
+namespace {
+constexpr char kMagic[] = "RETIACKPT1\n";
+}  // namespace
+
+void SaveCheckpoint(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  RETIA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(kMagic, sizeof(kMagic) - 1);
+  const auto named = module.NamedParameters();
+  const uint64_t count = named.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [name, t] : named) {
+    const uint64_t name_len = name.size();
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(name.data(), static_cast<std::streamsize>(name_len));
+    const auto& shape = t.Shape();
+    const uint64_t rank = shape.size();
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int64_t dim : shape) {
+      out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+    }
+    out.write(reinterpret_cast<const char*>(t.Data()),
+              static_cast<std::streamsize>(t.NumElements() * sizeof(float)));
+  }
+  RETIA_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+void LoadCheckpoint(Module* module, const std::string& path) {
+  RETIA_CHECK(module != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  RETIA_CHECK_MSG(in.good(), "cannot open " << path);
+  char magic[sizeof(kMagic) - 1];
+  in.read(magic, sizeof(magic));
+  RETIA_CHECK_MSG(
+      in.good() && std::string(magic, sizeof(magic)) == kMagic,
+      path << " is not a RETIA checkpoint");
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  auto named = module->NamedParameters();
+  RETIA_CHECK_MSG(count == named.size(),
+                  "checkpoint has " << count << " parameters, model has "
+                                    << named.size());
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    RETIA_CHECK_MSG(name == named[i].first,
+                    "parameter order mismatch: checkpoint has '"
+                        << name << "', model expects '" << named[i].first
+                        << "'");
+    uint64_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    std::vector<int64_t> shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      in.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+    }
+    tensor::Tensor& t = named[i].second;
+    RETIA_CHECK_MSG(shape == t.Shape(),
+                    "shape mismatch for parameter '" << name << "'");
+    in.read(reinterpret_cast<char*>(t.Data()),
+            static_cast<std::streamsize>(t.NumElements() * sizeof(float)));
+    RETIA_CHECK_MSG(in.good(), "truncated checkpoint at parameter '" << name
+                                                                     << "'");
+  }
+}
+
+}  // namespace retia::nn

@@ -1,0 +1,25 @@
+#ifndef RETIA_NN_CHECKPOINT_H_
+#define RETIA_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace retia::nn {
+
+// Binary checkpoint format for Module parameters.
+//
+// Layout: magic "RETIACKPT1\n", then per parameter one record:
+//   name\n shape_rank shape... float payload
+// Parameters are matched by name on load; shapes must agree. Loading a
+// checkpoint from a differently configured model CHECK-fails with the
+// offending parameter named.
+void SaveCheckpoint(const Module& module, const std::string& path);
+
+// Loads parameter values into `module` in place. Every parameter of the
+// module must be present in the file (and vice versa).
+void LoadCheckpoint(Module* module, const std::string& path);
+
+}  // namespace retia::nn
+
+#endif  // RETIA_NN_CHECKPOINT_H_

@@ -1,0 +1,27 @@
+#ifndef RETIA_NN_INIT_H_
+#define RETIA_NN_INIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace retia::nn {
+
+// Xavier/Glorot uniform initialisation: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+// `shape` must be rank >= 1; fan_in/fan_out are derived from the trailing
+// two dimensions (rank-1 tensors use fan_in = fan_out = size).
+tensor::Tensor XavierUniform(std::vector<int64_t> shape, util::Rng* rng);
+
+// N(0, stddev) initialisation.
+tensor::Tensor NormalInit(std::vector<int64_t> shape, float stddev,
+                          util::Rng* rng);
+
+// U(lo, hi) initialisation.
+tensor::Tensor UniformInit(std::vector<int64_t> shape, float lo, float hi,
+                           util::Rng* rng);
+
+}  // namespace retia::nn
+
+#endif  // RETIA_NN_INIT_H_

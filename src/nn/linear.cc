@@ -1,0 +1,30 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace retia::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+               bool with_bias) {
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({out_features, in_features}, rng));
+  if (with_bias) {
+    bias_ = RegisterParameter("bias", tensor::Tensor::Zeros({out_features}));
+  }
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  tensor::Tensor y = tensor::MatMulTransposeB(x, weight_);
+  if (bias_.defined()) y = tensor::AddRowBroadcast(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int64_t count, int64_t dim, util::Rng* rng) {
+  table_ = RegisterParameter("table", XavierUniform({count, dim}, rng));
+}
+
+tensor::Tensor Embedding::Forward(const std::vector<int64_t>& idx) const {
+  return tensor::GatherRows(table_, idx);
+}
+
+}  // namespace retia::nn

@@ -1,0 +1,44 @@
+#ifndef RETIA_NN_LINEAR_H_
+#define RETIA_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace retia::nn {
+
+// Affine map y = x W^T + b with W:[out,in], b:[out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, util::Rng* rng,
+         bool with_bias = true);
+
+  // x:[B,in] -> [B,out].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  const tensor::Tensor& weight() const { return weight_; }
+
+ private:
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;  // undefined when with_bias == false
+};
+
+// Trainable lookup table; Forward gathers rows by index.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, util::Rng* rng);
+
+  // idx values in [0, count) -> [idx.size(), dim].
+  tensor::Tensor Forward(const std::vector<int64_t>& idx) const;
+
+  // The full table (used when the model consumes every row at once, e.g.
+  // E_0 / R_0 / HR_0 in RETIA).
+  const tensor::Tensor& table() const { return table_; }
+
+ private:
+  tensor::Tensor table_;
+};
+
+}  // namespace retia::nn
+
+#endif  // RETIA_NN_LINEAR_H_

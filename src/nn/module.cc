@@ -1,0 +1,62 @@
+#include "nn/module.h"
+
+#include <algorithm>
+
+namespace retia::nn {
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<std::pair<std::string, tensor::Tensor>> named = NamedParameters();
+  std::vector<tensor::Tensor> out;
+  out.reserve(named.size());
+  for (auto& [name, t] : named) out.push_back(t);
+  return out;
+}
+
+std::vector<std::pair<std::string, tensor::Tensor>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, tensor::Tensor>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, tensor::Tensor>>* out) const {
+  for (const auto& [name, t] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, t);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (tensor::Tensor& t : Parameters()) {
+    if (t.HasGrad()) t.ZeroGrad();
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const tensor::Tensor& t : Parameters()) n += t.NumElements();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+tensor::Tensor Module::RegisterParameter(const std::string& name,
+                                         tensor::Tensor t) {
+  t.SetRequiresGrad(true);
+  params_.emplace_back(name, t);
+  return t;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  RETIA_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+}  // namespace retia::nn

@@ -1,0 +1,59 @@
+#ifndef RETIA_NN_MODULE_H_
+#define RETIA_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace retia::nn {
+
+// Base class for anything holding trainable parameters. Child modules are
+// registered so Parameters() walks the whole tree; the optimizer consumes
+// that flat list. Modules are neither copyable nor movable: parameter
+// tensors are shared handles and accidental copies would silently alias
+// optimizer state.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its registered children.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  // Named view of the same list (for checkpointing and debugging).
+  std::vector<std::pair<std::string, tensor::Tensor>> NamedParameters() const;
+
+  // Zeroes every parameter gradient (call before each backward pass).
+  void ZeroGrad();
+
+  // Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  // Training-mode flag consumed by dropout/RReLU; propagates to children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  // Registers a parameter tensor (sets requires_grad) and returns it.
+  tensor::Tensor RegisterParameter(const std::string& name, tensor::Tensor t);
+  // Registers a child whose parameters are exposed through this module.
+  // The child must outlive this module (typically it is a member).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, tensor::Tensor>>* out)
+      const;
+
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace retia::nn
+
+#endif  // RETIA_NN_MODULE_H_

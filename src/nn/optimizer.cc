@@ -1,0 +1,66 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace retia::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const size_t n = params_[i].impl().data.size();
+    m_[i].assign(n, 0.0f);
+    v_[i].assign(n, 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    tensor::TensorImpl& impl = params_[i].impl();
+    if (impl.grad.empty()) continue;
+    const size_t n = impl.data.size();
+    for (size_t j = 0; j < n; ++j) {
+      float g = impl.grad[j];
+      if (options_.weight_decay != 0.0f)
+        g += options_.weight_decay * impl.data[j];
+      m_[i][j] = options_.beta1 * m_[i][j] + (1.0f - options_.beta1) * g;
+      v_[i][j] = options_.beta2 * v_[i][j] + (1.0f - options_.beta2) * g * g;
+      const float mhat = m_[i][j] / bc1;
+      const float vhat = v_[i][j] / bc2;
+      impl.data[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (tensor::Tensor& p : params_) {
+    if (p.HasGrad()) p.ZeroGrad();
+  }
+}
+
+float ClipGradNorm(std::vector<tensor::Tensor>& params, float max_norm) {
+  double total = 0.0;
+  for (tensor::Tensor& p : params) {
+    if (!p.HasGrad()) continue;
+    for (float g : p.impl().grad) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (tensor::Tensor& p : params) {
+      if (!p.HasGrad()) continue;
+      for (float& g : p.impl().grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace retia::nn

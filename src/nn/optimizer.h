@@ -1,0 +1,48 @@
+#ifndef RETIA_NN_OPTIMIZER_H_
+#define RETIA_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace retia::nn {
+
+// Adam (Kingma & Ba 2015) over a fixed parameter list. The paper trains all
+// models with Adam at lr = 1e-3 (Sec. IV-A4).
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;  // L2 added to the gradient
+  };
+
+  Adam(std::vector<tensor::Tensor> params, Options options);
+
+  // Applies one update from the accumulated gradients. Parameters with no
+  // gradient this step are skipped.
+  void Step();
+
+  // Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  Options options_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Rescales gradients in place so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm.
+float ClipGradNorm(std::vector<tensor::Tensor>& params, float max_norm);
+
+}  // namespace retia::nn
+
+#endif  // RETIA_NN_OPTIMIZER_H_

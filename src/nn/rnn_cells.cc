@@ -1,0 +1,69 @@
+#include "nn/rnn_cells.h"
+
+#include "nn/init.h"
+
+namespace retia::nn {
+
+using tensor::Tensor;
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, util::Rng* rng)
+    : hidden_size_(hidden_size) {
+  w_x_ = RegisterParameter("w_x",
+                           XavierUniform({3 * hidden_size, input_size}, rng));
+  w_h_ = RegisterParameter("w_h",
+                           XavierUniform({3 * hidden_size, hidden_size}, rng));
+  b_x_ = RegisterParameter("b_x", Tensor::Zeros({3 * hidden_size}));
+  b_h_ = RegisterParameter("b_h", Tensor::Zeros({3 * hidden_size}));
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  RETIA_CHECK_EQ(h.Dim(1), hidden_size_);
+  RETIA_CHECK_EQ(x.Dim(0), h.Dim(0));
+  const int64_t hs = hidden_size_;
+  Tensor gx = tensor::AddRowBroadcast(tensor::MatMulTransposeB(x, w_x_), b_x_);
+  Tensor gh = tensor::AddRowBroadcast(tensor::MatMulTransposeB(h, w_h_), b_h_);
+  Tensor r = tensor::Sigmoid(tensor::Add(tensor::SliceCols(gx, 0, hs),
+                                         tensor::SliceCols(gh, 0, hs)));
+  Tensor z = tensor::Sigmoid(tensor::Add(tensor::SliceCols(gx, hs, hs),
+                                         tensor::SliceCols(gh, hs, hs)));
+  Tensor n = tensor::Tanh(tensor::Add(
+      tensor::SliceCols(gx, 2 * hs, hs),
+      tensor::Mul(r, tensor::SliceCols(gh, 2 * hs, hs))));
+  // h' = (1-z)*n + z*h.
+  Tensor one_minus_z = tensor::Sub(Tensor::Full(z.Shape(), 1.0f), z);
+  return tensor::Add(tensor::Mul(one_minus_z, n), tensor::Mul(z, h));
+}
+
+ProjectedLstmCell::ProjectedLstmCell(int64_t input_size, int64_t hidden_size,
+                                     int64_t cell_size, util::Rng* rng)
+    : hidden_size_(hidden_size), cell_size_(cell_size) {
+  const int64_t gates = 3 * cell_size + hidden_size;
+  w_x_ = RegisterParameter("w_x", XavierUniform({gates, input_size}, rng));
+  w_h_ = RegisterParameter("w_h", XavierUniform({gates, hidden_size}, rng));
+  b_ = RegisterParameter("b", Tensor::Zeros({gates}));
+  w_proj_ =
+      RegisterParameter("w_proj", XavierUniform({hidden_size, cell_size}, rng));
+}
+
+ProjectedLstmCell::State ProjectedLstmCell::Forward(const Tensor& x,
+                                                    const State& state) const {
+  RETIA_CHECK_EQ(state.h.Dim(1), hidden_size_);
+  RETIA_CHECK_EQ(state.c.Dim(1), cell_size_);
+  RETIA_CHECK_EQ(x.Dim(0), state.h.Dim(0));
+  const int64_t cs = cell_size_;
+  const int64_t hs = hidden_size_;
+  Tensor pre = tensor::AddRowBroadcast(
+      tensor::Add(tensor::MatMulTransposeB(x, w_x_),
+                  tensor::MatMulTransposeB(state.h, w_h_)),
+      b_);
+  Tensor i = tensor::Sigmoid(tensor::SliceCols(pre, 0, cs));
+  Tensor f = tensor::Sigmoid(tensor::SliceCols(pre, cs, cs));
+  Tensor g = tensor::Tanh(tensor::SliceCols(pre, 2 * cs, cs));
+  Tensor o = tensor::Sigmoid(tensor::SliceCols(pre, 3 * cs, hs));
+  Tensor c_next = tensor::Add(tensor::Mul(f, state.c), tensor::Mul(i, g));
+  Tensor h_next =
+      tensor::Mul(o, tensor::Tanh(tensor::MatMulTransposeB(c_next, w_proj_)));
+  return {h_next, c_next};
+}
+
+}  // namespace retia::nn

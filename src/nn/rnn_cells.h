@@ -1,0 +1,73 @@
+#ifndef RETIA_NN_RNN_CELLS_H_
+#define RETIA_NN_RNN_CELLS_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace retia::nn {
+
+// Standard GRU cell (Cho et al. 2014) with independent input and hidden
+// sizes. RETIA's R-GRU (Eq. 3 and 6) applies this cell with the RGCN
+// aggregation output as input and the previous-step embeddings as hidden
+// state, so input_size == hidden_size there; the TIM of RE-GCN-style
+// baselines uses input_size == 2*hidden_size.
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, util::Rng* rng);
+
+  // x:[B,input_size], h:[B,hidden_size] -> h':[B,hidden_size].
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& h) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  // Packed gate parameters, gate order r, z, n.
+  tensor::Tensor w_x_;  // [3*hidden, input]
+  tensor::Tensor w_h_;  // [3*hidden, hidden]
+  tensor::Tensor b_x_;  // [3*hidden]
+  tensor::Tensor b_h_;  // [3*hidden]
+};
+
+// Projected-cell LSTM used by the TIM (Eq. 8 and 10). The paper specifies
+// hidden output R_Lstm in R^{2M x d} but cell state C in R^{2M x 2d} with
+// C_0 = R_Mean^0 (a 2d-wide tensor); a textbook LSTM cannot satisfy both.
+// This cell keeps gates and cell state at `cell_size` (= input width) and
+// produces the hidden output through a learned projection:
+//
+//   i,f,g = gates([x;h]);  c' = f*c + i*g;  o = gate_o([x;h]);
+//   h' = o * tanh(W_p c')                     with W_p: cell_size -> hidden.
+//
+// With cell_size == 2*hidden this matches every dimension stated in the
+// paper. State is the pair (h, c).
+class ProjectedLstmCell : public Module {
+ public:
+  struct State {
+    tensor::Tensor h;  // [B, hidden_size]
+    tensor::Tensor c;  // [B, cell_size]
+  };
+
+  ProjectedLstmCell(int64_t input_size, int64_t hidden_size, int64_t cell_size,
+                    util::Rng* rng);
+
+  // x:[B,input_size]; state tensors must match the declared sizes.
+  State Forward(const tensor::Tensor& x, const State& state) const;
+
+  int64_t hidden_size() const { return hidden_size_; }
+  int64_t cell_size() const { return cell_size_; }
+
+ private:
+  int64_t hidden_size_;
+  int64_t cell_size_;
+  // Packed gate parameters, gate order i, f, g (cell_size each), o (hidden).
+  tensor::Tensor w_x_;  // [3*cell + hidden, input]
+  tensor::Tensor w_h_;  // [3*cell + hidden, hidden]
+  tensor::Tensor b_;    // [3*cell + hidden]
+  tensor::Tensor w_proj_;  // [hidden, cell]
+};
+
+}  // namespace retia::nn
+
+#endif  // RETIA_NN_RNN_CELLS_H_

@@ -1,0 +1,271 @@
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace retia::tensor {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b) {
+  RETIA_CHECK_MSG(a.Shape() == b.Shape(),
+                  "shape mismatch: " << a.ShapeString() << " vs "
+                                     << b.ShapeString());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const int64_t n = a.NumElements();
+  std::vector<float> out(n);
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] + pb[i];
+  return MakeOpResult(a.Shape(), std::move(out), {a, b},
+                      [a, b](TensorImpl& self) mutable {
+                        const int64_t n = self.NumElements();
+                        if (a.RequiresGrad())
+                          a.impl().AccumulateGrad(self.grad.data(), n);
+                        if (b.RequiresGrad())
+                          b.impl().AccumulateGrad(self.grad.data(), n);
+                      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const int64_t n = a.NumElements();
+  std::vector<float> out(n);
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] - pb[i];
+  return MakeOpResult(a.Shape(), std::move(out), {a, b},
+                      [a, b](TensorImpl& self) mutable {
+                        const int64_t n = self.NumElements();
+                        if (a.RequiresGrad())
+                          a.impl().AccumulateGrad(self.grad.data(), n);
+                        if (b.RequiresGrad()) {
+                          std::vector<float> gb(n);
+                          for (int64_t i = 0; i < n; ++i) gb[i] = -self.grad[i];
+                          b.impl().AccumulateGrad(gb.data(), n);
+                        }
+                      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b);
+  const int64_t n = a.NumElements();
+  std::vector<float> out(n);
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] * pb[i];
+  return MakeOpResult(a.Shape(), std::move(out), {a, b},
+                      [a, b](TensorImpl& self) mutable {
+                        const int64_t n = self.NumElements();
+                        std::vector<float> g(n);
+                        if (a.RequiresGrad()) {
+                          const float* pb = b.Data();
+                          for (int64_t i = 0; i < n; ++i)
+                            g[i] = self.grad[i] * pb[i];
+                          a.impl().AccumulateGrad(g.data(), n);
+                        }
+                        if (b.RequiresGrad()) {
+                          const float* pa = a.Data();
+                          for (int64_t i = 0; i < n; ++i)
+                            g[i] = self.grad[i] * pa[i];
+                          b.impl().AccumulateGrad(g.data(), n);
+                        }
+                      });
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(bias.Rank(), 1);
+  RETIA_CHECK_EQ(a.Dim(1), bias.Dim(0));
+  const int64_t m = a.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(m * n);
+  const float* pa = a.Data();
+  const float* pb = bias.Data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] = pa[i * n + j] + pb[j];
+  return MakeOpResult(
+      a.Shape(), std::move(out), {a, bias},
+      [a, bias, m, n](TensorImpl& self) mutable {
+        if (a.RequiresGrad())
+          a.impl().AccumulateGrad(self.grad.data(), m * n);
+        if (bias.RequiresGrad()) {
+          std::vector<float> gb(n, 0.0f);
+          for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j) gb[j] += self.grad[i * n + j];
+          bias.impl().AccumulateGrad(gb.data(), n);
+        }
+      });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  const int64_t n = a.NumElements();
+  std::vector<float> out(n);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] * s;
+  return MakeOpResult(a.Shape(), std::move(out), {a},
+                      [a, s](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        const int64_t n = self.NumElements();
+                        std::vector<float> g(n);
+                        for (int64_t i = 0; i < n; ++i) g[i] = self.grad[i] * s;
+                        a.impl().AccumulateGrad(g.data(), n);
+                      });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+namespace {
+
+// Shared scaffold for unary elementwise ops whose gradient depends only on
+// the output value: out = f(x), dx = g(out) * dout.
+template <typename Fwd, typename BwdFromOut>
+Tensor UnaryFromOutput(const Tensor& a, Fwd fwd, BwdFromOut bwd) {
+  const int64_t n = a.NumElements();
+  std::vector<float> out(n);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < n; ++i) out[i] = fwd(pa[i]);
+  return MakeOpResult(a.Shape(), std::move(out), {a},
+                      [a, bwd](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        const int64_t n = self.NumElements();
+                        std::vector<float> g(n);
+                        for (int64_t i = 0; i < n; ++i)
+                          g[i] = self.grad[i] * bwd(self.data[i]);
+                        a.impl().AccumulateGrad(g.data(), n);
+                      });
+}
+
+// Unary op whose gradient depends on the input value.
+template <typename Fwd, typename BwdFromIn>
+Tensor UnaryFromInput(const Tensor& a, Fwd fwd, BwdFromIn bwd) {
+  const int64_t n = a.NumElements();
+  std::vector<float> out(n);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < n; ++i) out[i] = fwd(pa[i]);
+  return MakeOpResult(a.Shape(), std::move(out), {a},
+                      [a, bwd](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        const int64_t n = self.NumElements();
+                        std::vector<float> g(n);
+                        const float* pa = a.Data();
+                        for (int64_t i = 0; i < n; ++i)
+                          g[i] = self.grad[i] * bwd(pa[i]);
+                        a.impl().AccumulateGrad(g.data(), n);
+                      });
+}
+
+}  // namespace
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryFromOutput(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryFromOutput(a, [](float x) { return std::tanh(x); },
+                         [](float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryFromOutput(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+                         [](float y) { return y > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Cos(const Tensor& a) {
+  return UnaryFromInput(a, [](float x) { return std::cos(x); },
+                        [](float x) { return -std::sin(x); });
+}
+
+Tensor Sin(const Tensor& a) {
+  return UnaryFromInput(a, [](float x) { return std::sin(x); },
+                        [](float x) { return std::cos(x); });
+}
+
+Tensor RRelu(const Tensor& a, float lo, float hi, bool training,
+             util::Rng* rng) {
+  RETIA_CHECK_LE(lo, hi);
+  const int64_t n = a.NumElements();
+  const float* pa = a.Data();
+  std::vector<float> out(n);
+  // Per-element slope for negative inputs (1.0 for non-negative inputs),
+  // captured by the backward lambda.
+  auto slopes = std::make_shared<std::vector<float>>(n, 1.0f);
+  const float eval_slope = 0.5f * (lo + hi);
+  for (int64_t i = 0; i < n; ++i) {
+    if (pa[i] >= 0.0f) {
+      out[i] = pa[i];
+    } else {
+      float s = eval_slope;
+      if (training) {
+        RETIA_CHECK_MSG(rng != nullptr, "RRelu training mode needs an Rng");
+        s = rng->Uniform(lo, hi);
+      }
+      (*slopes)[i] = s;
+      out[i] = pa[i] * s;
+    }
+  }
+  return MakeOpResult(a.Shape(), std::move(out), {a},
+                      [a, slopes](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        const int64_t n = self.NumElements();
+                        std::vector<float> g(n);
+                        for (int64_t i = 0; i < n; ++i)
+                          g[i] = self.grad[i] * (*slopes)[i];
+                        a.impl().AccumulateGrad(g.data(), n);
+                      });
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, util::Rng* rng) {
+  if (!training || p <= 0.0f) {
+    // Identity with gradient pass-through.
+    return Scale(a, 1.0f);
+  }
+  RETIA_CHECK_MSG(rng != nullptr, "Dropout training mode needs an Rng");
+  RETIA_CHECK_LT(p, 1.0f);
+  const int64_t n = a.NumElements();
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  const float* pa = a.Data();
+  std::vector<float> out(n);
+  auto mask = std::make_shared<std::vector<float>>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float m = rng->Bernoulli(keep) ? inv_keep : 0.0f;
+    (*mask)[i] = m;
+    out[i] = pa[i] * m;
+  }
+  return MakeOpResult(a.Shape(), std::move(out), {a},
+                      [a, mask](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        const int64_t n = self.NumElements();
+                        std::vector<float> g(n);
+                        for (int64_t i = 0; i < n; ++i)
+                          g[i] = self.grad[i] * (*mask)[i];
+                        a.impl().AccumulateGrad(g.data(), n);
+                      });
+}
+
+Tensor Sum(const Tensor& a) {
+  const int64_t n = a.NumElements();
+  const float* pa = a.Data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  return MakeOpResult({1}, {static_cast<float>(acc)}, {a},
+                      [a, n](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        std::vector<float> g(n, self.grad[0]);
+                        a.impl().AccumulateGrad(g.data(), n);
+                      });
+}
+
+Tensor Mean(const Tensor& a) {
+  const int64_t n = a.NumElements();
+  return Scale(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+}  // namespace retia::tensor

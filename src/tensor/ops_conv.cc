@@ -1,0 +1,221 @@
+#include "tensor/ops.h"
+
+namespace retia::tensor {
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t pad) {
+  RETIA_CHECK_EQ(input.Rank(), 3);
+  RETIA_CHECK_EQ(weight.Rank(), 3);
+  const int64_t batch = input.Dim(0);
+  const int64_t cin = input.Dim(1);
+  const int64_t length = input.Dim(2);
+  const int64_t cout = weight.Dim(0);
+  RETIA_CHECK_EQ(weight.Dim(1), cin);
+  const int64_t ksize = weight.Dim(2);
+  const int64_t lout = length + 2 * pad - ksize + 1;
+  RETIA_CHECK(lout > 0);
+  if (bias.defined()) {
+    RETIA_CHECK_EQ(bias.Rank(), 1);
+    RETIA_CHECK_EQ(bias.Dim(0), cout);
+  }
+
+  std::vector<float> out(batch * cout * lout, 0.0f);
+  const float* px = input.Data();
+  const float* pw = weight.Data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t co = 0; co < cout; ++co) {
+      float* orow = out.data() + (b * cout + co) * lout;
+      if (bias.defined()) {
+        const float bv = bias.Data()[co];
+        for (int64_t l = 0; l < lout; ++l) orow[l] = bv;
+      }
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xrow = px + (b * cin + ci) * length;
+        const float* wrow = pw + (co * cin + ci) * ksize;
+        for (int64_t l = 0; l < lout; ++l) {
+          float acc = 0.0f;
+          for (int64_t kk = 0; kk < ksize; ++kk) {
+            const int64_t src = l + kk - pad;
+            if (src >= 0 && src < length) acc += wrow[kk] * xrow[src];
+          }
+          orow[l] += acc;
+        }
+      }
+    }
+  }
+  return MakeOpResult(
+      {batch, cout, lout}, std::move(out), {input, weight, bias},
+      [input, weight, bias, batch, cin, length, cout, ksize, lout,
+       pad](TensorImpl& self) mutable {
+        const float* g = self.grad.data();
+        const float* px = input.Data();
+        const float* pw = weight.Data();
+        if (input.RequiresGrad()) {
+          std::vector<float> gx(batch * cin * length, 0.0f);
+          for (int64_t b = 0; b < batch; ++b)
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* grow = g + (b * cout + co) * lout;
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                float* xrow = gx.data() + (b * cin + ci) * length;
+                const float* wrow = pw + (co * cin + ci) * ksize;
+                for (int64_t l = 0; l < lout; ++l)
+                  for (int64_t kk = 0; kk < ksize; ++kk) {
+                    const int64_t src = l + kk - pad;
+                    if (src >= 0 && src < length)
+                      xrow[src] += grow[l] * wrow[kk];
+                  }
+              }
+            }
+          input.impl().AccumulateGrad(gx.data(), batch * cin * length);
+        }
+        if (weight.RequiresGrad()) {
+          std::vector<float> gw(cout * cin * ksize, 0.0f);
+          for (int64_t b = 0; b < batch; ++b)
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* grow = g + (b * cout + co) * lout;
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                const float* xrow = px + (b * cin + ci) * length;
+                float* wrow = gw.data() + (co * cin + ci) * ksize;
+                for (int64_t l = 0; l < lout; ++l)
+                  for (int64_t kk = 0; kk < ksize; ++kk) {
+                    const int64_t src = l + kk - pad;
+                    if (src >= 0 && src < length)
+                      wrow[kk] += grow[l] * xrow[src];
+                  }
+              }
+            }
+          weight.impl().AccumulateGrad(gw.data(), cout * cin * ksize);
+        }
+        if (bias.defined() && bias.RequiresGrad()) {
+          std::vector<float> gb(cout, 0.0f);
+          for (int64_t b = 0; b < batch; ++b)
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* grow = g + (b * cout + co) * lout;
+              for (int64_t l = 0; l < lout; ++l) gb[co] += grow[l];
+            }
+          bias.impl().AccumulateGrad(gb.data(), cout);
+        }
+      });
+}
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t pad) {
+  RETIA_CHECK_EQ(input.Rank(), 4);
+  RETIA_CHECK_EQ(weight.Rank(), 4);
+  const int64_t batch = input.Dim(0);
+  const int64_t cin = input.Dim(1);
+  const int64_t h = input.Dim(2);
+  const int64_t w = input.Dim(3);
+  const int64_t cout = weight.Dim(0);
+  RETIA_CHECK_EQ(weight.Dim(1), cin);
+  const int64_t kh = weight.Dim(2);
+  const int64_t kw = weight.Dim(3);
+  const int64_t ho = h + 2 * pad - kh + 1;
+  const int64_t wo = w + 2 * pad - kw + 1;
+  RETIA_CHECK(ho > 0 && wo > 0);
+  if (bias.defined()) {
+    RETIA_CHECK_EQ(bias.Rank(), 1);
+    RETIA_CHECK_EQ(bias.Dim(0), cout);
+  }
+
+  std::vector<float> out(batch * cout * ho * wo, 0.0f);
+  const float* px = input.Data();
+  const float* pw = weight.Data();
+  for (int64_t b = 0; b < batch; ++b)
+    for (int64_t co = 0; co < cout; ++co) {
+      float* omap = out.data() + (b * cout + co) * ho * wo;
+      if (bias.defined()) {
+        const float bv = bias.Data()[co];
+        for (int64_t i = 0; i < ho * wo; ++i) omap[i] = bv;
+      }
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        const float* xmap = px + (b * cin + ci) * h * w;
+        const float* wmap = pw + (co * cin + ci) * kh * kw;
+        for (int64_t oy = 0; oy < ho; ++oy)
+          for (int64_t ox = 0; ox < wo; ++ox) {
+            float acc = 0.0f;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t sy = oy + ky - pad;
+              if (sy < 0 || sy >= h) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t sx = ox + kx - pad;
+                if (sx < 0 || sx >= w) continue;
+                acc += wmap[ky * kw + kx] * xmap[sy * w + sx];
+              }
+            }
+            omap[oy * wo + ox] += acc;
+          }
+      }
+    }
+  return MakeOpResult(
+      {batch, cout, ho, wo}, std::move(out), {input, weight, bias},
+      [input, weight, bias, batch, cin, h, w, cout, kh, kw, ho, wo,
+       pad](TensorImpl& self) mutable {
+        const float* g = self.grad.data();
+        const float* px = input.Data();
+        const float* pw = weight.Data();
+        if (input.RequiresGrad()) {
+          std::vector<float> gx(batch * cin * h * w, 0.0f);
+          for (int64_t b = 0; b < batch; ++b)
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* gmap = g + (b * cout + co) * ho * wo;
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                float* xmap = gx.data() + (b * cin + ci) * h * w;
+                const float* wmap = pw + (co * cin + ci) * kh * kw;
+                for (int64_t oy = 0; oy < ho; ++oy)
+                  for (int64_t ox = 0; ox < wo; ++ox) {
+                    const float gv = gmap[oy * wo + ox];
+                    if (gv == 0.0f) continue;
+                    for (int64_t ky = 0; ky < kh; ++ky) {
+                      const int64_t sy = oy + ky - pad;
+                      if (sy < 0 || sy >= h) continue;
+                      for (int64_t kx = 0; kx < kw; ++kx) {
+                        const int64_t sx = ox + kx - pad;
+                        if (sx < 0 || sx >= w) continue;
+                        xmap[sy * w + sx] += gv * wmap[ky * kw + kx];
+                      }
+                    }
+                  }
+              }
+            }
+          input.impl().AccumulateGrad(gx.data(), batch * cin * h * w);
+        }
+        if (weight.RequiresGrad()) {
+          std::vector<float> gw(cout * cin * kh * kw, 0.0f);
+          for (int64_t b = 0; b < batch; ++b)
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* gmap = g + (b * cout + co) * ho * wo;
+              for (int64_t ci = 0; ci < cin; ++ci) {
+                const float* xmap = px + (b * cin + ci) * h * w;
+                float* wmap = gw.data() + (co * cin + ci) * kh * kw;
+                for (int64_t oy = 0; oy < ho; ++oy)
+                  for (int64_t ox = 0; ox < wo; ++ox) {
+                    const float gv = gmap[oy * wo + ox];
+                    if (gv == 0.0f) continue;
+                    for (int64_t ky = 0; ky < kh; ++ky) {
+                      const int64_t sy = oy + ky - pad;
+                      if (sy < 0 || sy >= h) continue;
+                      for (int64_t kx = 0; kx < kw; ++kx) {
+                        const int64_t sx = ox + kx - pad;
+                        if (sx < 0 || sx >= w) continue;
+                        wmap[ky * kw + kx] += gv * xmap[sy * w + sx];
+                      }
+                    }
+                  }
+              }
+            }
+          weight.impl().AccumulateGrad(gw.data(), cout * cin * kh * kw);
+        }
+        if (bias.defined() && bias.RequiresGrad()) {
+          std::vector<float> gb(cout, 0.0f);
+          for (int64_t b = 0; b < batch; ++b)
+            for (int64_t co = 0; co < cout; ++co) {
+              const float* gmap = g + (b * cout + co) * ho * wo;
+              for (int64_t i = 0; i < ho * wo; ++i) gb[co] += gmap[i];
+            }
+          bias.impl().AccumulateGrad(gb.data(), cout);
+        }
+      });
+}
+
+}  // namespace retia::tensor

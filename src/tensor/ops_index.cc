@@ -1,0 +1,225 @@
+#include <cstring>
+#include <memory>
+
+#include "tensor/ops.h"
+
+namespace retia::tensor {
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  const int64_t n = a.Dim(1);
+  const int64_t rows = a.Dim(0);
+  const int64_t k = static_cast<int64_t>(idx.size());
+  std::vector<float> out(k * n);
+  const float* pa = a.Data();
+  for (int64_t e = 0; e < k; ++e) {
+    RETIA_CHECK_LT(idx[e], rows);
+    RETIA_CHECK_LE(0, idx[e]);
+    std::memcpy(out.data() + e * n, pa + idx[e] * n, n * sizeof(float));
+  }
+  auto idx_copy = std::make_shared<std::vector<int64_t>>(idx);
+  return MakeOpResult({k, n}, std::move(out), {a},
+                      [a, idx_copy, rows, n, k](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        std::vector<float> ga(rows * n, 0.0f);
+                        for (int64_t e = 0; e < k; ++e) {
+                          const float* g = self.grad.data() + e * n;
+                          float* dst = ga.data() + (*idx_copy)[e] * n;
+                          for (int64_t j = 0; j < n; ++j) dst[j] += g[j];
+                        }
+                        a.impl().AccumulateGrad(ga.data(), rows * n);
+                      });
+}
+
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
+                      int64_t rows) {
+  RETIA_CHECK_EQ(src.Rank(), 2);
+  RETIA_CHECK_EQ(src.Dim(0), static_cast<int64_t>(idx.size()));
+  const int64_t k = src.Dim(0);
+  const int64_t n = src.Dim(1);
+  std::vector<float> out(rows * n, 0.0f);
+  const float* ps = src.Data();
+  for (int64_t e = 0; e < k; ++e) {
+    RETIA_CHECK_LT(idx[e], rows);
+    RETIA_CHECK_LE(0, idx[e]);
+    float* dst = out.data() + idx[e] * n;
+    const float* row = ps + e * n;
+    for (int64_t j = 0; j < n; ++j) dst[j] += row[j];
+  }
+  auto idx_copy = std::make_shared<std::vector<int64_t>>(idx);
+  return MakeOpResult({rows, n}, std::move(out), {src},
+                      [src, idx_copy, n, k](TensorImpl& self) mutable {
+                        if (!src.RequiresGrad()) return;
+                        std::vector<float> gs(k * n);
+                        for (int64_t e = 0; e < k; ++e) {
+                          const float* g =
+                              self.grad.data() + (*idx_copy)[e] * n;
+                          std::memcpy(gs.data() + e * n, g, n * sizeof(float));
+                        }
+                        src.impl().AccumulateGrad(gs.data(), k * n);
+                      });
+}
+
+Tensor ScaleRows(const Tensor& a, const std::vector<float>& s) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(a.Dim(0), static_cast<int64_t>(s.size()));
+  const int64_t m = a.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(m * n);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] = pa[i * n + j] * s[i];
+  auto s_copy = std::make_shared<std::vector<float>>(s);
+  return MakeOpResult({m, n}, std::move(out), {a},
+                      [a, s_copy, m, n](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        std::vector<float> g(m * n);
+                        for (int64_t i = 0; i < m; ++i)
+                          for (int64_t j = 0; j < n; ++j)
+                            g[i * n + j] = self.grad[i * n + j] * (*s_copy)[i];
+                        a.impl().AccumulateGrad(g.data(), m * n);
+                      });
+}
+
+Tensor MulColBroadcast(const Tensor& a, const Tensor& s) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(s.Rank(), 2);
+  RETIA_CHECK_EQ(s.Dim(1), 1);
+  RETIA_CHECK_EQ(a.Dim(0), s.Dim(0));
+  const int64_t m = a.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(m * n);
+  const float* pa = a.Data();
+  const float* ps = s.Data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] = pa[i * n + j] * ps[i];
+  return MakeOpResult(
+      a.Shape(), std::move(out), {a, s},
+      [a, s, m, n](TensorImpl& self) mutable {
+        if (a.RequiresGrad()) {
+          std::vector<float> ga(m * n);
+          const float* ps = s.Data();
+          for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+              ga[i * n + j] = self.grad[i * n + j] * ps[i];
+          a.impl().AccumulateGrad(ga.data(), m * n);
+        }
+        if (s.RequiresGrad()) {
+          std::vector<float> gs(m, 0.0f);
+          const float* pa = a.Data();
+          for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < n; ++j)
+              gs[i] += self.grad[i * n + j] * pa[i * n + j];
+          s.impl().AccumulateGrad(gs.data(), m);
+        }
+      });
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t len) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_LE(start + len, a.Dim(0));
+  RETIA_CHECK_LE(0, start);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(len * n);
+  std::memcpy(out.data(), a.Data() + start * n, len * n * sizeof(float));
+  return MakeOpResult({len, n}, std::move(out), {a},
+                      [a, start, len, n](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        const int64_t rows = a.Dim(0);
+                        std::vector<float> ga(rows * n, 0.0f);
+                        std::memcpy(ga.data() + start * n, self.grad.data(),
+                                    len * n * sizeof(float));
+                        a.impl().AccumulateGrad(ga.data(), rows * n);
+                      });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(b.Rank(), 2);
+  RETIA_CHECK_EQ(a.Dim(0), b.Dim(0));
+  const int64_t m = a.Dim(0);
+  const int64_t p = a.Dim(1);
+  const int64_t q = b.Dim(1);
+  std::vector<float> out(m * (p + q));
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  for (int64_t i = 0; i < m; ++i) {
+    std::memcpy(out.data() + i * (p + q), pa + i * p, p * sizeof(float));
+    std::memcpy(out.data() + i * (p + q) + p, pb + i * q, q * sizeof(float));
+  }
+  return MakeOpResult(
+      {m, p + q}, std::move(out), {a, b},
+      [a, b, m, p, q](TensorImpl& self) mutable {
+        if (a.RequiresGrad()) {
+          std::vector<float> ga(m * p);
+          for (int64_t i = 0; i < m; ++i)
+            std::memcpy(ga.data() + i * p, self.grad.data() + i * (p + q),
+                        p * sizeof(float));
+          a.impl().AccumulateGrad(ga.data(), m * p);
+        }
+        if (b.RequiresGrad()) {
+          std::vector<float> gb(m * q);
+          for (int64_t i = 0; i < m; ++i)
+            std::memcpy(gb.data() + i * q, self.grad.data() + i * (p + q) + p,
+                        q * sizeof(float));
+          b.impl().AccumulateGrad(gb.data(), m * q);
+        }
+      });
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(b.Rank(), 2);
+  RETIA_CHECK_EQ(a.Dim(1), b.Dim(1));
+  const int64_t p = a.Dim(0);
+  const int64_t q = b.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out((p + q) * n);
+  std::memcpy(out.data(), a.Data(), p * n * sizeof(float));
+  std::memcpy(out.data() + p * n, b.Data(), q * n * sizeof(float));
+  return MakeOpResult(
+      {p + q, n}, std::move(out), {a, b},
+      [a, b, p, q, n](TensorImpl& self) mutable {
+        if (a.RequiresGrad()) a.impl().AccumulateGrad(self.grad.data(), p * n);
+        if (b.RequiresGrad())
+          b.impl().AccumulateGrad(self.grad.data() + p * n, q * n);
+      });
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_LE(start + len, a.Dim(1));
+  RETIA_CHECK_LE(0, start);
+  const int64_t m = a.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(m * len);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < m; ++i)
+    std::memcpy(out.data() + i * len, pa + i * n + start, len * sizeof(float));
+  return MakeOpResult({m, len}, std::move(out), {a},
+                      [a, start, len, m, n](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        std::vector<float> ga(m * n, 0.0f);
+                        for (int64_t i = 0; i < m; ++i) {
+                          const float* g = self.grad.data() + i * len;
+                          float* dst = ga.data() + i * n + start;
+                          for (int64_t j = 0; j < len; ++j) dst[j] += g[j];
+                        }
+                        a.impl().AccumulateGrad(ga.data(), m * n);
+                      });
+}
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  RETIA_CHECK_EQ(n, a.NumElements());
+  std::vector<float> out(a.Data(), a.Data() + n);
+  return MakeOpResult(std::move(shape), std::move(out), {a},
+                      [a](TensorImpl& self) mutable {
+                        if (!a.RequiresGrad()) return;
+                        a.impl().AccumulateGrad(self.grad.data(),
+                                                self.NumElements());
+                      });
+}
+
+}  // namespace retia::tensor

@@ -1,0 +1,117 @@
+#include "tensor/ops.h"
+
+namespace retia::tensor {
+
+namespace {
+
+// out[m,n] += A[m,k] * B[k,n]; plain ikj loop, cache-friendly for the small
+// dense matrices this library works with (embedding dims of 32-256).
+void GemmAccum(const float* a, const float* b, float* out, int64_t m,
+               int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// out[m,n] += A[m,k] * B^T where B is [n,k].
+void GemmTransposeBAccum(const float* a, const float* b, float* out, int64_t m,
+                         int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+// out[k,n] += A^T * G where A is [m,k], G is [m,n].
+void GemmTransposeAAccum(const float* a, const float* g, float* out, int64_t m,
+                         int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* grow = g + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * grow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(b.Rank(), 2);
+  RETIA_CHECK_EQ(a.Dim(1), b.Dim(0));
+  const int64_t m = a.Dim(0);
+  const int64_t k = a.Dim(1);
+  const int64_t n = b.Dim(1);
+  std::vector<float> out(m * n, 0.0f);
+  GemmAccum(a.Data(), b.Data(), out.data(), m, k, n);
+  return MakeOpResult(
+      {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl& self) mutable {
+        // dA = dC * B^T ; dB = A^T * dC.
+        if (a.RequiresGrad()) {
+          std::vector<float> ga(m * k, 0.0f);
+          GemmTransposeBAccum(self.grad.data(), b.Data(), ga.data(), m, n, k);
+          a.impl().AccumulateGrad(ga.data(), m * k);
+        }
+        if (b.RequiresGrad()) {
+          std::vector<float> gb(k * n, 0.0f);
+          GemmTransposeAAccum(a.Data(), self.grad.data(), gb.data(), m, k, n);
+          b.impl().AccumulateGrad(gb.data(), k * n);
+        }
+      });
+}
+
+Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  RETIA_CHECK_EQ(b.Rank(), 2);
+  RETIA_CHECK_EQ(a.Dim(1), b.Dim(1));
+  const int64_t m = a.Dim(0);
+  const int64_t k = a.Dim(1);
+  const int64_t n = b.Dim(0);
+  std::vector<float> out(m * n, 0.0f);
+  GemmTransposeBAccum(a.Data(), b.Data(), out.data(), m, k, n);
+  return MakeOpResult(
+      {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl& self) mutable {
+        // C = A B^T: dA = dC * B ; dB = dC^T * A.
+        if (a.RequiresGrad()) {
+          std::vector<float> ga(m * k, 0.0f);
+          GemmAccum(self.grad.data(), b.Data(), ga.data(), m, n, k);
+          a.impl().AccumulateGrad(ga.data(), m * k);
+        }
+        if (b.RequiresGrad()) {
+          // dB[j,p] = sum_i dC[i,j] A[i,p]  == (dC^T A).
+          std::vector<float> gb(n * k, 0.0f);
+          const float* g = self.grad.data();
+          const float* pa = a.Data();
+          for (int64_t i = 0; i < m; ++i) {
+            const float* grow = g + i * n;
+            const float* arow = pa + i * k;
+            for (int64_t j = 0; j < n; ++j) {
+              const float gv = grow[j];
+              if (gv == 0.0f) continue;
+              float* brow = gb.data() + j * k;
+              for (int64_t p = 0; p < k; ++p) brow[p] += gv * arow[p];
+            }
+          }
+          b.impl().AccumulateGrad(gb.data(), n * k);
+        }
+      });
+}
+
+}  // namespace retia::tensor

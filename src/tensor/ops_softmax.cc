@@ -1,0 +1,144 @@
+#include <cmath>
+#include <memory>
+
+#include "tensor/ops.h"
+
+namespace retia::tensor {
+
+Tensor Softmax(const Tensor& a) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  const int64_t m = a.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(m * n);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      out[i * n + j] = std::exp(row[j] - mx);
+      denom += out[i * n + j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] *= inv;
+  }
+  return MakeOpResult(
+      a.Shape(), std::move(out), {a}, [a, m, n](TensorImpl& self) mutable {
+        if (!a.RequiresGrad()) return;
+        // dx = y * (dy - sum_j dy_j y_j) per row.
+        std::vector<float> g(m * n);
+        for (int64_t i = 0; i < m; ++i) {
+          const float* y = self.data.data() + i * n;
+          const float* dy = self.grad.data() + i * n;
+          double dot = 0.0;
+          for (int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
+          for (int64_t j = 0; j < n; ++j)
+            g[i * n + j] = y[j] * (dy[j] - static_cast<float>(dot));
+        }
+        a.impl().AccumulateGrad(g.data(), m * n);
+      });
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  RETIA_CHECK_EQ(a.Rank(), 2);
+  const int64_t m = a.Dim(0);
+  const int64_t n = a.Dim(1);
+  std::vector<float> out(m * n);
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(denom));
+    for (int64_t j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
+  }
+  return MakeOpResult(
+      a.Shape(), std::move(out), {a}, [a, m, n](TensorImpl& self) mutable {
+        if (!a.RequiresGrad()) return;
+        // dx = dy - softmax(x) * sum_j dy_j per row; softmax = exp(out).
+        std::vector<float> g(m * n);
+        for (int64_t i = 0; i < m; ++i) {
+          const float* y = self.data.data() + i * n;
+          const float* dy = self.grad.data() + i * n;
+          double total = 0.0;
+          for (int64_t j = 0; j < n; ++j) total += dy[j];
+          for (int64_t j = 0; j < n; ++j)
+            g[i * n + j] =
+                dy[j] - std::exp(y[j]) * static_cast<float>(total);
+        }
+        a.impl().AccumulateGrad(g.data(), m * n);
+      });
+}
+
+Tensor NllFromProbs(const Tensor& p, const std::vector<int64_t>& targets) {
+  RETIA_CHECK_EQ(p.Rank(), 2);
+  RETIA_CHECK_EQ(p.Dim(0), static_cast<int64_t>(targets.size()));
+  const int64_t m = p.Dim(0);
+  const int64_t n = p.Dim(1);
+  constexpr float kEps = 1e-10f;
+  const float* pp = p.Data();
+  double loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    RETIA_CHECK_LT(targets[i], n);
+    loss -= std::log(pp[i * n + targets[i]] + kEps);
+  }
+  loss /= static_cast<double>(m);
+  auto tgt = std::make_shared<std::vector<int64_t>>(targets);
+  return MakeOpResult(
+      {1}, {static_cast<float>(loss)}, {p},
+      [p, tgt, m, n](TensorImpl& self) mutable {
+        if (!p.RequiresGrad()) return;
+        std::vector<float> g(m * n, 0.0f);
+        const float* pp = p.Data();
+        const float scale = self.grad[0] / static_cast<float>(m);
+        for (int64_t i = 0; i < m; ++i) {
+          const int64_t t = (*tgt)[i];
+          g[i * n + t] = -scale / (pp[i * n + t] + kEps);
+        }
+        p.impl().AccumulateGrad(g.data(), m * n);
+      });
+}
+
+Tensor CrossEntropyLogits(const Tensor& logits,
+                          const std::vector<int64_t>& targets) {
+  RETIA_CHECK_EQ(logits.Rank(), 2);
+  RETIA_CHECK_EQ(logits.Dim(0), static_cast<int64_t>(targets.size()));
+  const int64_t m = logits.Dim(0);
+  const int64_t n = logits.Dim(1);
+  const float* pl = logits.Data();
+  // Cache softmax for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(m * n);
+  double loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pl + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+    const double lse = mx + std::log(denom);
+    RETIA_CHECK_LT(targets[i], n);
+    loss += lse - row[targets[i]];
+    for (int64_t j = 0; j < n; ++j)
+      (*probs)[i * n + j] = static_cast<float>(std::exp(row[j] - lse));
+  }
+  loss /= static_cast<double>(m);
+  auto tgt = std::make_shared<std::vector<int64_t>>(targets);
+  return MakeOpResult(
+      {1}, {static_cast<float>(loss)}, {logits},
+      [logits, tgt, probs, m, n](TensorImpl& self) mutable {
+        if (!logits.RequiresGrad()) return;
+        std::vector<float> g(m * n);
+        const float scale = self.grad[0] / static_cast<float>(m);
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = 0; j < n; ++j)
+            g[i * n + j] = scale * (*probs)[i * n + j];
+          g[i * n + (*tgt)[i]] -= scale;
+        }
+        logits.impl().AccumulateGrad(g.data(), m * n);
+      });
+}
+
+}  // namespace retia::tensor

@@ -1,0 +1,127 @@
+#ifndef RETIA_TENSOR_TENSOR_H_
+#define RETIA_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace retia::tensor {
+
+class Tensor;
+
+// Reference-counted tensor storage plus the autograd tape hooks.
+//
+// A Tensor produced by an op records its parents and a backward function;
+// Tensor::Backward() topologically sorts the reachable graph and runs the
+// backward functions in reverse order, accumulating into each node's `grad`.
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+
+  // Autograd state. `grad` is lazily allocated to data.size() on first
+  // accumulation. `parents` keeps upstream nodes alive for the backward pass.
+  bool requires_grad = false;
+  std::vector<float> grad;
+  std::vector<Tensor> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+
+  // Adds `g` (same length as data) into grad, allocating it if needed.
+  void AccumulateGrad(const float* g, int64_t n);
+  void EnsureGrad();
+};
+
+// Value-semantics handle to a shared TensorImpl. Copies are shallow (they
+// alias the same storage), mirroring the behaviour of torch.Tensor handles.
+class Tensor {
+ public:
+  // Default-constructed handle is "undefined"; defined() returns false.
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- Factories ----------------------------------------------------------
+  static Tensor Zeros(std::vector<int64_t> shape, bool requires_grad = false);
+  static Tensor Full(std::vector<int64_t> shape, float value,
+                     bool requires_grad = false);
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> data,
+                           bool requires_grad = false);
+  // 1x1 scalar tensor.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  // ---- Introspection ------------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  int Rank() const { return static_cast<int>(impl().shape.size()); }
+  int64_t Dim(int i) const;
+  const std::vector<int64_t>& Shape() const { return impl().shape; }
+  int64_t NumElements() const { return impl().NumElements(); }
+  std::string ShapeString() const;
+
+  // ---- Data access --------------------------------------------------------
+  float* Data() { return impl().data.data(); }
+  const float* Data() const { return impl().data.data(); }
+  // 2-D element accessors (the dominant case in this library).
+  float& At(int64_t i, int64_t j);
+  float At(int64_t i, int64_t j) const;
+  // Scalar value of a 1-element tensor.
+  float Item() const;
+
+  // ---- Autograd -----------------------------------------------------------
+  bool RequiresGrad() const { return impl().requires_grad; }
+  void SetRequiresGrad(bool value) { impl().requires_grad = value; }
+  // Gradient buffer; CHECK-fails if no gradient has been accumulated yet.
+  const std::vector<float>& Grad() const;
+  std::vector<float>& MutableGrad();
+  bool HasGrad() const { return !impl().grad.empty(); }
+  void ZeroGrad();
+
+  // Runs reverse-mode accumulation from this tensor. If the tensor is not a
+  // scalar, the seed gradient is all-ones.
+  void Backward();
+
+  // Deep copy with no autograd history.
+  Tensor Detach() const;
+
+  TensorImpl& impl() const {
+    RETIA_CHECK_MSG(impl_ != nullptr, "use of undefined Tensor");
+    return *impl_;
+  }
+  const std::shared_ptr<TensorImpl>& ptr() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// RAII guard disabling autograd recording (used during evaluation so that
+// forward passes do not build a tape). Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// True when ops should record autograd edges.
+bool GradModeEnabled();
+
+// Internal helper for op implementations: constructs the result tensor and
+// wires the tape edge when recording is enabled and any parent needs grad.
+Tensor MakeOpResult(std::vector<int64_t> shape, std::vector<float> data,
+                    std::vector<Tensor> parents,
+                    std::function<void(TensorImpl&)> backward_fn);
+
+}  // namespace retia::tensor
+
+#endif  // RETIA_TENSOR_TENSOR_H_

@@ -1,0 +1,87 @@
+#include "tkg/analysis.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace retia::tkg {
+
+TemporalStats AnalyzeTemporal(const TkgDataset& dataset) {
+  TemporalStats stats;
+  std::set<std::tuple<int64_t, int64_t, int64_t>> seen_triples;
+  std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> seen_pair_relations;
+  std::map<int64_t, int64_t> relation_counts;
+  std::set<std::tuple<int64_t, int64_t, int64_t>> previous_set;
+
+  int64_t total_facts = 0;
+  int64_t repeated = 0;
+  int64_t drifted = 0;
+  double overlap_sum = 0.0;
+  int64_t overlap_terms = 0;
+  int64_t timestamps = 0;
+
+  // Walk timestamps in order; FactsAt merges all splits.
+  std::set<int64_t> times;
+  for (const auto* split :
+       {&dataset.train(), &dataset.valid(), &dataset.test()}) {
+    for (const Quadruple& q : *split) times.insert(q.time);
+  }
+  for (int64_t t : times) {
+    const std::vector<Quadruple>& facts = dataset.FactsAt(t);
+    if (facts.empty()) continue;
+    ++timestamps;
+    std::set<std::tuple<int64_t, int64_t, int64_t>> current_set;
+    for (const Quadruple& q : facts) {
+      ++total_facts;
+      const auto triple = std::make_tuple(q.subject, q.relation, q.object);
+      current_set.insert(triple);
+      if (seen_triples.count(triple)) ++repeated;
+      auto it = seen_pair_relations.find({q.subject, q.object});
+      if (it != seen_pair_relations.end() &&
+          (it->second.size() > 1 || !it->second.count(q.relation))) {
+        ++drifted;
+      }
+      ++relation_counts[q.relation];
+    }
+    // Jaccard overlap with the previous timestamp.
+    if (!previous_set.empty()) {
+      int64_t intersection = 0;
+      for (const auto& triple : current_set) {
+        if (previous_set.count(triple)) ++intersection;
+      }
+      const int64_t union_size = static_cast<int64_t>(
+          current_set.size() + previous_set.size()) - intersection;
+      if (union_size > 0) {
+        overlap_sum += static_cast<double>(intersection) / union_size;
+        ++overlap_terms;
+      }
+    }
+    // Commit this timestamp's facts to the history *after* scoring it, so
+    // a triple repeated within one timestamp is not self-counted.
+    for (const Quadruple& q : facts) {
+      seen_triples.insert({q.subject, q.relation, q.object});
+      seen_pair_relations[{q.subject, q.object}].insert(q.relation);
+    }
+    previous_set = std::move(current_set);
+  }
+
+  if (total_facts > 0) {
+    stats.repetition_rate = static_cast<double>(repeated) / total_facts;
+    stats.relation_drift_rate = static_cast<double>(drifted) / total_facts;
+  }
+  if (overlap_terms > 0) stats.consecutive_overlap = overlap_sum / overlap_terms;
+  if (timestamps > 0) {
+    stats.mean_facts_per_timestamp =
+        static_cast<double>(total_facts) / timestamps;
+  }
+  stats.distinct_triples = static_cast<int64_t>(seen_triples.size());
+  double entropy = 0.0;
+  for (const auto& [rel, count] : relation_counts) {
+    const double p = static_cast<double>(count) / total_facts;
+    entropy -= p * std::log2(p);
+  }
+  stats.relation_entropy = entropy;
+  return stats;
+}
+
+}  // namespace retia::tkg

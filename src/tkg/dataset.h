@@ -1,0 +1,108 @@
+#ifndef RETIA_TKG_DATASET_H_
+#define RETIA_TKG_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace retia::tkg {
+
+// One fact (s, r, o, t). Entities and relations are dense integer ids;
+// timestamps are dense integers after granularity normalisation (one unit =
+// one temporal subgraph, matching the paper's G_t slicing).
+struct Quadruple {
+  int64_t subject = 0;
+  int64_t relation = 0;
+  int64_t object = 0;
+  int64_t time = 0;
+
+  friend bool operator==(const Quadruple&, const Quadruple&) = default;
+  friend auto operator<=>(const Quadruple&, const Quadruple&) = default;
+};
+
+// Table V style summary of a dataset.
+struct DatasetStats {
+  std::string name;
+  int64_t num_entities = 0;
+  int64_t num_relations = 0;
+  int64_t num_train = 0;
+  int64_t num_valid = 0;
+  int64_t num_test = 0;
+  int64_t num_timestamps = 0;
+  std::string granularity;
+};
+
+// A temporal knowledge graph with train/valid/test splits. The splits are
+// time-ordered (train timestamps < valid timestamps < test timestamps),
+// matching the extrapolation protocol: models may only see strictly earlier
+// subgraphs when forecasting a timestamp.
+class TkgDataset {
+ public:
+  TkgDataset(std::string name, int64_t num_entities, int64_t num_relations,
+             std::vector<Quadruple> train, std::vector<Quadruple> valid,
+             std::vector<Quadruple> test, std::string granularity = "synthetic");
+
+  const std::string& name() const { return name_; }
+  int64_t num_entities() const { return num_entities_; }
+  int64_t num_relations() const { return num_relations_; }
+
+  const std::vector<Quadruple>& train() const { return train_; }
+  const std::vector<Quadruple>& valid() const { return valid_; }
+  const std::vector<Quadruple>& test() const { return test_; }
+
+  // All facts at timestamp `t`, across every split. Empty vector when the
+  // timestamp has no facts. Used to build evaluation histories under the
+  // raw protocol (all previously *observed* facts are available as history).
+  const std::vector<Quadruple>& FactsAt(int64_t t) const;
+
+  // Sorted list of timestamps that carry at least one fact, per split.
+  const std::vector<int64_t>& train_times() const { return train_times_; }
+  const std::vector<int64_t>& valid_times() const { return valid_times_; }
+  const std::vector<int64_t>& test_times() const { return test_times_; }
+
+  // Number of distinct timestamps across all splits.
+  int64_t num_timestamps() const { return static_cast<int64_t>(by_time_.size()); }
+
+  DatasetStats Stats() const;
+
+ private:
+  std::string name_;
+  int64_t num_entities_;
+  int64_t num_relations_;
+  std::string granularity_;
+  std::vector<Quadruple> train_;
+  std::vector<Quadruple> valid_;
+  std::vector<Quadruple> test_;
+  std::map<int64_t, std::vector<Quadruple>> by_time_;
+  std::vector<int64_t> train_times_;
+  std::vector<int64_t> valid_times_;
+  std::vector<int64_t> test_times_;
+  std::vector<Quadruple> empty_;
+};
+
+// Reads quadruples from the benchmark TSV format used by the RE-GCN/RETIA
+// releases: one fact per line, "subject\trelation\tobject\ttime" (extra
+// columns are ignored). Timestamps are divided by `time_granularity` when
+// it is > 1 (the raw ICEWS dumps use 24h granularity in hours).
+std::vector<Quadruple> LoadQuadrupleFile(const std::string& path,
+                                         int64_t time_granularity = 1);
+
+// Writes quadruples in the same TSV format.
+void SaveQuadrupleFile(const std::string& path,
+                       const std::vector<Quadruple>& quads);
+
+// Splits facts into train/valid/test by time proportions (default 80/10/10
+// as in the paper). Facts are grouped by timestamp: every fact of one
+// timestamp lands in the same split.
+struct SplitProportions {
+  double train = 0.8;
+  double valid = 0.1;
+};
+void SplitByTime(std::vector<Quadruple> all, const SplitProportions& prop,
+                 std::vector<Quadruple>* train, std::vector<Quadruple>* valid,
+                 std::vector<Quadruple>* test);
+
+}  // namespace retia::tkg
+
+#endif  // RETIA_TKG_DATASET_H_

@@ -1,0 +1,210 @@
+#include "tkg/synthetic.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace retia::tkg {
+
+SyntheticConfig SyntheticConfig::Icews14Like() {
+  SyntheticConfig c;
+  c.name = "ICEWS14-like";
+  c.num_entities = 300;
+  c.num_relations = 36;
+  c.num_timestamps = 70;
+  c.facts_per_timestamp = 45;
+  c.num_schemas = 700;
+  c.min_period = 2;
+  c.max_period = 24;
+  c.repeat_prob = 0.40;
+  c.noise_frac = 0.45;
+  c.cycle_frac = 0.55;
+  c.granularity = "24 hours";
+  c.seed = 140;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Icews0515Like() {
+  SyntheticConfig c;
+  c.name = "ICEWS05-15-like";
+  c.num_entities = 340;
+  c.num_relations = 40;
+  c.num_timestamps = 90;
+  c.facts_per_timestamp = 45;
+  c.num_schemas = 850;
+  c.min_period = 2;
+  c.max_period = 24;
+  c.repeat_prob = 0.45;
+  c.noise_frac = 0.40;
+  c.cycle_frac = 0.55;
+  c.granularity = "24 hours";
+  c.seed = 515;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::Icews18Like() {
+  SyntheticConfig c;
+  c.name = "ICEWS18-like";
+  c.num_entities = 420;
+  c.num_relations = 42;
+  c.num_timestamps = 70;
+  c.facts_per_timestamp = 55;
+  c.num_schemas = 1000;
+  c.min_period = 2;
+  c.max_period = 28;
+  c.repeat_prob = 0.35;
+  c.noise_frac = 0.50;
+  c.cycle_frac = 0.60;
+  c.granularity = "24 hours";
+  c.seed = 180;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::YagoLike() {
+  SyntheticConfig c;
+  c.name = "YAGO-like";
+  c.num_entities = 220;
+  c.num_relations = 10;
+  c.num_timestamps = 36;
+  c.facts_per_timestamp = 60;
+  c.num_schemas = 110;
+  c.min_period = 1;
+  c.max_period = 3;
+  c.repeat_prob = 0.92;
+  c.noise_frac = 0.05;
+  c.cycle_frac = 0.25;
+  c.granularity = "1 year";
+  c.seed = 30;
+  return c;
+}
+
+SyntheticConfig SyntheticConfig::WikiLike() {
+  SyntheticConfig c;
+  c.name = "WIKI-like";
+  c.num_entities = 260;
+  c.num_relations = 20;
+  c.num_timestamps = 40;
+  c.facts_per_timestamp = 65;
+  c.num_schemas = 140;
+  c.min_period = 1;
+  c.max_period = 4;
+  c.repeat_prob = 0.88;
+  c.noise_frac = 0.08;
+  c.cycle_frac = 0.25;
+  c.granularity = "1 year";
+  c.seed = 77;
+  return c;
+}
+
+namespace {
+
+// A recurring event schema: a fixed triple that is "due" at timestamps
+// congruent to `phase` modulo `period`.
+struct Schema {
+  int64_t subject;
+  int64_t relation;
+  int64_t object;
+  int64_t period;
+  int64_t phase;
+  // cycle_len == 0: fixed relation. Otherwise the relation rotates with a
+  // *global* phase shared by every cycling schema:
+  //   relation_t = (relation + (t mod cycle_len)) mod M.
+  // Because the phase is global, which relations are currently "active" is
+  // a dataset-wide temporal signal: models that evolve relation
+  // representations over the history (RE-GCN-family, RETIA) can track it,
+  // while a static (s, o) -> r memoriser sees an unresolvable 1/cycle_len
+  // ambiguity.
+  int64_t cycle_len = 0;
+
+  int64_t RelationAt(int64_t t, int64_t num_relations) const {
+    if (cycle_len == 0) return relation;
+    return (relation + t % cycle_len) % num_relations;
+  }
+};
+
+}  // namespace
+
+TkgDataset GenerateSynthetic(const SyntheticConfig& config) {
+  RETIA_CHECK(config.num_entities > 1);
+  RETIA_CHECK(config.num_relations > 0);
+  RETIA_CHECK(config.num_timestamps >= 10);
+  RETIA_CHECK_LE(config.min_period, config.max_period);
+  util::Rng rng(config.seed);
+
+  auto sample_entity = [&]() {
+    return rng.Zipf(config.num_entities, config.entity_zipf);
+  };
+  auto sample_relation = [&]() {
+    return rng.Zipf(config.num_relations, config.relation_zipf);
+  };
+
+  // Build the schema pool. Distinct triples so that relation forecasting
+  // carries signal: a recurring (s, o) pair almost determines its relation.
+  std::vector<Schema> schemas;
+  std::set<std::tuple<int64_t, int64_t, int64_t>> seen;
+  int64_t guard = 0;
+  while (static_cast<int64_t>(schemas.size()) < config.num_schemas &&
+         guard++ < config.num_schemas * 50) {
+    Schema s;
+    s.subject = sample_entity();
+    s.object = sample_entity();
+    if (s.subject == s.object) continue;
+    s.relation = sample_relation();
+    if (!seen.insert({s.subject, s.relation, s.object}).second) continue;
+    s.period = rng.UniformInt(config.min_period, config.max_period);
+    s.phase = rng.UniformInt(0, s.period - 1);
+    if (config.cycle_frac > 0.0 && rng.Bernoulli(config.cycle_frac) &&
+        config.num_relations >= 3) {
+      s.cycle_len = std::min(config.cycle_len, config.num_relations);
+    }
+    schemas.push_back(s);
+  }
+
+  std::vector<Quadruple> all;
+  std::set<std::tuple<int64_t, int64_t, int64_t>> at_t;
+  for (int64_t t = 0; t < config.num_timestamps; ++t) {
+    at_t.clear();
+    std::vector<Quadruple> facts;
+    // Recurring schemas due at this timestamp.
+    for (const Schema& s : schemas) {
+      if (t % s.period != s.phase) continue;
+      if (!rng.Bernoulli(config.repeat_prob)) continue;
+      const int64_t rel = s.RelationAt(t, config.num_relations);
+      if (!at_t.insert({s.subject, rel, s.object}).second) continue;
+      facts.push_back({s.subject, rel, s.object, t});
+    }
+    // Fresh noise facts up to the per-timestamp budget.
+    const int64_t target = config.facts_per_timestamp;
+    const int64_t noise_target = static_cast<int64_t>(
+        config.noise_frac * static_cast<double>(target));
+    int64_t noise_added = 0;
+    int64_t attempts = 0;
+    while ((noise_added < noise_target ||
+            static_cast<int64_t>(facts.size()) < target) &&
+           attempts++ < target * 20) {
+      Quadruple q;
+      q.subject = sample_entity();
+      q.object = sample_entity();
+      if (q.subject == q.object) continue;
+      q.relation = sample_relation();
+      q.time = t;
+      if (!at_t.insert({q.subject, q.relation, q.object}).second) continue;
+      facts.push_back(q);
+      ++noise_added;
+    }
+    all.insert(all.end(), facts.begin(), facts.end());
+  }
+
+  std::vector<Quadruple> train;
+  std::vector<Quadruple> valid;
+  std::vector<Quadruple> test;
+  SplitByTime(std::move(all), SplitProportions{}, &train, &valid, &test);
+  return TkgDataset(config.name, config.num_entities, config.num_relations,
+                    std::move(train), std::move(valid), std::move(test),
+                    config.granularity);
+}
+
+}  // namespace retia::tkg

@@ -1,0 +1,140 @@
+#include "train/trainer.h"
+
+#include <iostream>
+
+#include "util/timer.h"
+
+namespace retia::train {
+
+Trainer::Trainer(core::EvolutionModel* model, graph::GraphCache* cache,
+                 const TrainConfig& config)
+    : model_(model),
+      cache_(cache),
+      config_(config),
+      params_(model->Parameters()),
+      optimizer_(params_, nn::Adam::Options{.lr = config.lr}) {}
+
+bool Trainer::StepOnTimestamp(int64_t t,
+                              core::EvolutionModel::LossParts* parts) {
+  const std::vector<tkg::Quadruple>& facts = cache_->dataset().FactsAt(t);
+  if (facts.empty()) return false;
+  const std::vector<int64_t> history =
+      cache_->HistoryBefore(t, model_->history_len());
+  if (history.empty()) return false;
+  model_->SetTraining(true);
+  model_->ZeroGrad();
+  std::vector<core::EvolutionModel::StepState> states =
+      model_->Evolve(*cache_, history);
+  core::EvolutionModel::LossParts loss = model_->ComputeLoss(states, facts);
+  loss.joint.Backward();
+  nn::ClipGradNorm(params_, config_.grad_clip);
+  optimizer_.Step();
+  if (parts != nullptr) *parts = loss;
+  return true;
+}
+
+double Trainer::ValidationEntityMrr() {
+  eval::EvalOptions options;
+  options.evaluate_relations = false;
+  eval::EvalResult r =
+      Evaluate(cache_->dataset().valid_times(), /*online=*/false, options);
+  return r.entity.Mrr();
+}
+
+std::vector<std::vector<float>> Trainer::SnapshotParams() const {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(params_.size());
+  for (const tensor::Tensor& p : params_) snapshot.push_back(p.impl().data);
+  return snapshot;
+}
+
+void Trainer::RestoreParams(const std::vector<std::vector<float>>& snapshot) {
+  RETIA_CHECK_EQ(snapshot.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    params_[i].impl().data = snapshot[i];
+  }
+}
+
+std::vector<EpochRecord> Trainer::TrainGeneral() {
+  std::vector<EpochRecord> records;
+  double best_mrr = -1.0;
+  int64_t below_best = 0;
+  std::vector<std::vector<float>> best_params;
+  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    util::Timer timer;
+    EpochRecord rec;
+    int64_t batches = 0;
+    for (int64_t t : cache_->dataset().train_times()) {
+      core::EvolutionModel::LossParts parts;
+      if (!StepOnTimestamp(t, &parts)) continue;
+      rec.joint_loss += parts.joint.Item();
+      rec.entity_loss += parts.entity_loss;
+      rec.relation_loss += parts.relation_loss;
+      ++batches;
+    }
+    if (batches > 0) {
+      rec.joint_loss /= batches;
+      rec.entity_loss /= batches;
+      rec.relation_loss /= batches;
+    }
+    rec.valid_entity_mrr = ValidationEntityMrr();
+    rec.seconds = timer.Seconds();
+    records.push_back(rec);
+    if (config_.verbose) {
+      std::cout << "epoch " << epoch << " loss " << rec.joint_loss
+                << " (e " << rec.entity_loss << ", r " << rec.relation_loss
+                << ") valid MRR " << rec.valid_entity_mrr << " ["
+                << util::FormatDuration(rec.seconds) << "]\n";
+    }
+    if (rec.valid_entity_mrr > best_mrr) {
+      best_mrr = rec.valid_entity_mrr;
+      below_best = 0;
+      best_params = SnapshotParams();
+    } else {
+      ++below_best;
+      if (below_best >= config_.patience) break;
+    }
+  }
+  if (!best_params.empty()) RestoreParams(best_params);
+  return records;
+}
+
+eval::EvalResult Trainer::Evaluate(const std::vector<int64_t>& times,
+                                   bool online,
+                                   const eval::EvalOptions& options) {
+  auto evolve_eval = [this](int64_t t) {
+    model_->SetTraining(false);
+    const std::vector<int64_t> history =
+        cache_->HistoryBefore(t, model_->history_len());
+    return model_->Evolve(*cache_, history);
+  };
+  eval::ObjectScoreFn object_fn =
+      [this, &evolve_eval](
+          int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        tensor::NoGradGuard guard;
+        return model_->ScoreObjects(evolve_eval(t), queries);
+      };
+  eval::RelationScoreFn relation_fn =
+      [this, &evolve_eval](
+          int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        tensor::NoGradGuard guard;
+        return model_->ScoreRelations(evolve_eval(t), queries);
+      };
+  eval::AfterTimestampFn after = nullptr;
+  if (online) {
+    after = [this](int64_t t) {
+      const float general_lr = optimizer_.lr();
+      optimizer_.set_lr(config_.online_lr);
+      for (int64_t step = 0; step < config_.online_steps; ++step) {
+        StepOnTimestamp(t, nullptr);
+      }
+      optimizer_.set_lr(general_lr);
+    };
+  }
+  eval::EvalResult result = eval::EvaluateTimes(
+      cache_->dataset(), times, object_fn, relation_fn, options, after);
+  model_->SetTraining(true);
+  return result;
+}
+
+}  // namespace retia::train

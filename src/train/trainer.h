@@ -1,0 +1,77 @@
+#ifndef RETIA_TRAIN_TRAINER_H_
+#define RETIA_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evolution_model.h"
+#include "eval/evaluator.h"
+#include "graph/graph_cache.h"
+#include "nn/optimizer.h"
+
+namespace retia::train {
+
+struct TrainConfig {
+  int64_t max_epochs = 30;
+  // Early stopping: stop after this many consecutive epochs whose
+  // validation score is below the historical best (Sec. IV-D1 uses 5).
+  int64_t patience = 5;
+  float lr = 1e-3f;
+  float grad_clip = 1.0f;
+  // Gradient steps per newly observed timestamp during online continuous
+  // training (the time-variability strategy, Sec. III-F).
+  int64_t online_steps = 1;
+  float online_lr = 1e-3f;
+  bool verbose = false;
+};
+
+// Per-epoch record of the general training process; the loss curves of
+// Figs. 3/4 are these values.
+struct EpochRecord {
+  double joint_loss = 0.0;
+  double entity_loss = 0.0;
+  double relation_loss = 0.0;
+  double valid_entity_mrr = 0.0;
+  double seconds = 0.0;
+};
+
+// Trains and evaluates any core::EvolutionModel: general training with
+// validation early stopping, and split evaluation with optional online
+// continuous training. One timestamp is one batch (Sec. III-F).
+class Trainer {
+ public:
+  Trainer(core::EvolutionModel* model, graph::GraphCache* cache,
+          const TrainConfig& config);
+
+  // General training on the train split. Returns the per-epoch records
+  // (loss curve + validation MRR). The best-validation parameters are
+  // restored before returning.
+  std::vector<EpochRecord> TrainGeneral();
+
+  // Evaluates the facts of `times`. With `online` true, the model is
+  // fine-tuned on each timestamp's facts after that timestamp has been
+  // evaluated (online continuous training). `result.predict_seconds`
+  // excludes the online updates.
+  eval::EvalResult Evaluate(const std::vector<int64_t>& times, bool online,
+                            const eval::EvalOptions& options = {});
+
+ private:
+  // One optimisation step on the facts at `t` (predicting t from its
+  // history). Returns the loss parts; no-op when t has no history.
+  bool StepOnTimestamp(int64_t t, core::EvolutionModel::LossParts* parts);
+
+  double ValidationEntityMrr();
+
+  std::vector<std::vector<float>> SnapshotParams() const;
+  void RestoreParams(const std::vector<std::vector<float>>& snapshot);
+
+  core::EvolutionModel* model_;
+  graph::GraphCache* cache_;
+  TrainConfig config_;
+  std::vector<tensor::Tensor> params_;
+  nn::Adam optimizer_;
+};
+
+}  // namespace retia::train
+
+#endif  // RETIA_TRAIN_TRAINER_H_

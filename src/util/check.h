@@ -1,0 +1,78 @@
+#ifndef RETIA_UTIL_CHECK_H_
+#define RETIA_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace retia::util {
+
+// Aborts the program with a formatted message. Used by the RETIA_CHECK
+// family below; call sites should prefer the macros so that the failing
+// expression text and source location are captured.
+[[noreturn]] inline void CheckFailure(const char* file, int line,
+                                      const std::string& message) {
+  std::cerr << "[CHECK FAILED] " << file << ":" << line << ": " << message
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace retia::util
+
+// Runtime invariant checks. These are enabled in all build types: the
+// library is a research system where silent shape mismatches are far more
+// costly than the branch, and all checked conditions are O(1).
+#define RETIA_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::retia::util::CheckFailure(__FILE__, __LINE__, "expected " #cond); \
+    }                                                                   \
+  } while (0)
+
+#define RETIA_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream oss_;                                       \
+      oss_ << "expected " #cond << ": " << msg;                      \
+      ::retia::util::CheckFailure(__FILE__, __LINE__, oss_.str());   \
+    }                                                                \
+  } while (0)
+
+#define RETIA_CHECK_EQ(a, b)                                          \
+  do {                                                                \
+    auto va_ = (a);                                                   \
+    auto vb_ = (b);                                                   \
+    if (!(va_ == vb_)) {                                              \
+      std::ostringstream oss_;                                        \
+      oss_ << "expected " #a " == " #b " (" << va_ << " vs " << vb_   \
+           << ")";                                                    \
+      ::retia::util::CheckFailure(__FILE__, __LINE__, oss_.str());    \
+    }                                                                 \
+  } while (0)
+
+#define RETIA_CHECK_LT(a, b)                                          \
+  do {                                                                \
+    auto va_ = (a);                                                   \
+    auto vb_ = (b);                                                   \
+    if (!(va_ < vb_)) {                                               \
+      std::ostringstream oss_;                                        \
+      oss_ << "expected " #a " < " #b " (" << va_ << " vs " << vb_    \
+           << ")";                                                    \
+      ::retia::util::CheckFailure(__FILE__, __LINE__, oss_.str());    \
+    }                                                                 \
+  } while (0)
+
+#define RETIA_CHECK_LE(a, b)                                          \
+  do {                                                                \
+    auto va_ = (a);                                                   \
+    auto vb_ = (b);                                                   \
+    if (!(va_ <= vb_)) {                                              \
+      std::ostringstream oss_;                                        \
+      oss_ << "expected " #a " <= " #b " (" << va_ << " vs " << vb_   \
+           << ")";                                                    \
+      ::retia::util::CheckFailure(__FILE__, __LINE__, oss_.str());    \
+    }                                                                 \
+  } while (0)
+
+#endif  // RETIA_UTIL_CHECK_H_

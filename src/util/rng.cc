@@ -1,0 +1,34 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace retia::util {
+
+int64_t Rng::Zipf(int64_t n, double alpha) {
+  RETIA_CHECK(n > 0);
+  // Inverse-CDF sampling with a rejection-free discrete distribution would
+  // require O(n) setup per call; instead we use the standard two-uniform
+  // rejection method for the Zipf distribution (Devroye 1986), which is O(1)
+  // amortised and exact for alpha > 0.
+  if (alpha <= 0.0) {
+    return UniformInt(0, n - 1);
+  }
+  const double b = std::pow(2.0, alpha - 1.0 + 1e-9);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double u = Uniform(0.0f, 1.0f);
+    const double v = Uniform(0.0f, 1.0f);
+    const double x = std::floor(std::pow(u, -1.0 / std::max(alpha - 1.0 + 1e-9, 1e-9)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    const double t = std::pow(1.0 + 1.0 / x, alpha - 1.0 + 1e-9);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<int64_t>(x) - 1;
+    }
+  }
+  // Extremely unlikely fallback: uniform draw keeps the generator total.
+  return UniformInt(0, n - 1);
+}
+
+}  // namespace retia::util

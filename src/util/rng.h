@@ -1,0 +1,56 @@
+#ifndef RETIA_UTIL_RNG_H_
+#define RETIA_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace retia::util {
+
+// Deterministic random number generator used everywhere in the library so
+// that experiments are reproducible from a single seed. Wraps std::mt19937_64
+// with the distributions the code actually needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+
+  // Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) {
+    std::uniform_real_distribution<float> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Standard normal scaled by `stddev`.
+  float Normal(float stddev) {
+    std::normal_distribution<float> dist(0.0f, stddev);
+    return dist(engine_);
+  }
+
+  // Bernoulli draw with probability `p` of returning true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Zipf-like draw over {0, ..., n-1}: index i has weight (i+1)^-alpha.
+  // Used by the synthetic dataset generators to mimic the long-tailed
+  // entity/relation popularity of the real TKG benchmarks.
+  int64_t Zipf(int64_t n, double alpha);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace retia::util
+
+#endif  // RETIA_UTIL_RNG_H_

@@ -1,0 +1,34 @@
+#ifndef RETIA_UTIL_TABLE_PRINTER_H_
+#define RETIA_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace retia::util {
+
+// Renders rows of strings as an aligned plain-text table. Every benchmark
+// driver uses this to print its table/figure in the same row/column layout
+// as the paper, so outputs can be compared side by side.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles to `precision` decimals; negative values
+  // are rendered as "-" (the paper's marker for unavailable results).
+  static std::string Num(double value, int precision = 2);
+
+  // Writes the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace retia::util
+
+#endif  // RETIA_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,21 @@
+#include "util/timer.h"
+
+#include <cstdio>
+
+namespace retia::util {
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", seconds / 60.0);
+  } else if (seconds < 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f d", seconds / 86400.0);
+  }
+  return buf;
+}
+
+}  // namespace retia::util

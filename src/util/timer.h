@@ -1,0 +1,35 @@
+#ifndef RETIA_UTIL_TIMER_H_
+#define RETIA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace retia::util {
+
+// Simple wall-clock stopwatch used for the run-time comparison experiments
+// (Table VIII) and for training progress logs.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Formats a duration the way Table VIII of the paper prints it
+// ("8.46 min", "3.93 h", "6.40 s", "2.26 d").
+std::string FormatDuration(double seconds);
+
+}  // namespace retia::util
+
+#endif  // RETIA_UTIL_TIMER_H_

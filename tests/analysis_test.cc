@@ -1,0 +1,175 @@
+// Tests for the TKG analysis module and the LayerNorm op / decoder option.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/decoder.h"
+#include "grad_check.h"
+#include "tensor/ops.h"
+#include "tkg/analysis.h"
+#include "tkg/synthetic.h"
+
+namespace retia {
+namespace {
+
+using tensor::Tensor;
+using ::retia::testing::CheckGradients;
+using ::retia::testing::TestTensor;
+
+// ---------------------------------------------------------------------------
+// AnalyzeTemporal.
+
+TEST(AnalyzeTemporalTest, FullyRepeatingGraph) {
+  // The same two facts at every timestamp.
+  std::vector<tkg::Quadruple> train;
+  for (int64_t t = 0; t < 8; ++t) {
+    train.push_back({0, 0, 1, t});
+    train.push_back({1, 1, 2, t});
+  }
+  tkg::TkgDataset ds("repeat", 3, 2, train, {{0, 0, 1, 8}}, {{0, 0, 1, 9}});
+  tkg::TemporalStats s = tkg::AnalyzeTemporal(ds);
+  // Everything after the first timestamp is a repetition.
+  EXPECT_NEAR(s.repetition_rate, 16.0 / 18.0, 1e-9);
+  EXPECT_NEAR(s.consecutive_overlap, (7.0 + 2.0 * (1.0 / 2.0)) / 9.0, 0.35);
+  EXPECT_EQ(s.distinct_triples, 2);
+  EXPECT_NEAR(s.mean_facts_per_timestamp, 1.8, 1e-9);
+}
+
+TEST(AnalyzeTemporalTest, FullyNovelGraphHasZeroRepetition) {
+  std::vector<tkg::Quadruple> train;
+  for (int64_t t = 0; t < 6; ++t) train.push_back({t, 0, t + 1, t});
+  tkg::TkgDataset ds("novel", 8, 1, train, {{6, 0, 7, 6}}, {{7, 0, 0, 7}});
+  tkg::TemporalStats s = tkg::AnalyzeTemporal(ds);
+  EXPECT_EQ(s.repetition_rate, 0.0);
+  EXPECT_EQ(s.consecutive_overlap, 0.0);
+  EXPECT_EQ(s.distinct_triples, 8);
+}
+
+TEST(AnalyzeTemporalTest, RelationDriftDetectsCyclingRelations) {
+  // Same (s, o) pair with a different relation each timestamp.
+  std::vector<tkg::Quadruple> train = {
+      {0, 0, 1, 0}, {0, 1, 1, 1}, {0, 2, 1, 2}, {0, 0, 1, 3}};
+  tkg::TkgDataset ds("drift", 2, 3, train, {{0, 1, 1, 4}}, {{0, 2, 1, 5}});
+  tkg::TemporalStats s = tkg::AnalyzeTemporal(ds);
+  // Every fact after the first sees the pair with some other relation.
+  EXPECT_GT(s.relation_drift_rate, 0.5);
+}
+
+TEST(AnalyzeTemporalTest, RelationEntropySingleRelationIsZero) {
+  std::vector<tkg::Quadruple> train = {{0, 0, 1, 0}, {1, 0, 2, 1}};
+  tkg::TkgDataset ds("ent", 3, 1, train, {{0, 0, 1, 2}}, {{0, 0, 1, 3}});
+  EXPECT_NEAR(tkg::AnalyzeTemporal(ds).relation_entropy, 0.0, 1e-9);
+}
+
+// The generators must produce the paper's cross-dataset contrast: YAGO-like
+// repeats and overlaps far more than ICEWS-like, and ICEWS-like has higher
+// relation drift (the cycling schemas).
+TEST(AnalyzeTemporalTest, ProfilesReproducePaperContrast) {
+  tkg::TemporalStats yago = tkg::AnalyzeTemporal(
+      tkg::GenerateSynthetic(tkg::SyntheticConfig::YagoLike()));
+  tkg::TemporalStats icews = tkg::AnalyzeTemporal(
+      tkg::GenerateSynthetic(tkg::SyntheticConfig::Icews18Like()));
+  EXPECT_GT(yago.repetition_rate, icews.repetition_rate + 0.1);
+  EXPECT_GT(yago.consecutive_overlap, icews.consecutive_overlap);
+  EXPECT_GT(icews.relation_entropy, yago.relation_entropy);
+}
+
+// ---------------------------------------------------------------------------
+// LayerNormRows.
+
+TEST(LayerNormTest, NormalizesRowsToZeroMeanUnitVar) {
+  Tensor a = TestTensor({4, 16}, 1, false);
+  Tensor gamma = Tensor::Full({16}, 1.0f);
+  Tensor beta = Tensor::Zeros({16});
+  Tensor out = tensor::LayerNormRows(a, gamma, beta);
+  for (int64_t i = 0; i < 4; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 16; ++j) mean += out.At(i, j);
+    mean /= 16;
+    for (int64_t j = 0; j < 16; ++j) {
+      const double d = out.At(i, j) - mean;
+      var += d * d;
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GammaBetaAffineApplied) {
+  Tensor a = TestTensor({2, 8}, 2, false);
+  Tensor gamma = Tensor::Full({8}, 2.0f);
+  Tensor beta = Tensor::Full({8}, -1.0f);
+  Tensor plain = tensor::LayerNormRows(a, Tensor::Full({8}, 1.0f),
+                                       Tensor::Zeros({8}));
+  Tensor affine = tensor::LayerNormRows(a, gamma, beta);
+  for (int64_t i = 0; i < affine.NumElements(); ++i) {
+    EXPECT_NEAR(affine.Data()[i], 2.0f * plain.Data()[i] - 1.0f, 1e-4f);
+  }
+}
+
+TEST(LayerNormTest, GradientChecks) {
+  Tensor a = TestTensor({3, 6}, 3);
+  Tensor gamma = TestTensor({6}, 4);
+  Tensor beta = TestTensor({6}, 5);
+  Tensor w = TestTensor({3, 6}, 6, false);
+  CheckGradients(
+      [&] {
+        return tensor::Sum(
+            tensor::Mul(tensor::LayerNormRows(a, gamma, beta), w));
+      },
+      {a, gamma, beta}, /*eps=*/1e-2f, /*tolerance=*/5e-2f);
+}
+
+TEST(LayerNormTest, ShiftInvariance) {
+  // LayerNorm output is invariant to adding a constant to a row.
+  Tensor a = TestTensor({1, 8}, 7, false);
+  Tensor shifted = tensor::Scale(a, 1.0f);
+  for (int64_t j = 0; j < 8; ++j) shifted.Data()[j] += 5.0f;
+  Tensor gamma = Tensor::Full({8}, 1.0f);
+  Tensor beta = Tensor::Zeros({8});
+  Tensor na = tensor::LayerNormRows(a, gamma, beta);
+  Tensor nb = tensor::LayerNormRows(shifted, gamma, beta);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(na.Data()[j], nb.Data()[j], 1e-4f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder with layer normalisation.
+
+TEST(DecoderLayerNormTest, AddsParametersAndRuns) {
+  util::Rng rng(8);
+  core::ConvTransEDecoder plain(8, 4, 3, 0.0f, &rng);
+  core::ConvTransEDecoder normed(8, 4, 3, 0.0f, &rng,
+                                 /*with_layernorm=*/true);
+  EXPECT_EQ(normed.Parameters().size(), plain.Parameters().size() + 2);
+  normed.SetTraining(false);
+  Tensor logits = normed.Forward(TestTensor({3, 8}, 9, false),
+                                 TestTensor({3, 8}, 10, false),
+                                 TestTensor({5, 8}, 11, false), &rng);
+  EXPECT_EQ(logits.Dim(0), 3);
+  EXPECT_EQ(logits.Dim(1), 5);
+  for (int64_t i = 0; i < logits.NumElements(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits.Data()[i]));
+  }
+}
+
+TEST(DecoderLayerNormTest, GradientsReachNormParameters) {
+  util::Rng rng(12);
+  core::ConvTransEDecoder dec(8, 4, 3, 0.0f, &rng, /*with_layernorm=*/true);
+  dec.SetTraining(false);
+  Tensor a = TestTensor({2, 8}, 13, false);
+  Tensor b = TestTensor({2, 8}, 14, false);
+  Tensor cands = TestTensor({4, 8}, 15, false);
+  tensor::Sum(dec.Forward(a, b, cands, &rng)).Backward();
+  int with_grad = 0;
+  for (const auto& [name, p] : dec.NamedParameters()) {
+    if ((name == "ln_gamma" || name == "ln_beta") && p.HasGrad()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, 2);
+}
+
+}  // namespace
+}  // namespace retia

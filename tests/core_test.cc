@@ -1,0 +1,389 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/decoder.h"
+#include "core/retia.h"
+#include "core/rgcn.h"
+#include "grad_check.h"
+#include "graph/graph_cache.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "tkg/synthetic.h"
+
+namespace retia::core {
+namespace {
+
+using tensor::Tensor;
+using ::retia::testing::TestTensor;
+
+tkg::SyntheticConfig TinyConfig() {
+  tkg::SyntheticConfig c;
+  c.name = "tiny";
+  c.num_entities = 30;
+  c.num_relations = 5;
+  c.num_timestamps = 12;
+  c.facts_per_timestamp = 12;
+  c.num_schemas = 30;
+  c.max_period = 3;
+  c.repeat_prob = 0.9;
+  c.noise_frac = 0.1;
+  c.seed = 99;
+  return c;
+}
+
+RetiaConfig TinyModelConfig(const tkg::TkgDataset& ds) {
+  RetiaConfig config;
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = 8;
+  config.history_len = 3;
+  config.conv_kernels = 4;
+  config.num_bases = 2;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// EntityRgcnLayer.
+
+TEST(EntityRgcnLayerTest, OutputShape) {
+  util::Rng rng(1);
+  graph::Subgraph g({{0, 0, 1, 0}, {1, 1, 2, 0}}, 4, 2);
+  EntityRgcnLayer layer(8, 4, 2, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor out = layer.Forward(TestTensor({4, 8}, 2, false),
+                             TestTensor({4, 8}, 3, false), g, &rng);
+  EXPECT_EQ(out.Dim(0), 4);
+  EXPECT_EQ(out.Dim(1), 8);
+}
+
+TEST(EntityRgcnLayerTest, IsolatedNodeOnlyGetsSelfLoop) {
+  util::Rng rng(1);
+  // Entity 3 has no edges; with zero node features and zero relation
+  // features, every output row differs only via the self loop, which is
+  // zero for a zero input row.
+  graph::Subgraph g({{0, 0, 1, 0}}, 4, 1);
+  EntityRgcnLayer layer(4, 2, 1, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor nodes = Tensor::Zeros({4, 4});
+  Tensor rels = TestTensor({2, 4}, 5, false);
+  Tensor out = layer.Forward(nodes, rels, g, &rng);
+  // Row 3 (isolated): self-loop of zero input = 0 before activation;
+  // RReLU(0) = 0.
+  for (int64_t j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(out.At(3, j), 0.0f);
+  // Row 1 receives a message from entity 0 + relation 0: generally nonzero.
+  float sum = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) sum += std::fabs(out.At(1, j));
+  EXPECT_GT(sum, 1e-6f);
+}
+
+TEST(EntityRgcnLayerTest, GradientsReachAllParameters) {
+  util::Rng rng(2);
+  graph::Subgraph g({{0, 0, 1, 0}, {2, 1, 0, 0}}, 3, 2);
+  EntityRgcnLayer layer(4, 4, 2, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor nodes = TestTensor({3, 4}, 7);
+  Tensor rels = TestTensor({4, 4}, 8);
+  tensor::Sum(layer.Forward(nodes, rels, g, &rng)).Backward();
+  EXPECT_TRUE(nodes.HasGrad());
+  EXPECT_TRUE(rels.HasGrad());
+  for (const Tensor& p : layer.Parameters()) {
+    EXPECT_TRUE(p.HasGrad());
+  }
+}
+
+TEST(EntityRgcnLayerTest, DegreeNormalizationAverationsParallelEdges) {
+  util::Rng rng(3);
+  // Two parallel facts (0,0,2) and (1,0,2): messages into 2 are averaged,
+  // so doubling identical sources must not double the aggregate.
+  EntityRgcnLayer layer(4, 2, 1, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor nodes = TestTensor({3, 4}, 9, false);
+  // Make the two source rows identical.
+  for (int64_t j = 0; j < 4; ++j) nodes.At(1, j) = nodes.At(0, j);
+  Tensor rels = TestTensor({2, 4}, 10, false);
+  graph::Subgraph g1({{0, 0, 2, 0}}, 3, 1);
+  graph::Subgraph g2({{0, 0, 2, 0}, {1, 0, 2, 0}}, 3, 1);
+  Tensor out1 = layer.Forward(nodes, rels, g1, &rng);
+  Tensor out2 = layer.Forward(nodes, rels, g2, &rng);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(out1.At(2, j), out2.At(2, j), 1e-5f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RelationRgcnLayer.
+
+TEST(RelationRgcnLayerTest, OutputShapeAndGradients) {
+  util::Rng rng(4);
+  graph::Subgraph g({{0, 0, 1, 0}, {1, 1, 2, 0}}, 3, 2);
+  graph::HyperSubgraph hg(g);
+  ASSERT_GT(hg.num_edges(), 0);
+  RelationRgcnLayer layer(4, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor rels = TestTensor({4, 4}, 11);
+  Tensor hypers = TestTensor({8, 4}, 12);
+  Tensor out = layer.Forward(rels, hypers, hg, &rng);
+  EXPECT_EQ(out.Dim(0), 4);
+  tensor::Sum(out).Backward();
+  EXPECT_TRUE(rels.HasGrad());
+  EXPECT_TRUE(hypers.HasGrad());
+}
+
+TEST(RelationRgcnLayerTest, EmptyHypergraphStillProducesSelfLoopOutput) {
+  util::Rng rng(5);
+  graph::Subgraph g({}, 3, 2);
+  graph::HyperSubgraph hg(g);
+  RelationRgcnLayer layer(4, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor out = layer.Forward(TestTensor({4, 4}, 13, false),
+                             TestTensor({8, 4}, 14, false), hg, &rng);
+  EXPECT_EQ(out.Dim(0), 4);
+}
+
+// Relation-to-relation message passing is the paper's fix for "message
+// islands": changing an *adjacent relation's* embedding must change the
+// output embedding of the relation it is hyper-connected to.
+TEST(RelationRgcnLayerTest, MessagesCrossBetweenRelations) {
+  util::Rng rng(6);
+  graph::Subgraph g({{0, 0, 1, 0}, {1, 1, 2, 0}}, 3, 2);
+  graph::HyperSubgraph hg(g);
+  RelationRgcnLayer layer(4, 0.0f, &rng);
+  layer.SetTraining(false);
+  Tensor hypers = TestTensor({8, 4}, 15, false);
+  Tensor rels_a = TestTensor({4, 4}, 16, false);
+  Tensor rels_b = rels_a.Detach();
+  // Perturb relation 0 only.
+  for (int64_t j = 0; j < 4; ++j) rels_b.At(0, j) += 1.0f;
+  Tensor out_a = layer.Forward(rels_a, hypers, hg, &rng);
+  Tensor out_b = layer.Forward(rels_b, hypers, hg, &rng);
+  // Relation 1's output must differ: the message from relation 0 reached it
+  // through the hyperedge (impossible in RE-GCN-style modeling).
+  float delta = 0.0f;
+  for (int64_t j = 0; j < 4; ++j)
+    delta += std::fabs(out_a.At(1, j) - out_b.At(1, j));
+  EXPECT_GT(delta, 1e-4f);
+}
+
+// ---------------------------------------------------------------------------
+// ConvTransEDecoder.
+
+TEST(ConvTransEDecoderTest, LogitShape) {
+  util::Rng rng(7);
+  ConvTransEDecoder dec(8, 4, 3, 0.0f, &rng);
+  dec.SetTraining(false);
+  Tensor logits = dec.Forward(TestTensor({5, 8}, 17, false),
+                              TestTensor({5, 8}, 18, false),
+                              TestTensor({11, 8}, 19, false), &rng);
+  EXPECT_EQ(logits.Dim(0), 5);
+  EXPECT_EQ(logits.Dim(1), 11);
+}
+
+TEST(ConvTransEDecoderTest, GradientsFlowToQueryAndCandidates) {
+  util::Rng rng(8);
+  ConvTransEDecoder dec(8, 4, 3, 0.0f, &rng);
+  dec.SetTraining(false);
+  Tensor a = TestTensor({2, 8}, 20);
+  Tensor b = TestTensor({2, 8}, 21);
+  Tensor cands = TestTensor({6, 8}, 22);
+  tensor::Sum(dec.Forward(a, b, cands, &rng)).Backward();
+  EXPECT_TRUE(a.HasGrad());
+  EXPECT_TRUE(b.HasGrad());
+  EXPECT_TRUE(cands.HasGrad());
+  for (const Tensor& p : dec.Parameters()) EXPECT_TRUE(p.HasGrad());
+}
+
+TEST(ConvTransEDecoderTest, TrainableToPreferTarget) {
+  // A single query trained to rank candidate 3 first.
+  util::Rng rng(9);
+  ConvTransEDecoder dec(6, 4, 3, 0.0f, &rng);
+  Tensor a = TestTensor({1, 6}, 23, false);
+  Tensor b = TestTensor({1, 6}, 24, false);
+  Tensor cands = TestTensor({5, 6}, 25, false);
+  std::vector<Tensor> params = dec.Parameters();
+  nn::Adam opt(params, nn::Adam::Options{.lr = 0.01f});
+  for (int step = 0; step < 200; ++step) {
+    dec.ZeroGrad();
+    Tensor logits = dec.Forward(a, b, cands, &rng);
+    tensor::CrossEntropyLogits(logits, {3}).Backward();
+    opt.Step();
+  }
+  dec.SetTraining(false);
+  Tensor logits = dec.Forward(a, b, cands, &rng);
+  int64_t best = 0;
+  for (int64_t j = 1; j < 5; ++j)
+    if (logits.At(0, j) > logits.At(0, best)) best = j;
+  EXPECT_EQ(best, 3);
+}
+
+// ---------------------------------------------------------------------------
+// RetiaModel: evolution across configurations.
+
+class RetiaAblationTest : public ::testing::TestWithParam<RetiaConfig> {};
+
+TEST_P(RetiaAblationTest, EvolveProducesWellFormedStates) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaConfig config = GetParam();
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = 8;
+  config.conv_kernels = 4;
+  RetiaModel model(config);
+  model.SetTraining(false);
+  graph::GraphCache cache(&ds);
+  tensor::NoGradGuard guard;
+  auto states = model.Evolve(cache, cache.HistoryBefore(5, config.history_len));
+  ASSERT_EQ(states.size(), 3u);
+  for (const auto& st : states) {
+    EXPECT_EQ(st.entities.Dim(0), ds.num_entities());
+    EXPECT_EQ(st.entities.Dim(1), 8);
+    EXPECT_EQ(st.relations.Dim(0), 2 * ds.num_relations());
+    for (int64_t i = 0; i < st.entities.NumElements(); ++i) {
+      EXPECT_TRUE(std::isfinite(st.entities.Data()[i]));
+    }
+    for (int64_t i = 0; i < st.relations.NumElements(); ++i) {
+      EXPECT_TRUE(std::isfinite(st.relations.Data()[i]));
+    }
+  }
+}
+
+TEST_P(RetiaAblationTest, LossBackwardRuns) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaConfig config = GetParam();
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = 8;
+  config.conv_kernels = 4;
+  RetiaModel model(config);
+  graph::GraphCache cache(&ds);
+  auto states = model.Evolve(cache, cache.HistoryBefore(5, config.history_len));
+  auto loss = model.ComputeLoss(states, ds.FactsAt(5));
+  EXPECT_TRUE(std::isfinite(loss.joint.Item()));
+  EXPECT_GT(loss.entity_loss, 0.0f);
+  EXPECT_GT(loss.relation_loss, 0.0f);
+  loss.joint.Backward();  // must not crash
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RetiaAblationTest,
+    ::testing::Values(
+        RetiaConfig{},  // full model
+        [] { RetiaConfig c; c.use_eam = false; return c; }(),
+        [] { RetiaConfig c; c.use_ram = false; return c; }(),
+        [] { RetiaConfig c; c.use_tim = false; return c; }(),
+        [] { RetiaConfig c; c.hyper_mode = HyperMode::kNone; return c; }(),
+        [] { RetiaConfig c; c.hyper_mode = HyperMode::kHmp; return c; }(),
+        [] { RetiaConfig c; c.relation_mode = RelationMode::kNone; return c; }(),
+        [] { RetiaConfig c; c.relation_mode = RelationMode::kMp; return c; }(),
+        [] { RetiaConfig c; c.relation_mode = RelationMode::kMpLstm; return c; }(),
+        [] { RetiaConfig c; c.time_variability_decode = false; return c; }()),
+    [](const ::testing::TestParamInfo<RetiaConfig>& info) {
+      const RetiaConfig& c = info.param;
+      std::string name;
+      if (!c.use_eam) name = "wo_eam";
+      else if (!c.use_ram) name = "wo_ram";
+      else if (!c.use_tim) name = "wo_tim";
+      else if (c.relation_mode == RelationMode::kNone) name = "wo_rm";
+      else if (c.relation_mode == RelationMode::kMp) name = "w_mp";
+      else if (c.relation_mode == RelationMode::kMpLstm) name = "w_mp_lstm";
+      else if (c.hyper_mode == HyperMode::kNone) name = "wo_hrm";
+      else if (c.hyper_mode == HyperMode::kHmp) name = "w_hmp";
+      else if (!c.time_variability_decode) name = "last_step_decode";
+      else name = "full";
+      return name + "_" + std::to_string(info.index);
+    });
+
+TEST(RetiaModelTest, EmptyHistoryYieldsInitialState) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaModel model(TinyModelConfig(ds));
+  graph::GraphCache cache(&ds);
+  tensor::NoGradGuard guard;
+  model.SetTraining(false);
+  auto states = model.Evolve(cache, {});
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].entities.Dim(0), ds.num_entities());
+}
+
+TEST(RetiaModelTest, ScoreObjectsSumsToHistoryLength) {
+  // With time-variability decoding the summed softmax outputs total k per
+  // row (each softmax sums to 1).
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaConfig config = TinyModelConfig(ds);
+  RetiaModel model(config);
+  model.SetTraining(false);
+  graph::GraphCache cache(&ds);
+  tensor::NoGradGuard guard;
+  auto states = model.Evolve(cache, cache.HistoryBefore(6, 3));
+  Tensor p = model.ScoreObjects(states, {{0, 1}, {3, 2}});
+  ASSERT_EQ(p.Dim(0), 2);
+  ASSERT_EQ(p.Dim(1), ds.num_entities());
+  for (int64_t i = 0; i < 2; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < p.Dim(1); ++j) total += p.At(i, j);
+    EXPECT_NEAR(total, 3.0, 1e-3);
+  }
+}
+
+TEST(RetiaModelTest, ScoreRelationsShape) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaModel model(TinyModelConfig(ds));
+  model.SetTraining(false);
+  graph::GraphCache cache(&ds);
+  tensor::NoGradGuard guard;
+  auto states = model.Evolve(cache, cache.HistoryBefore(6, 3));
+  Tensor p = model.ScoreRelations(states, {{0, 1}});
+  EXPECT_EQ(p.Dim(0), 1);
+  EXPECT_EQ(p.Dim(1), ds.num_relations());
+}
+
+TEST(RetiaModelTest, TrainingStepsReduceLoss) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaConfig config = TinyModelConfig(ds);
+  RetiaModel model(config);
+  graph::GraphCache cache(&ds);
+  std::vector<Tensor> params = model.Parameters();
+  nn::Adam opt(params, nn::Adam::Options{.lr = 2e-3f});
+  const std::vector<int64_t> history = cache.HistoryBefore(5, 3);
+  const auto& facts = ds.FactsAt(5);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    model.ZeroGrad();
+    auto states = model.Evolve(cache, history);
+    auto loss = model.ComputeLoss(states, facts);
+    if (step == 0) first_loss = loss.joint.Item();
+    last_loss = loss.joint.Item();
+    loss.joint.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.8f);
+}
+
+TEST(RetiaModelTest, ParameterCountScalesWithVocabulary) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaConfig config = TinyModelConfig(ds);
+  RetiaModel model(config);
+  // At minimum the three initial embedding tables are present.
+  const int64_t minimum = ds.num_entities() * config.dim +
+                          2 * ds.num_relations() * config.dim +
+                          8 * config.dim;
+  EXPECT_GT(model.NumParameters(), minimum);
+}
+
+TEST(RetiaModelTest, EvolveIsDeterministicInEvalMode) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(TinyConfig());
+  RetiaModel model(TinyModelConfig(ds));
+  model.SetTraining(false);
+  graph::GraphCache cache(&ds);
+  tensor::NoGradGuard guard;
+  auto a = model.Evolve(cache, cache.HistoryBefore(6, 3));
+  auto b = model.Evolve(cache, cache.HistoryBefore(6, 3));
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int64_t j = 0; j < a[i].entities.NumElements(); ++j) {
+      ASSERT_EQ(a[i].entities.Data()[j], b[i].entities.Data()[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retia::core

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "tkg/dataset.h"
+
+namespace retia::eval {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RankOf.
+
+TEST(RankOfTest, BestScoreRanksFirst) {
+  const float scores[] = {0.1f, 0.9f, 0.3f};
+  EXPECT_EQ(RankOf(scores, 3, 1), 1);
+}
+
+TEST(RankOfTest, WorstScoreRanksLast) {
+  const float scores[] = {0.1f, 0.9f, 0.3f};
+  EXPECT_EQ(RankOf(scores, 3, 0), 3);
+}
+
+TEST(RankOfTest, TiesAreOptimistic) {
+  const float scores[] = {0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(RankOf(scores, 3, 2), 1);
+}
+
+TEST(RankOfTest, SingleCandidate) {
+  const float scores[] = {0.0f};
+  EXPECT_EQ(RankOf(scores, 1, 0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, PerfectRanking) {
+  Metrics m;
+  for (int i = 0; i < 10; ++i) m.AddRank(1);
+  EXPECT_DOUBLE_EQ(m.Mrr(), 100.0);
+  EXPECT_DOUBLE_EQ(m.Hits1(), 100.0);
+  EXPECT_DOUBLE_EQ(m.Hits10(), 100.0);
+}
+
+TEST(MetricsTest, KnownMixture) {
+  Metrics m;
+  m.AddRank(1);   // hits@1,3,10; rr 1
+  m.AddRank(2);   // hits@3,10;   rr 0.5
+  m.AddRank(4);   // hits@10;     rr 0.25
+  m.AddRank(20);  // none;        rr 0.05
+  EXPECT_NEAR(m.Mrr(), 100.0 * (1.0 + 0.5 + 0.25 + 0.05) / 4, 1e-9);
+  EXPECT_DOUBLE_EQ(m.Hits1(), 25.0);
+  EXPECT_DOUBLE_EQ(m.Hits3(), 50.0);
+  EXPECT_DOUBLE_EQ(m.Hits10(), 75.0);
+  EXPECT_EQ(m.count(), 4);
+}
+
+TEST(MetricsTest, EmptyMetricsAreZero) {
+  Metrics m;
+  EXPECT_EQ(m.Mrr(), 0.0);
+  EXPECT_EQ(m.count(), 0);
+}
+
+TEST(MetricsTest, MergeAccumulates) {
+  Metrics a;
+  a.AddRank(1);
+  Metrics b;
+  b.AddRank(2);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_NEAR(a.Mrr(), 75.0, 1e-9);
+}
+
+TEST(MetricsTest, RankZeroDies) {
+  Metrics m;
+  EXPECT_DEATH(m.AddRank(0), "expected");
+}
+
+// ---------------------------------------------------------------------------
+// EvaluateTimes with stub scorers.
+
+tkg::TkgDataset StubDataset() {
+  // 4 entities, 2 relations, facts at timestamps 0..2.
+  std::vector<tkg::Quadruple> train = {{0, 0, 1, 0}, {1, 1, 2, 0}};
+  std::vector<tkg::Quadruple> valid = {{0, 0, 1, 1}};
+  std::vector<tkg::Quadruple> test = {{2, 1, 3, 2}, {0, 0, 1, 2}};
+  return tkg::TkgDataset("stub", 4, 2, train, valid, test);
+}
+
+// Oracle scorer: always puts probability 1 on the true answer. The ground
+// truth for the i-th query is recoverable because EvaluateTimes issues
+// queries in fact order: object then subject per fact.
+TEST(EvaluateTimesTest, OracleScorerGetsPerfectMetrics) {
+  tkg::TkgDataset ds = StubDataset();
+  ObjectScoreFn object_fn =
+      [&](int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        const auto& facts = ds.FactsAt(t);
+        tensor::Tensor scores =
+            tensor::Tensor::Zeros({static_cast<int64_t>(queries.size()), 4});
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const tkg::Quadruple& q = facts[i / 2];
+          const int64_t target = (i % 2 == 0) ? q.object : q.subject;
+          scores.At(i, target) = 1.0f;
+        }
+        return scores;
+      };
+  RelationScoreFn relation_fn =
+      [&](int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        const auto& facts = ds.FactsAt(t);
+        tensor::Tensor scores =
+            tensor::Tensor::Zeros({static_cast<int64_t>(queries.size()), 2});
+        for (size_t i = 0; i < queries.size(); ++i) {
+          scores.At(i, facts[i].relation) = 1.0f;
+        }
+        return scores;
+      };
+  EvalResult r = EvaluateTimes(ds, ds.test_times(), object_fn, relation_fn);
+  EXPECT_DOUBLE_EQ(r.entity.Mrr(), 100.0);
+  EXPECT_DOUBLE_EQ(r.relation.Mrr(), 100.0);
+  EXPECT_EQ(r.entity.count(), 4);  // 2 facts x 2 directions
+  EXPECT_EQ(r.relation.count(), 2);
+}
+
+TEST(EvaluateTimesTest, AntiOracleRanksLast) {
+  tkg::TkgDataset ds = StubDataset();
+  ObjectScoreFn object_fn =
+      [&](int64_t t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        const auto& facts = ds.FactsAt(t);
+        tensor::Tensor scores =
+            tensor::Tensor::Zeros({static_cast<int64_t>(queries.size()), 4});
+        for (size_t i = 0; i < queries.size(); ++i) {
+          const tkg::Quadruple& q = facts[i / 2];
+          const int64_t target = (i % 2 == 0) ? q.object : q.subject;
+          scores.At(i, target) = -1.0f;  // strictly below every other score
+        }
+        return scores;
+      };
+  EvalOptions options;
+  options.evaluate_relations = false;
+  EvalResult r =
+      EvaluateTimes(ds, ds.test_times(), object_fn, nullptr, options);
+  EXPECT_DOUBLE_EQ(r.entity.Hits10(), 100.0);  // only 4 candidates
+  EXPECT_DOUBLE_EQ(r.entity.Hits3(), 0.0);
+  EXPECT_NEAR(r.entity.Mrr(), 25.0, 1e-9);  // rank 4 -> rr 0.25
+}
+
+TEST(EvaluateTimesTest, AfterTimestampHookFiresPerTimestamp) {
+  tkg::TkgDataset ds = StubDataset();
+  ObjectScoreFn object_fn =
+      [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        return tensor::Tensor::Zeros(
+            {static_cast<int64_t>(queries.size()), 4});
+      };
+  std::vector<int64_t> visited;
+  EvalOptions options;
+  options.evaluate_relations = false;
+  EvaluateTimes(ds, {1, 2}, object_fn, nullptr, options,
+                [&](int64_t t) { visited.push_back(t); });
+  EXPECT_EQ(visited, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(EvaluateTimesTest, SkipsEmptyTimestamps) {
+  tkg::TkgDataset ds = StubDataset();
+  int64_t calls = 0;
+  ObjectScoreFn object_fn =
+      [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        ++calls;
+        return tensor::Tensor::Zeros(
+            {static_cast<int64_t>(queries.size()), 4});
+      };
+  EvalOptions options;
+  options.evaluate_relations = false;
+  EvaluateTimes(ds, {5, 6, 7}, object_fn, nullptr, options);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(EvaluateTimesTest, EntityOnlyOptionSkipsRelationScorer) {
+  tkg::TkgDataset ds = StubDataset();
+  ObjectScoreFn object_fn =
+      [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        return tensor::Tensor::Zeros(
+            {static_cast<int64_t>(queries.size()), 4});
+      };
+  RelationScoreFn relation_fn =
+      [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>&)
+      -> tensor::Tensor {
+    ADD_FAILURE() << "relation scorer must not be called";
+    return tensor::Tensor::Zeros({1, 2});
+  };
+  EvalOptions options;
+  options.evaluate_relations = false;
+  EvalResult r =
+      EvaluateTimes(ds, ds.test_times(), object_fn, relation_fn, options);
+  EXPECT_EQ(r.relation.count(), 0);
+}
+
+}  // namespace
+}  // namespace retia::eval

@@ -1,0 +1,226 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_cache.h"
+#include "graph/hypergraph.h"
+#include "graph/subgraph.h"
+#include "tkg/synthetic.h"
+
+namespace retia::graph {
+namespace {
+
+using tkg::Quadruple;
+
+// ---------------------------------------------------------------------------
+// Subgraph.
+
+TEST(SubgraphTest, AddsInverseEdges) {
+  Subgraph g({{0, 1, 2, 0}}, /*num_entities=*/3, /*num_relations=*/4);
+  ASSERT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.src()[0], 0);
+  EXPECT_EQ(g.rel()[0], 1);
+  EXPECT_EQ(g.dst()[0], 2);
+  // Inverse: (o, r + M, s).
+  EXPECT_EQ(g.src()[1], 2);
+  EXPECT_EQ(g.rel()[1], 1 + 4);
+  EXPECT_EQ(g.dst()[1], 0);
+}
+
+TEST(SubgraphTest, EdgeNormIsInverseOfPerDstRelInDegree) {
+  // Two facts with the same (relation, object): c_{o,r} = 2.
+  Subgraph g({{0, 0, 2, 0}, {1, 0, 2, 0}}, 3, 1);
+  std::map<std::pair<int64_t, int64_t>, float> norm;
+  for (int64_t e = 0; e < g.num_edges(); ++e) {
+    norm[{g.dst()[e], g.rel()[e]}] = g.edge_norm()[e];
+  }
+  const float norm_obj = norm[{2, 0}];  // two in-edges (0,0,2) and (1,0,2)
+  const float norm_inv = norm[{0, 1}];  // single inverse edge
+  EXPECT_FLOAT_EQ(norm_obj, 0.5f);
+  EXPECT_FLOAT_EQ(norm_inv, 1.0f);
+}
+
+TEST(SubgraphTest, RelationEntitiesCoverBothDirectionsDeduplicated) {
+  Subgraph g({{0, 0, 1, 0}, {1, 0, 2, 0}}, 3, 1);
+  // Relation 0 touches entities {0, 1, 2}.
+  EXPECT_EQ(g.relation_entities()[0], (std::vector<int64_t>{0, 1, 2}));
+  // Inverse relation 1 mirrors the same incidence set.
+  EXPECT_EQ(g.relation_entities()[1], (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(SubgraphTest, ActiveRelationsOnlyListsPresentOnes) {
+  Subgraph g({{0, 2, 1, 0}}, 3, 4);
+  EXPECT_EQ(g.active_relations(), (std::vector<int64_t>{2, 6}));
+}
+
+TEST(SubgraphTest, EmptyFactListYieldsEmptyGraph) {
+  Subgraph g({}, 3, 2);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.active_relations().empty());
+}
+
+// ---------------------------------------------------------------------------
+// HyperSubgraph (Algorithm 1).
+
+TEST(HypergraphTest, InverseHyperRelationPairsUp) {
+  EXPECT_EQ(InverseHyperRelation(kObjectSubject), kObjectSubject + 4);
+  EXPECT_EQ(InverseHyperRelation(kObjectSubject + 4), kObjectSubject);
+  EXPECT_EQ(InverseHyperRelation(kSubjectSubject), kSubjectSubject + 4);
+}
+
+// Chain s --r0--> m --r1--> o: the object of r0 is the subject of r1.
+TEST(HypergraphTest, ChainProducesObjectSubjectHyperedge) {
+  Subgraph g({{0, 0, 1, 0}, {1, 1, 2, 0}}, 3, 2);
+  HyperSubgraph hg(g);
+  bool found = false;
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    if (hg.src()[e] == 0 && hg.hyper_rel()[e] == kObjectSubject &&
+        hg.dst()[e] == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "expected (r0, o-s, r1) hyperedge";
+}
+
+// Two facts sharing an object o: (s0, r0, o), (s1, r1, o) -> (r0, o-o, r1).
+TEST(HypergraphTest, SharedObjectProducesObjectObjectHyperedge) {
+  Subgraph g({{0, 0, 2, 0}, {1, 1, 2, 0}}, 3, 2);
+  HyperSubgraph hg(g);
+  bool found = false;
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    if (hg.src()[e] == 0 && hg.hyper_rel()[e] == kObjectObject &&
+        hg.dst()[e] == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Two facts sharing a subject: (s, r0, o0), (s, r1, o1) -> (r0, s-s, r1).
+TEST(HypergraphTest, SharedSubjectProducesSubjectSubjectHyperedge) {
+  Subgraph g({{0, 0, 1, 0}, {0, 1, 2, 0}}, 3, 2);
+  HyperSubgraph hg(g);
+  bool found = false;
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    if (hg.src()[e] == 0 && hg.hyper_rel()[e] == kSubjectSubject &&
+        hg.dst()[e] == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Algorithm 1 zeroes the diagonals of the o-o and s-s products: a relation
+// must never be its own o-o / s-s neighbour.
+TEST(HypergraphTest, NoSelfPairsInSymmetricHyperrelations) {
+  tkg::TkgDataset ds =
+      tkg::GenerateSynthetic(tkg::SyntheticConfig::YagoLike());
+  GraphCache cache(&ds);
+  for (int64_t t : {0L, 1L, 2L}) {
+    const HyperSubgraph& hg = cache.hypergraph(t);
+    for (int64_t e = 0; e < hg.num_edges(); ++e) {
+      const int64_t hr = hg.hyper_rel()[e];
+      if (hr == kObjectObject || hr == kSubjectSubject ||
+          hr == kObjectObject + 4 || hr == kSubjectSubject + 4) {
+        EXPECT_NE(hg.src()[e], hg.dst()[e]) << "self pair via hr " << hr;
+      }
+    }
+  }
+}
+
+// Every hyperedge must have its inverse hyperedge present (Sec. III-A).
+TEST(HypergraphTest, ClosedUnderInverseHyperedges) {
+  tkg::TkgDataset ds =
+      tkg::GenerateSynthetic(tkg::SyntheticConfig::WikiLike());
+  GraphCache cache(&ds);
+  const HyperSubgraph& hg = cache.hypergraph(0);
+  std::set<std::tuple<int64_t, int64_t, int64_t>> edges;
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    edges.insert({hg.src()[e], hg.hyper_rel()[e], hg.dst()[e]});
+  }
+  for (const auto& [s, hr, d] : edges) {
+    EXPECT_TRUE(edges.count({d, InverseHyperRelation(hr), s}))
+        << "missing inverse of (" << s << "," << hr << "," << d << ")";
+  }
+}
+
+// Per-(dst, hr) norms sum to exactly 1 over the incoming hyperedges.
+TEST(HypergraphTest, NormsSumToOnePerDstHyperrelation) {
+  tkg::TkgDataset ds =
+      tkg::GenerateSynthetic(tkg::SyntheticConfig::Icews14Like());
+  GraphCache cache(&ds);
+  const HyperSubgraph& hg = cache.hypergraph(0);
+  std::map<std::pair<int64_t, int64_t>, double> sums;
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    sums[{hg.dst()[e], hg.hyper_rel()[e]}] += hg.edge_norm()[e];
+  }
+  for (const auto& [key, total] : sums) {
+    EXPECT_NEAR(total, 1.0, 1e-4);
+  }
+}
+
+// Relation nodes mentioned by hyperedges must come from the augmented
+// vocabulary of the base graph.
+TEST(HypergraphTest, RelationNodesWithinAugmentedVocabulary) {
+  tkg::TkgDataset ds =
+      tkg::GenerateSynthetic(tkg::SyntheticConfig::Icews18Like());
+  GraphCache cache(&ds);
+  const HyperSubgraph& hg = cache.hypergraph(0);
+  EXPECT_EQ(hg.num_relation_nodes(), 2 * ds.num_relations());
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    EXPECT_LT(hg.src()[e], hg.num_relation_nodes());
+    EXPECT_LT(hg.dst()[e], hg.num_relation_nodes());
+  }
+}
+
+TEST(HypergraphTest, EmptyBaseGraphYieldsEmptyHypergraph) {
+  Subgraph g({}, 3, 2);
+  HyperSubgraph hg(g);
+  EXPECT_EQ(hg.num_edges(), 0);
+}
+
+// The motivating example of Fig. 1(b): two chained facts create message
+// paths between the two relations in *both* directions via o-s and s-o.
+TEST(HypergraphTest, MessageIslandsBridged) {
+  Subgraph g({{0, 0, 1, 0}, {1, 1, 2, 0}}, 3, 2);
+  HyperSubgraph hg(g);
+  std::set<std::pair<int64_t, int64_t>> connected;  // (src, dst) rel pairs
+  for (int64_t e = 0; e < hg.num_edges(); ++e) {
+    connected.insert({hg.src()[e], hg.dst()[e]});
+  }
+  EXPECT_TRUE(connected.count({0, 1}));  // r0 -> r1
+  EXPECT_TRUE(connected.count({1, 0}));  // r1 -> r0
+}
+
+// ---------------------------------------------------------------------------
+// GraphCache.
+
+TEST(GraphCacheTest, HistoryBeforeReturnsLatestK) {
+  tkg::SyntheticConfig config = tkg::SyntheticConfig::YagoLike();
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(config);
+  GraphCache cache(&ds);
+  std::vector<int64_t> h = cache.HistoryBefore(10, 3);
+  EXPECT_EQ(h, (std::vector<int64_t>{7, 8, 9}));
+}
+
+TEST(GraphCacheTest, HistoryTruncatedAtDatasetStart) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(tkg::SyntheticConfig::YagoLike());
+  GraphCache cache(&ds);
+  EXPECT_EQ(cache.HistoryBefore(1, 5), (std::vector<int64_t>{0}));
+  EXPECT_TRUE(cache.HistoryBefore(0, 5).empty());
+}
+
+TEST(GraphCacheTest, SubgraphsAreCachedByIdentity) {
+  tkg::TkgDataset ds = tkg::GenerateSynthetic(tkg::SyntheticConfig::YagoLike());
+  GraphCache cache(&ds);
+  const Subgraph& a = cache.subgraph(3);
+  const Subgraph& b = cache.subgraph(3);
+  EXPECT_EQ(&a, &b);
+  const HyperSubgraph& ha = cache.hypergraph(3);
+  const HyperSubgraph& hb = cache.hypergraph(3);
+  EXPECT_EQ(&ha, &hb);
+}
+
+}  // namespace
+}  // namespace retia::graph

@@ -1,0 +1,340 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/rnn_cells.h"
+#include "tensor/ops.h"
+
+namespace retia::nn {
+namespace {
+
+using tensor::Tensor;
+using ::retia::testing::CheckGradients;
+using ::retia::testing::TestTensor;
+
+// ---------------------------------------------------------------------------
+// Module registry.
+
+class ToyModule : public Module {
+ public:
+  explicit ToyModule(util::Rng* rng) : child_(3, 2, rng) {
+    w_ = RegisterParameter("w", XavierUniform({2, 2}, rng));
+    RegisterModule("child", &child_);
+  }
+  Linear child_;
+  Tensor w_;
+};
+
+TEST(ModuleTest, ParametersIncludeChildren) {
+  util::Rng rng(1);
+  ToyModule m(&rng);
+  // w (4) + child weight (6) + child bias (2).
+  EXPECT_EQ(m.Parameters().size(), 3u);
+  EXPECT_EQ(m.NumParameters(), 12);
+}
+
+TEST(ModuleTest, NamedParametersHavePrefixedNames) {
+  util::Rng rng(1);
+  ToyModule m(&rng);
+  auto named = m.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].first, "w");
+  EXPECT_EQ(named[1].first, "child.weight");
+  EXPECT_EQ(named[2].first, "child.bias");
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  util::Rng rng(1);
+  ToyModule m(&rng);
+  m.SetTraining(false);
+  EXPECT_FALSE(m.training());
+  EXPECT_FALSE(m.child_.training());
+  m.SetTraining(true);
+  EXPECT_TRUE(m.child_.training());
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameters) {
+  util::Rng rng(1);
+  ToyModule m(&rng);
+  tensor::Sum(tensor::MatMul(m.w_, m.child_.weight())).Backward();
+  EXPECT_TRUE(m.w_.HasGrad());
+  m.ZeroGrad();
+  for (float g : m.w_.Grad()) EXPECT_EQ(g, 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Init.
+
+TEST(InitTest, XavierUniformWithinBound) {
+  util::Rng rng(2);
+  Tensor t = XavierUniform({16, 8}, &rng);
+  const float bound = std::sqrt(6.0f / (16 + 8));
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_LE(std::fabs(t.Data()[i]), bound);
+  }
+}
+
+TEST(InitTest, XavierNotDegenerate) {
+  util::Rng rng(3);
+  Tensor t = XavierUniform({32, 32}, &rng);
+  double mean = 0.0;
+  for (int64_t i = 0; i < t.NumElements(); ++i) mean += t.Data()[i];
+  mean /= t.NumElements();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+}
+
+TEST(InitTest, NormalInitStddev) {
+  util::Rng rng(4);
+  Tensor t = NormalInit({100, 100}, 0.5f, &rng);
+  double var = 0.0;
+  for (int64_t i = 0; i < t.NumElements(); ++i)
+    var += t.Data()[i] * t.Data()[i];
+  var /= t.NumElements();
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Linear / Embedding.
+
+TEST(LinearTest, OutputShape) {
+  util::Rng rng(5);
+  Linear lin(6, 4, &rng);
+  Tensor y = lin.Forward(TestTensor({3, 6}, 10, false));
+  EXPECT_EQ(y.Dim(0), 3);
+  EXPECT_EQ(y.Dim(1), 4);
+}
+
+TEST(LinearTest, NoBiasVariantHasOneParameter) {
+  util::Rng rng(5);
+  Linear lin(6, 4, &rng, /*with_bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradientFlowsToWeightAndBias) {
+  util::Rng rng(6);
+  Linear lin(3, 2, &rng);
+  Tensor x = TestTensor({4, 3}, 20, false);
+  tensor::Sum(lin.Forward(x)).Backward();
+  for (const Tensor& p : lin.Parameters()) EXPECT_TRUE(p.HasGrad());
+}
+
+TEST(EmbeddingTest, ForwardGathersRows) {
+  util::Rng rng(7);
+  Embedding emb(5, 3, &rng);
+  Tensor rows = emb.Forward({4, 0});
+  EXPECT_EQ(rows.Dim(0), 2);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(rows.At(0, j), emb.table().At(4, j));
+    EXPECT_EQ(rows.At(1, j), emb.table().At(0, j));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GRU cell.
+
+TEST(GruCellTest, OutputShapeAndRange) {
+  util::Rng rng(8);
+  GruCell cell(6, 4, &rng);
+  Tensor h = cell.Forward(TestTensor({5, 6}, 30, false),
+                          TestTensor({5, 4}, 31, false));
+  EXPECT_EQ(h.Dim(0), 5);
+  EXPECT_EQ(h.Dim(1), 4);
+}
+
+TEST(GruCellTest, InterpolatesBetweenHiddenAndCandidate) {
+  // h' = (1-z) n + z h is a convex combination, so with h in [-1, 1] the
+  // output must stay in (-1, 1) (n is a tanh).
+  util::Rng rng(9);
+  GruCell cell(3, 3, &rng);
+  Tensor h = cell.Forward(TestTensor({10, 3}, 33, false),
+                          TestTensor({10, 3}, 34, false));
+  for (int64_t i = 0; i < h.NumElements(); ++i) {
+    EXPECT_LT(std::fabs(h.Data()[i]), 1.0f);
+  }
+}
+
+TEST(GruCellTest, GradientChecks) {
+  util::Rng rng(10);
+  GruCell cell(3, 2, &rng);
+  Tensor x = TestTensor({2, 3}, 40);
+  Tensor h = TestTensor({2, 2}, 41);
+  std::vector<Tensor> inputs = {x, h};
+  for (const Tensor& p : cell.Parameters()) inputs.push_back(p);
+  CheckGradients([&] { return tensor::Mean(cell.Forward(x, h)); }, inputs);
+}
+
+TEST(GruCellTest, DifferentInputAndHiddenSizes) {
+  // The relation GRU of RE-GCN consumes 2d-wide inputs with d-wide state.
+  util::Rng rng(11);
+  GruCell cell(8, 4, &rng);
+  Tensor h = cell.Forward(TestTensor({3, 8}, 42, false),
+                          TestTensor({3, 4}, 43, false));
+  EXPECT_EQ(h.Dim(1), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Projected-cell LSTM (the TIM cell, Sec. III-E).
+
+TEST(ProjectedLstmTest, StateShapesMatchPaperDimensions) {
+  // Eq. 8: input 2d, hidden d, cell 2d.
+  const int64_t d = 5;
+  util::Rng rng(12);
+  ProjectedLstmCell cell(2 * d, d, 2 * d, &rng);
+  Tensor x = TestTensor({7, 2 * d}, 50, false);
+  ProjectedLstmCell::State s{TestTensor({7, d}, 51, false),
+                             TestTensor({7, 2 * d}, 52, false)};
+  auto next = cell.Forward(x, s);
+  EXPECT_EQ(next.h.Dim(1), d);
+  EXPECT_EQ(next.c.Dim(1), 2 * d);
+}
+
+TEST(ProjectedLstmTest, CellStateCanBeSeededWithInput) {
+  // The paper sets C_0 = R_Mean^0: the cell state width equals the input
+  // width, so the input tensor itself is a valid initial cell state.
+  const int64_t d = 4;
+  util::Rng rng(13);
+  ProjectedLstmCell cell(2 * d, d, 2 * d, &rng);
+  Tensor x = TestTensor({3, 2 * d}, 53, false);
+  auto next = cell.Forward(x, {TestTensor({3, d}, 54, false), x});
+  EXPECT_EQ(next.h.Dim(1), d);
+}
+
+TEST(ProjectedLstmTest, HiddenOutputBounded) {
+  // h = o * tanh(W c) with o in (0,1) => |h| < 1.
+  util::Rng rng(14);
+  ProjectedLstmCell cell(4, 3, 4, &rng);
+  Tensor x = tensor::Scale(TestTensor({6, 4}, 55, false), 10.0f);
+  auto next =
+      cell.Forward(x, {TestTensor({6, 3}, 56, false),
+                       tensor::Scale(TestTensor({6, 4}, 57, false), 10.0f)});
+  for (int64_t i = 0; i < next.h.NumElements(); ++i) {
+    EXPECT_LT(std::fabs(next.h.Data()[i]), 1.0f);
+  }
+}
+
+TEST(ProjectedLstmTest, GradientChecks) {
+  util::Rng rng(15);
+  ProjectedLstmCell cell(4, 2, 4, &rng);
+  Tensor x = TestTensor({2, 4}, 58);
+  Tensor h = TestTensor({2, 2}, 59);
+  Tensor c = TestTensor({2, 4}, 60);
+  std::vector<Tensor> inputs = {x, h, c};
+  for (const Tensor& p : cell.Parameters()) inputs.push_back(p);
+  CheckGradients(
+      [&] {
+        auto next = cell.Forward(x, {h, c});
+        return tensor::Add(tensor::Mean(next.h), tensor::Mean(next.c));
+      },
+      inputs);
+}
+
+TEST(ProjectedLstmTest, ForgetGateCarriesCellState) {
+  // Repeated steps with the same input converge the cell state (bounded by
+  // the i*g increments); sanity-check no NaN/explosion over 50 steps.
+  util::Rng rng(16);
+  ProjectedLstmCell cell(4, 3, 4, &rng);
+  Tensor x = TestTensor({2, 4}, 61, false);
+  ProjectedLstmCell::State s{Tensor::Zeros({2, 3}), Tensor::Zeros({2, 4})};
+  for (int i = 0; i < 50; ++i) s = cell.Forward(x, s);
+  for (int64_t i = 0; i < s.c.NumElements(); ++i) {
+    EXPECT_TRUE(std::isfinite(s.c.Data()[i]));
+    EXPECT_LT(std::fabs(s.c.Data()[i]), 60.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adam.
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // minimize (x - 3)^2 elementwise.
+  Tensor x = Tensor::FromVector({1, 4}, {0, 10, -5, 3}, true);
+  Adam opt({x}, Adam::Options{.lr = 0.1f});
+  Tensor target = Tensor::FromVector({1, 4}, {3, 3, 3, 3});
+  for (int step = 0; step < 500; ++step) {
+    opt.ZeroGrad();
+    Tensor diff = tensor::Sub(x, target);
+    tensor::Sum(tensor::Mul(diff, diff)).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(x.Data()[i], 3.0f, 0.05f);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradient) {
+  Tensor a = Tensor::FromVector({1}, {1.0f}, true);
+  Tensor b = Tensor::FromVector({1}, {1.0f}, true);
+  Adam opt({a, b}, Adam::Options{.lr = 0.1f});
+  tensor::Sum(tensor::Scale(a, 2.0f)).Backward();
+  opt.Step();
+  EXPECT_NE(a.Data()[0], 1.0f);
+  EXPECT_EQ(b.Data()[0], 1.0f);
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  Tensor x = Tensor::FromVector({1}, {5.0f}, true);
+  Adam opt({x}, Adam::Options{.lr = 0.05f, .weight_decay = 1.0f});
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    // Zero data gradient; only weight decay acts.
+    tensor::Sum(tensor::Scale(x, 0.0f)).Backward();
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(x.Data()[0]), 0.5f);
+}
+
+TEST(AdamTest, LearningRateSetter) {
+  Tensor x = Tensor::FromVector({1}, {1.0f}, true);
+  Adam opt({x}, Adam::Options{.lr = 0.1f});
+  opt.set_lr(0.5f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient clipping.
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Tensor x = Tensor::FromVector({1, 2}, {1, 1}, true);
+  tensor::Sum(tensor::Scale(x, 30.0f)).Backward();  // grad = (30, 30)
+  std::vector<Tensor> params = {x};
+  const float norm = ClipGradNorm(params, 1.0f);
+  EXPECT_NEAR(norm, 30.0f * std::sqrt(2.0f), 1e-3f);
+  double clipped = 0.0;
+  for (float g : x.Grad()) clipped += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-4);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Tensor x = Tensor::FromVector({1, 2}, {1, 1}, true);
+  tensor::Sum(tensor::Scale(x, 0.1f)).Backward();
+  std::vector<Tensor> params = {x};
+  ClipGradNorm(params, 10.0f);
+  EXPECT_NEAR(x.Grad()[0], 0.1f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized: GRU gradient checks across size combinations.
+
+class GruSizeTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(GruSizeTest, GradientChecks) {
+  const auto [in, hidden] = GetParam();
+  util::Rng rng(17);
+  GruCell cell(in, hidden, &rng);
+  Tensor x = TestTensor({2, in}, 70 + in);
+  Tensor h = TestTensor({2, hidden}, 71 + hidden);
+  CheckGradients([&] { return tensor::Mean(cell.Forward(x, h)); }, {x, h});
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GruSizeTest,
+                         ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{4, 4},
+                                           std::pair<int64_t, int64_t>{8, 4},
+                                           std::pair<int64_t, int64_t>{3, 7}));
+
+}  // namespace
+}  // namespace retia::nn

@@ -1,0 +1,136 @@
+// Property-style parameterized sweeps over the tensor kernels that carry
+// the RGCN message passing and the ConvTransE decoders.
+
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace retia::tensor {
+namespace {
+
+using ::retia::testing::CheckGradients;
+using ::retia::testing::TestTensor;
+
+// ---------------------------------------------------------------------------
+// Conv1d across (channels, kernel size, padding) combinations: output
+// length arithmetic and gradient correctness.
+
+struct Conv1dCase {
+  int64_t batch, cin, cout, length, ksize, pad;
+};
+
+class Conv1dSweep : public ::testing::TestWithParam<Conv1dCase> {};
+
+TEST_P(Conv1dSweep, OutputLengthAndGradients) {
+  const Conv1dCase c = GetParam();
+  Tensor x = TestTensor({c.batch, c.cin, c.length}, 11);
+  Tensor w = TestTensor({c.cout, c.cin, c.ksize}, 12);
+  Tensor bias = TestTensor({c.cout}, 13);
+  Tensor out = Conv1d(x, w, bias, c.pad);
+  EXPECT_EQ(out.Dim(0), c.batch);
+  EXPECT_EQ(out.Dim(1), c.cout);
+  EXPECT_EQ(out.Dim(2), c.length + 2 * c.pad - c.ksize + 1);
+  Tensor mask = TestTensor({out.NumElements()}, 14, false);
+  CheckGradients(
+      [&] {
+        Tensor o = Conv1d(x, w, bias, c.pad);
+        return Sum(Mul(Reshape(o, {1, o.NumElements()}),
+                       Reshape(mask, {1, mask.NumElements()})));
+      },
+      {x, w, bias});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Conv1dSweep,
+    ::testing::Values(Conv1dCase{1, 1, 1, 4, 1, 0},
+                      Conv1dCase{2, 2, 3, 6, 3, 1},
+                      Conv1dCase{1, 3, 2, 5, 5, 2},
+                      Conv1dCase{3, 2, 2, 8, 3, 0}));
+
+// ---------------------------------------------------------------------------
+// Gather/Scatter adjointness: <Gather(A, idx), B> == <A, Scatter(B, idx)>.
+// This is the identity that makes the message-passing backward pass
+// correct, checked over random index patterns.
+
+class GatherScatterAdjoint : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GatherScatterAdjoint, InnerProductsMatch) {
+  util::Rng rng(GetParam());
+  const int64_t rows = 1 + rng.UniformInt(0, 9);
+  const int64_t cols = 1 + rng.UniformInt(0, 5);
+  const int64_t k = 1 + rng.UniformInt(0, 14);
+  std::vector<int64_t> idx(k);
+  for (auto& i : idx) i = rng.UniformInt(0, rows - 1);
+  Tensor a = TestTensor({rows, cols}, GetParam() * 3 + 1, false);
+  Tensor b = TestTensor({k, cols}, GetParam() * 3 + 2, false);
+  const float lhs = Sum(Mul(GatherRows(a, idx), b)).Item();
+  const float rhs = Sum(Mul(a, ScatterAddRows(b, idx, rows))).Item();
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatherScatterAdjoint,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Scatter-then-gather of distinct indices is the identity.
+
+TEST(GatherScatterProperty, ScatterOfDistinctIndicesRoundTrips) {
+  std::vector<int64_t> idx = {3, 0, 2};
+  Tensor b = TestTensor({3, 4}, 31, false);
+  Tensor scattered = ScatterAddRows(b, idx, 5);
+  Tensor back = GatherRows(scattered, idx);
+  for (int64_t i = 0; i < b.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(back.Data()[i], b.Data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Softmax + NllFromProbs equals CrossEntropyLogits (the two loss paths the
+// models use must agree).
+
+class LossEquivalence : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(LossEquivalence, SoftmaxNllMatchesLogitCrossEntropy) {
+  const int64_t cols = GetParam();
+  Tensor logits = TestTensor({4, cols}, 41 + cols, false);
+  std::vector<int64_t> targets;
+  for (int64_t i = 0; i < 4; ++i) targets.push_back(i % cols);
+  const float a = NllFromProbs(Softmax(logits), targets).Item();
+  const float b = CrossEntropyLogits(logits, targets).Item();
+  EXPECT_NEAR(a, b, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LossEquivalence,
+                         ::testing::Values(2, 3, 17, 101));
+
+// ---------------------------------------------------------------------------
+// MatMul associativity-with-transpose: (A B^T)^T == B A^T elementwise.
+
+TEST(MatMulProperty, TransposeIdentity) {
+  Tensor a = TestTensor({3, 5}, 51, false);
+  Tensor b = TestTensor({4, 5}, 52, false);
+  Tensor ab = MatMulTransposeB(a, b);   // [3,4]
+  Tensor ba = MatMulTransposeB(b, a);   // [4,3]
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(ab.At(i, j), ba.At(j, i), 1e-4f);
+    }
+  }
+}
+
+// Linearity: (A+B) C == A C + B C.
+TEST(MatMulProperty, Linearity) {
+  Tensor a = TestTensor({3, 4}, 53, false);
+  Tensor b = TestTensor({3, 4}, 54, false);
+  Tensor c = TestTensor({4, 2}, 55, false);
+  Tensor lhs = MatMul(Add(a, b), c);
+  Tensor rhs = Add(MatMul(a, c), MatMul(b, c));
+  for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+    EXPECT_NEAR(lhs.Data()[i], rhs.Data()[i], 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace retia::tensor
