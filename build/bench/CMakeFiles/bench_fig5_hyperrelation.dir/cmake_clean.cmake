@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_hyperrelation.dir/bench_fig5_hyperrelation.cc.o"
+  "CMakeFiles/bench_fig5_hyperrelation.dir/bench_fig5_hyperrelation.cc.o.d"
+  "bench_fig5_hyperrelation"
+  "bench_fig5_hyperrelation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hyperrelation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_relation_modeling_entity.dir/bench_fig6_relation_modeling_entity.cc.o"
+  "CMakeFiles/bench_fig6_relation_modeling_entity.dir/bench_fig6_relation_modeling_entity.cc.o.d"
+  "bench_fig6_relation_modeling_entity"
+  "bench_fig6_relation_modeling_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_relation_modeling_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

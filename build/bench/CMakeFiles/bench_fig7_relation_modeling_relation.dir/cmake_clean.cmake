@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_relation_modeling_relation.dir/bench_fig7_relation_modeling_relation.cc.o"
+  "CMakeFiles/bench_fig7_relation_modeling_relation.dir/bench_fig7_relation_modeling_relation.cc.o.d"
+  "bench_fig7_relation_modeling_relation"
+  "bench_fig7_relation_modeling_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_relation_modeling_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_comparison.dir/bench_protocol_comparison.cc.o"
+  "CMakeFiles/bench_protocol_comparison.dir/bench_protocol_comparison.cc.o.d"
+  "bench_protocol_comparison"
+  "bench_protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_entity_icews.dir/bench_table3_entity_icews.cc.o"
+  "CMakeFiles/bench_table3_entity_icews.dir/bench_table3_entity_icews.cc.o.d"
+  "bench_table3_entity_icews"
+  "bench_table3_entity_icews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_entity_icews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_entity_yago_wiki.dir/bench_table4_entity_yago_wiki.cc.o"
+  "CMakeFiles/bench_table4_entity_yago_wiki.dir/bench_table4_entity_yago_wiki.cc.o.d"
+  "bench_table4_entity_yago_wiki"
+  "bench_table4_entity_yago_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_entity_yago_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_relation.dir/bench_table7_relation.cc.o"
+  "CMakeFiles/bench_table7_relation.dir/bench_table7_relation.cc.o.d"
+  "bench_table7_relation"
+  "bench_table7_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

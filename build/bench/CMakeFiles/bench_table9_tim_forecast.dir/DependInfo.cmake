@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table9_tim_forecast.cc" "bench/CMakeFiles/bench_table9_tim_forecast.dir/bench_table9_tim_forecast.cc.o" "gcc" "bench/CMakeFiles/bench_table9_tim_forecast.dir/bench_table9_tim_forecast.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/retia_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/retia_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/retia_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/retia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/retia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/retia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/retia_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/retia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tkg/CMakeFiles/retia_tkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_tim_forecast.dir/bench_table9_tim_forecast.cc.o"
+  "CMakeFiles/bench_table9_tim_forecast.dir/bench_table9_tim_forecast.cc.o.d"
+  "bench_table9_tim_forecast"
+  "bench_table9_tim_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_tim_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/retia_bench_common.dir/bench_common.cc.o.d"
+  "libretia_bench_common.a"
+  "libretia_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_playground.dir/ablation_playground.cpp.o"
+  "CMakeFiles/ablation_playground.dir/ablation_playground.cpp.o.d"
+  "ablation_playground"
+  "ablation_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

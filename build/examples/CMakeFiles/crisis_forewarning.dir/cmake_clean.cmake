@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisis_forewarning.dir/crisis_forewarning.cpp.o"
+  "CMakeFiles/crisis_forewarning.dir/crisis_forewarning.cpp.o.d"
+  "crisis_forewarning"
+  "crisis_forewarning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisis_forewarning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

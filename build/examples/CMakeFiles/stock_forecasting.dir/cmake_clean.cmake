@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_forecasting.dir/stock_forecasting.cpp.o"
+  "CMakeFiles/stock_forecasting.dir/stock_forecasting.cpp.o.d"
+  "stock_forecasting"
+  "stock_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

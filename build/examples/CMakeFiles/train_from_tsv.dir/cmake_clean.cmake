@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_from_tsv.dir/train_from_tsv.cpp.o"
+  "CMakeFiles/train_from_tsv.dir/train_from_tsv.cpp.o.d"
+  "train_from_tsv"
+  "train_from_tsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_from_tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cygnet.cc" "src/baselines/CMakeFiles/retia_baselines.dir/cygnet.cc.o" "gcc" "src/baselines/CMakeFiles/retia_baselines.dir/cygnet.cc.o.d"
+  "/root/repo/src/baselines/regcn.cc" "src/baselines/CMakeFiles/retia_baselines.dir/regcn.cc.o" "gcc" "src/baselines/CMakeFiles/retia_baselines.dir/regcn.cc.o.d"
+  "/root/repo/src/baselines/renet.cc" "src/baselines/CMakeFiles/retia_baselines.dir/renet.cc.o" "gcc" "src/baselines/CMakeFiles/retia_baselines.dir/renet.cc.o.d"
+  "/root/repo/src/baselines/static_models.cc" "src/baselines/CMakeFiles/retia_baselines.dir/static_models.cc.o" "gcc" "src/baselines/CMakeFiles/retia_baselines.dir/static_models.cc.o.d"
+  "/root/repo/src/baselines/tirgn.cc" "src/baselines/CMakeFiles/retia_baselines.dir/tirgn.cc.o" "gcc" "src/baselines/CMakeFiles/retia_baselines.dir/tirgn.cc.o.d"
+  "/root/repo/src/baselines/ttranse.cc" "src/baselines/CMakeFiles/retia_baselines.dir/ttranse.cc.o" "gcc" "src/baselines/CMakeFiles/retia_baselines.dir/ttranse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/retia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/retia_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/retia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tkg/CMakeFiles/retia_tkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/retia_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

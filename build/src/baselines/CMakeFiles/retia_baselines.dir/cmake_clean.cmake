@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_baselines.dir/cygnet.cc.o"
+  "CMakeFiles/retia_baselines.dir/cygnet.cc.o.d"
+  "CMakeFiles/retia_baselines.dir/regcn.cc.o"
+  "CMakeFiles/retia_baselines.dir/regcn.cc.o.d"
+  "CMakeFiles/retia_baselines.dir/renet.cc.o"
+  "CMakeFiles/retia_baselines.dir/renet.cc.o.d"
+  "CMakeFiles/retia_baselines.dir/static_models.cc.o"
+  "CMakeFiles/retia_baselines.dir/static_models.cc.o.d"
+  "CMakeFiles/retia_baselines.dir/tirgn.cc.o"
+  "CMakeFiles/retia_baselines.dir/tirgn.cc.o.d"
+  "CMakeFiles/retia_baselines.dir/ttranse.cc.o"
+  "CMakeFiles/retia_baselines.dir/ttranse.cc.o.d"
+  "libretia_baselines.a"
+  "libretia_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_core.dir/decoder.cc.o"
+  "CMakeFiles/retia_core.dir/decoder.cc.o.d"
+  "CMakeFiles/retia_core.dir/retia.cc.o"
+  "CMakeFiles/retia_core.dir/retia.cc.o.d"
+  "CMakeFiles/retia_core.dir/rgcn.cc.o"
+  "CMakeFiles/retia_core.dir/rgcn.cc.o.d"
+  "libretia_core.a"
+  "libretia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

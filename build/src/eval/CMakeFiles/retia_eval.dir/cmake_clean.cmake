@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_eval.dir/evaluator.cc.o"
+  "CMakeFiles/retia_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/retia_eval.dir/metrics.cc.o"
+  "CMakeFiles/retia_eval.dir/metrics.cc.o.d"
+  "libretia_eval.a"
+  "libretia_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph_cache.cc" "src/graph/CMakeFiles/retia_graph.dir/graph_cache.cc.o" "gcc" "src/graph/CMakeFiles/retia_graph.dir/graph_cache.cc.o.d"
+  "/root/repo/src/graph/hypergraph.cc" "src/graph/CMakeFiles/retia_graph.dir/hypergraph.cc.o" "gcc" "src/graph/CMakeFiles/retia_graph.dir/hypergraph.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/retia_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/retia_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tkg/CMakeFiles/retia_tkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

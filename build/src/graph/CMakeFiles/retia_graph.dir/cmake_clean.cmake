@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_graph.dir/graph_cache.cc.o"
+  "CMakeFiles/retia_graph.dir/graph_cache.cc.o.d"
+  "CMakeFiles/retia_graph.dir/hypergraph.cc.o"
+  "CMakeFiles/retia_graph.dir/hypergraph.cc.o.d"
+  "CMakeFiles/retia_graph.dir/subgraph.cc.o"
+  "CMakeFiles/retia_graph.dir/subgraph.cc.o.d"
+  "libretia_graph.a"
+  "libretia_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/retia_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/retia_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/retia_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/retia_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/retia_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/retia_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/retia_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/retia_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/retia_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/retia_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn_cells.cc" "src/nn/CMakeFiles/retia_nn.dir/rnn_cells.cc.o" "gcc" "src/nn/CMakeFiles/retia_nn.dir/rnn_cells.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/retia_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/retia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/retia_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/retia_nn.dir/init.cc.o"
+  "CMakeFiles/retia_nn.dir/init.cc.o.d"
+  "CMakeFiles/retia_nn.dir/linear.cc.o"
+  "CMakeFiles/retia_nn.dir/linear.cc.o.d"
+  "CMakeFiles/retia_nn.dir/module.cc.o"
+  "CMakeFiles/retia_nn.dir/module.cc.o.d"
+  "CMakeFiles/retia_nn.dir/optimizer.cc.o"
+  "CMakeFiles/retia_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/retia_nn.dir/rnn_cells.cc.o"
+  "CMakeFiles/retia_nn.dir/rnn_cells.cc.o.d"
+  "libretia_nn.a"
+  "libretia_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

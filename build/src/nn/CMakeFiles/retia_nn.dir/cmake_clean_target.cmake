@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libretia_nn.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/ops_basic.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_basic.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_basic.cc.o.d"
+  "/root/repo/src/tensor/ops_conv.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_conv.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_conv.cc.o.d"
+  "/root/repo/src/tensor/ops_index.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_index.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_index.cc.o.d"
+  "/root/repo/src/tensor/ops_matmul.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_matmul.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_matmul.cc.o.d"
+  "/root/repo/src/tensor/ops_norm.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_norm.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_norm.cc.o.d"
+  "/root/repo/src/tensor/ops_pairwise.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_pairwise.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_pairwise.cc.o.d"
+  "/root/repo/src/tensor/ops_softmax.cc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_softmax.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/ops_softmax.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/retia_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/retia_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_tensor.dir/ops_basic.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_basic.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/ops_conv.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_conv.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/ops_index.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_index.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/ops_matmul.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_matmul.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/ops_norm.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_norm.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/ops_pairwise.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_pairwise.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/ops_softmax.cc.o"
+  "CMakeFiles/retia_tensor.dir/ops_softmax.cc.o.d"
+  "CMakeFiles/retia_tensor.dir/tensor.cc.o"
+  "CMakeFiles/retia_tensor.dir/tensor.cc.o.d"
+  "libretia_tensor.a"
+  "libretia_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

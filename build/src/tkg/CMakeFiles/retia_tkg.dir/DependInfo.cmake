@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tkg/analysis.cc" "src/tkg/CMakeFiles/retia_tkg.dir/analysis.cc.o" "gcc" "src/tkg/CMakeFiles/retia_tkg.dir/analysis.cc.o.d"
+  "/root/repo/src/tkg/dataset.cc" "src/tkg/CMakeFiles/retia_tkg.dir/dataset.cc.o" "gcc" "src/tkg/CMakeFiles/retia_tkg.dir/dataset.cc.o.d"
+  "/root/repo/src/tkg/synthetic.cc" "src/tkg/CMakeFiles/retia_tkg.dir/synthetic.cc.o" "gcc" "src/tkg/CMakeFiles/retia_tkg.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/retia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

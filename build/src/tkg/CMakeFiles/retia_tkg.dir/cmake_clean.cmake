@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_tkg.dir/analysis.cc.o"
+  "CMakeFiles/retia_tkg.dir/analysis.cc.o.d"
+  "CMakeFiles/retia_tkg.dir/dataset.cc.o"
+  "CMakeFiles/retia_tkg.dir/dataset.cc.o.d"
+  "CMakeFiles/retia_tkg.dir/synthetic.cc.o"
+  "CMakeFiles/retia_tkg.dir/synthetic.cc.o.d"
+  "libretia_tkg.a"
+  "libretia_tkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_tkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for retia_tkg.
+# This may be replaced when dependencies are built.

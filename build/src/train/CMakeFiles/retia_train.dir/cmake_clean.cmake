@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_train.dir/trainer.cc.o"
+  "CMakeFiles/retia_train.dir/trainer.cc.o.d"
+  "libretia_train.a"
+  "libretia_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retia_util.dir/rng.cc.o"
+  "CMakeFiles/retia_util.dir/rng.cc.o.d"
+  "CMakeFiles/retia_util.dir/table_printer.cc.o"
+  "CMakeFiles/retia_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/retia_util.dir/timer.cc.o"
+  "CMakeFiles/retia_util.dir/timer.cc.o.d"
+  "libretia_util.a"
+  "libretia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkg_test.dir/tkg_test.cc.o"
+  "CMakeFiles/tkg_test.dir/tkg_test.cc.o.d"
+  "tkg_test"
+  "tkg_test.pdb"
+  "tkg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
