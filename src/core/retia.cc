@@ -293,6 +293,35 @@ RetiaModel::LossParts RetiaModel::ComputeLoss(
 Tensor RetiaModel::ScoreObjects(
     const std::vector<StepState>& states,
     const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  return ScoreObjectsImpl(states, queries, &rng_);
+}
+
+Tensor RetiaModel::ScoreRelations(
+    const std::vector<StepState>& states,
+    const std::vector<std::pair<int64_t, int64_t>>& queries) {
+  return ScoreRelationsImpl(states, queries, &rng_);
+}
+
+Tensor RetiaModel::ScoreObjectsFrozen(
+    const std::vector<StepState>& states,
+    const std::vector<std::pair<int64_t, int64_t>>& queries) const {
+  RETIA_CHECK_MSG(!training(),
+                  "frozen scoring requires eval mode (SetTraining(false))");
+  return ScoreObjectsImpl(states, queries, nullptr);
+}
+
+Tensor RetiaModel::ScoreRelationsFrozen(
+    const std::vector<StepState>& states,
+    const std::vector<std::pair<int64_t, int64_t>>& queries) const {
+  RETIA_CHECK_MSG(!training(),
+                  "frozen scoring requires eval mode (SetTraining(false))");
+  return ScoreRelationsImpl(states, queries, nullptr);
+}
+
+Tensor RetiaModel::ScoreObjectsImpl(
+    const std::vector<StepState>& states,
+    const std::vector<std::pair<int64_t, int64_t>>& queries,
+    util::Rng* rng) const {
   RETIA_CHECK(!states.empty());
   std::vector<int64_t> subj_idx;
   std::vector<int64_t> rel_idx;
@@ -310,16 +339,17 @@ Tensor RetiaModel::ScoreObjects(
     Tensor s_emb = tensor::GatherRows(st.entities, subj_idx);
     Tensor r_emb = tensor::GatherRows(st.relations, rel_idx);
     Tensor logits =
-        entity_decoder_->Forward(s_emb, r_emb, st.entities, &rng_);
+        entity_decoder_->Forward(s_emb, r_emb, st.entities, rng);
     Tensor p = tensor::Softmax(logits);
     total = total.defined() ? tensor::Add(total, p) : p;
   }
   return total;
 }
 
-Tensor RetiaModel::ScoreRelations(
+Tensor RetiaModel::ScoreRelationsImpl(
     const std::vector<StepState>& states,
-    const std::vector<std::pair<int64_t, int64_t>>& queries) {
+    const std::vector<std::pair<int64_t, int64_t>>& queries,
+    util::Rng* rng) const {
   RETIA_CHECK(!states.empty());
   const int64_t m = config_.num_relations;
   std::vector<int64_t> subj_idx;
@@ -341,7 +371,7 @@ Tensor RetiaModel::ScoreRelations(
     // M-dimensional).
     Tensor candidates = tensor::SliceRows(st.relations, 0, m);
     Tensor logits =
-        relation_decoder_->Forward(s_emb, o_emb, candidates, &rng_);
+        relation_decoder_->Forward(s_emb, o_emb, candidates, rng);
     Tensor p = tensor::Softmax(logits);
     total = total.defined() ? tensor::Add(total, p) : p;
   }

@@ -98,6 +98,18 @@ class RetiaModel : public EvolutionModel {
       const std::vector<StepState>& states,
       const std::vector<std::pair<int64_t, int64_t>>& queries) override;
 
+  // Frozen (serving) entry points: identical math to ScoreObjects /
+  // ScoreRelations, but const and rng-free, so concurrent callers can decode
+  // against the same pre-evolved states without any shared mutable state.
+  // Requires eval mode (SetTraining(false)); every caller thread must hold
+  // its own tensor::NoGradGuard (grad mode is thread-local, see tensor.h).
+  tensor::Tensor ScoreObjectsFrozen(
+      const std::vector<StepState>& states,
+      const std::vector<std::pair<int64_t, int64_t>>& queries) const;
+  tensor::Tensor ScoreRelationsFrozen(
+      const std::vector<StepState>& states,
+      const std::vector<std::pair<int64_t, int64_t>>& queries) const;
+
   int64_t history_len() const override { return config_.history_len; }
 
   // Installs the static typing information consumed by the static-graph
@@ -109,6 +121,17 @@ class RetiaModel : public EvolutionModel {
   util::Rng& rng() { return rng_; }
 
  private:
+  // Shared decode bodies; `rng` is only touched in training mode (dropout),
+  // the frozen entry points pass nullptr.
+  tensor::Tensor ScoreObjectsImpl(
+      const std::vector<StepState>& states,
+      const std::vector<std::pair<int64_t, int64_t>>& queries,
+      util::Rng* rng) const;
+  tensor::Tensor ScoreRelationsImpl(
+      const std::vector<StepState>& states,
+      const std::vector<std::pair<int64_t, int64_t>>& queries,
+      util::Rng* rng) const;
+
   // TIM Eq. 7: mean pooling of adjacent entity embeddings per relation.
   tensor::Tensor MeanPoolEntities(const tensor::Tensor& entities,
                                   const graph::Subgraph& g) const;

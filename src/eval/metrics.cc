@@ -1,5 +1,8 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "util/check.h"
 
 namespace retia::eval {
@@ -42,6 +45,20 @@ int64_t RankOf(const float* scores, int64_t n, int64_t target) {
     if (scores[i] > t) ++higher;
   }
   return higher + 1;
+}
+
+std::vector<int64_t> TopKIndices(const float* scores, int64_t n, int64_t k) {
+  RETIA_CHECK(k >= 0);
+  const int64_t take = std::min(k, n);
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), int64_t{0});
+  const auto better = [scores](int64_t a, int64_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  };
+  std::partial_sort(idx.begin(), idx.begin() + take, idx.end(), better);
+  idx.resize(take);
+  return idx;
 }
 
 }  // namespace retia::eval

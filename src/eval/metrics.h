@@ -2,6 +2,7 @@
 #define RETIA_EVAL_METRICS_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace retia::eval {
 
@@ -33,6 +34,12 @@ class Metrics {
 // number of strictly higher scores; ties are broken optimistically,
 // matching the common open-source evaluation of RE-GCN-family models.
 int64_t RankOf(const float* scores, int64_t n, int64_t target);
+
+// Indices of the k highest scores, best first. Deterministic: ties are
+// broken by the lower index, consistent with RankOf's optimistic ranking.
+// Returns fewer than k entries when n < k. Shared by the serving engine's
+// TopK path and the tests that cross-check it against full rankings.
+std::vector<int64_t> TopKIndices(const float* scores, int64_t n, int64_t k);
 
 }  // namespace retia::eval
 

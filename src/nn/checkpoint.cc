@@ -9,6 +9,7 @@ namespace retia::nn {
 
 namespace {
 constexpr char kMagic[] = "RETIACKPT1\n";
+constexpr char kSidecarMagic[] = "RETIASIDE1";
 }  // namespace
 
 void SaveCheckpoint(const Module& module, const std::string& path) {
@@ -72,6 +73,46 @@ void LoadCheckpoint(Module* module, const std::string& path) {
     RETIA_CHECK_MSG(in.good(), "truncated checkpoint at parameter '" << name
                                                                      << "'");
   }
+}
+
+void SaveSidecar(const std::string& path, const Sidecar& entries) {
+  std::ofstream out(path);
+  RETIA_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << kSidecarMagic << "\n";
+  for (const auto& [key, value] : entries) {
+    RETIA_CHECK_MSG(key.find_first_of("\t\n") == std::string::npos &&
+                        value.find_first_of("\t\n") == std::string::npos,
+                    "sidecar entry '" << key << "' contains a tab or newline");
+    out << key << "\t" << value << "\n";
+  }
+  RETIA_CHECK_MSG(out.good(), "write to " << path << " failed");
+}
+
+Sidecar LoadSidecar(const std::string& path) {
+  std::ifstream in(path);
+  RETIA_CHECK_MSG(in.good(), "cannot open " << path);
+  std::string line;
+  RETIA_CHECK_MSG(std::getline(in, line) && line == kSidecarMagic,
+                  path << " is not a RETIA sidecar");
+  Sidecar entries;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    RETIA_CHECK_MSG(tab != std::string::npos,
+                    path << " has a malformed sidecar line: " << line);
+    entries.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+  }
+  return entries;
+}
+
+const std::string& SidecarValue(const Sidecar& sidecar,
+                                const std::string& key) {
+  for (const auto& [k, v] : sidecar) {
+    if (k == key) return v;
+  }
+  RETIA_CHECK_MSG(false, "sidecar has no key '" << key << "'");
+  static const std::string kEmpty;
+  return kEmpty;
 }
 
 }  // namespace retia::nn

@@ -2,6 +2,8 @@
 #define RETIA_NN_CHECKPOINT_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nn/module.h"
 
@@ -19,6 +21,18 @@ void SaveCheckpoint(const Module& module, const std::string& path);
 // Loads parameter values into `module` in place. Every parameter of the
 // module must be present in the file (and vice versa).
 void LoadCheckpoint(Module* module, const std::string& path);
+
+// Plain-text sidecar accompanying a checkpoint: ordered key/value lines
+// under a "RETIASIDE1" magic header. A checkpoint alone cannot rebuild a
+// model — the constructor arguments (config, vocabulary sizes) live here.
+// Keys and values must be single-line and tab-free.
+using Sidecar = std::vector<std::pair<std::string, std::string>>;
+
+void SaveSidecar(const std::string& path, const Sidecar& entries);
+Sidecar LoadSidecar(const std::string& path);
+
+// Value of `key`; CHECK-fails when the key is absent.
+const std::string& SidecarValue(const Sidecar& sidecar, const std::string& key);
 
 }  // namespace retia::nn
 

@@ -1,0 +1,199 @@
+#include "serve/engine.h"
+
+#include <utility>
+
+#include "eval/metrics.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+
+namespace retia::serve {
+
+std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
+ServeEngine::FrozenStateStore::StatesFor(int64_t t) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = states.find(t);
+  if (it != states.end()) return it->second;
+  // Evolution (and the GraphCache's lazy subgraph construction) is not
+  // thread-safe, so it runs under the store lock — once per timestamp;
+  // afterwards workers only read the pinned states.
+  tensor::NoGradGuard guard;
+  auto evolved =
+      std::make_shared<const std::vector<core::EvolutionModel::StepState>>(
+          model->Evolve(*graph_cache,
+                        graph_cache->HistoryBefore(t, model->history_len())));
+  states.emplace(t, evolved);
+  return evolved;
+}
+
+ServeEngine::ServeEngine(eval::ObjectScoreFn object_fn,
+                         eval::RelationScoreFn relation_fn,
+                         const ServeConfig& config)
+    : config_(config),
+      object_fn_(std::move(object_fn)),
+      relation_fn_(std::move(relation_fn)),
+      stats_(config.max_batch) {
+  RETIA_CHECK(config_.num_threads > 0);
+  RETIA_CHECK(config_.max_batch > 0);
+  RETIA_CHECK(config_.max_k > 0);
+  if (config_.enable_cache) {
+    cache_ = std::make_unique<PredictionCache>(config_.cache_capacity,
+                                               config_.cache_shards);
+  }
+  workers_.reserve(static_cast<size_t>(config_.num_threads));
+  for (int64_t i = 0; i < config_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServeEngine::ServeEngine(core::RetiaModel* model,
+                         graph::GraphCache* graph_cache,
+                         const ServeConfig& config)
+    : ServeEngine(
+          [model, graph_cache] {
+            RETIA_CHECK(model != nullptr);
+            RETIA_CHECK(graph_cache != nullptr);
+            model->SetTraining(false);
+            auto store = std::make_shared<FrozenStateStore>();
+            store->model = model;
+            store->graph_cache = graph_cache;
+            return store;
+          }(),
+          config) {}
+
+ServeEngine::ServeEngine(std::shared_ptr<FrozenStateStore> store,
+                         const ServeConfig& config)
+    : ServeEngine(
+          [store](int64_t t,
+                  const std::vector<std::pair<int64_t, int64_t>>& queries) {
+            return store->model->ScoreObjectsFrozen(*store->StatesFor(t),
+                                                    queries);
+          },
+          [store](int64_t t,
+                  const std::vector<std::pair<int64_t, int64_t>>& queries) {
+            return store->model->ScoreRelationsFrozen(*store->StatesFor(t),
+                                                      queries);
+          },
+          config) {
+  state_store_ = std::move(store);
+}
+
+ServeEngine::~ServeEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+TopKResult ServeEngine::TopK(int64_t s, int64_t r, int64_t t, int64_t k) {
+  return Submit({t, s, r, QueryKind::kEntity}, k);
+}
+
+TopKResult ServeEngine::TopKRelation(int64_t s, int64_t o, int64_t t,
+                                     int64_t k) {
+  return Submit({t, s, o, QueryKind::kRelation}, k);
+}
+
+void ServeEngine::Warmup(int64_t t) {
+  if (state_store_ != nullptr) state_store_->StatesFor(t);
+}
+
+ServeStats ServeEngine::Stats() const {
+  return stats_.Snapshot(cache_ != nullptr ? cache_->Counters()
+                                           : CacheCounters{});
+}
+
+void ServeEngine::ResetStats() { stats_.Reset(); }
+
+TopKResult ServeEngine::Submit(const CacheKey& key, int64_t k) {
+  RETIA_CHECK(k > 0);
+  RETIA_CHECK_LE(k, config_.max_k);
+  util::Timer timer;
+  if (cache_ != nullptr) {
+    std::vector<ScoredCandidate> cached;
+    if (cache_->Get(key, &cached)) {
+      if (static_cast<int64_t>(cached.size()) > k) cached.resize(k);
+      stats_.RecordRequest(timer.Millis());
+      return {std::move(cached), /*cache_hit=*/true};
+    }
+  }
+  std::future<TopKResult> future;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    RETIA_CHECK_MSG(!stopping_, "query submitted to a stopping ServeEngine");
+    Request request;
+    request.key = key;
+    request.k = k;
+    request.timer = timer;
+    future = request.promise.get_future();
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  TopKResult result = future.get();
+  stats_.RecordRequest(timer.Millis());
+  return result;
+}
+
+void ServeEngine::WorkerLoop() {
+  // Grad mode is thread-local (see tensor.h): each worker installs its own
+  // guard so concurrent decodes never record autograd edges against the
+  // shared frozen parameters.
+  tensor::NoGradGuard guard;
+  while (true) {
+    std::vector<Request> batch;
+    bool more_pending = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and fully drained
+      // Micro-batch: everything queued for the front request's
+      // (timestamp, kind), up to max_batch. Queries for other timestamps
+      // or kinds stay queued for the next tick / another worker.
+      const CacheKey front = queue_.front().key;
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           static_cast<int64_t>(batch.size()) < config_.max_batch;) {
+        if (it->key.t == front.t && it->key.kind == front.kind) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      more_pending = !queue_.empty();
+    }
+    if (more_pending) queue_cv_.notify_one();
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void ServeEngine::ProcessBatch(std::vector<Request> batch) {
+  const int64_t t = batch.front().key.t;
+  const QueryKind kind = batch.front().key.kind;
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  queries.reserve(batch.size());
+  for (const Request& request : batch) {
+    queries.emplace_back(request.key.a, request.key.b);
+  }
+  const tensor::Tensor scores = kind == QueryKind::kEntity
+                                    ? object_fn_(t, queries)
+                                    : relation_fn_(t, queries);
+  RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(batch.size()));
+  const int64_t n = scores.Dim(1);
+  stats_.RecordBatch(static_cast<int64_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const float* row = scores.Data() + static_cast<int64_t>(i) * n;
+    std::vector<ScoredCandidate> ranked;
+    for (int64_t id : eval::TopKIndices(row, n, config_.max_k)) {
+      ranked.push_back({id, row[id]});
+    }
+    if (cache_ != nullptr) cache_->Put(batch[i].key, ranked);
+    if (static_cast<int64_t>(ranked.size()) > batch[i].k) {
+      ranked.resize(batch[i].k);
+    }
+    batch[i].promise.set_value({std::move(ranked), /*cache_hit=*/false});
+  }
+}
+
+}  // namespace retia::serve

@@ -1,0 +1,145 @@
+#ifndef RETIA_SERVE_ENGINE_H_
+#define RETIA_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/retia.h"
+#include "eval/evaluator.h"
+#include "graph/graph_cache.h"
+#include "serve/lru_cache.h"
+#include "serve/stats.h"
+
+namespace retia::serve {
+
+struct ServeConfig {
+  // Worker threads running the batched decodes.
+  int64_t num_threads = 4;
+  // Micro-batch cap: one decode tick coalesces at most this many queued
+  // queries sharing a (timestamp, kind).
+  int64_t max_batch = 32;
+  // Ranking depth stored per cache entry; requests may ask for any
+  // k <= max_k and are served from the cached prefix.
+  int64_t max_k = 10;
+  bool enable_cache = true;
+  int64_t cache_capacity = 1 << 16;  // total entries across shards
+  int64_t cache_shards = 8;
+};
+
+// Answer to one TopK / TopKRelation call: the k best candidates, best
+// first, plus whether the prediction cache supplied them.
+struct TopKResult {
+  std::vector<ScoredCandidate> candidates;
+  bool cache_hit = false;
+};
+
+// Concurrent batched inference engine over a frozen extrapolation model.
+//
+// Architecture: callers block in TopK()/TopKRelation(). A cache-enabled
+// engine first probes the sharded LRU prediction cache on the caller's
+// thread (hits never touch the queue). Misses are enqueued; worker threads
+// drain the queue in micro-batches — all pending queries sharing the
+// front request's (timestamp, kind), up to max_batch — and answer each
+// batch with ONE [B, num_candidates] decode through the same
+// eval::ObjectScoreFn / eval::RelationScoreFn-shaped path the evaluator
+// uses. Evolved StepStates are memoized per timestamp behind a lock, so
+// each serving timestamp pays its history evolution once.
+//
+// Determinism: decodes are row-independent pure float math over frozen
+// parameters, so results are bit-identical regardless of thread count,
+// batch composition, or cache state (serve_test asserts this).
+class ServeEngine {
+ public:
+  // Generic engine over caller-supplied scorers. The score fns must be
+  // thread-safe: workers invoke them concurrently, each under its own
+  // tensor::NoGradGuard (grad mode is thread-local; see tensor.h).
+  ServeEngine(eval::ObjectScoreFn object_fn, eval::RelationScoreFn relation_fn,
+              const ServeConfig& config);
+
+  // Engine over a frozen RetiaModel: scorers are bound to the model's
+  // const ScoreObjectsFrozen / ScoreRelationsFrozen entry points against
+  // states evolved from `graph_cache`'s history (memoized per timestamp).
+  // The model is put in eval mode; model and graph_cache must outlive the
+  // engine and must not be mutated while it is running.
+  ServeEngine(core::RetiaModel* model, graph::GraphCache* graph_cache,
+              const ServeConfig& config);
+
+  // Drains outstanding requests, then stops and joins the workers.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  // Top-k objects for the entity query (s, r, ?) at serving timestamp t.
+  // r in [0, 2M): pass r + M for the inverse (subject) direction. Blocks
+  // until the result is available. k must be <= config.max_k.
+  TopKResult TopK(int64_t s, int64_t r, int64_t t, int64_t k);
+
+  // Top-k relations for the query (s, ?, o) at serving timestamp t.
+  TopKResult TopKRelation(int64_t s, int64_t o, int64_t t, int64_t k);
+
+  // Pre-evolves (and pins) the states for timestamp t so the first query
+  // does not pay the evolution latency. Only meaningful for model-backed
+  // engines; a no-op for the generic constructor.
+  void Warmup(int64_t t);
+
+  ServeStats Stats() const;
+  void ResetStats();
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    CacheKey key;
+    int64_t k = 0;
+    util::Timer timer;  // started at submission
+    std::promise<TopKResult> promise;
+  };
+
+  // Memoized per-timestamp evolution for the model-backed constructor.
+  struct FrozenStateStore {
+    core::RetiaModel* model = nullptr;
+    graph::GraphCache* graph_cache = nullptr;
+    std::mutex mu;
+    std::map<int64_t,
+             std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>>
+        states;
+
+    std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
+    StatesFor(int64_t t);
+  };
+
+  // Binds both score fns to one shared state store (a single store means a
+  // single evolution per timestamp and a single lock around the non
+  // thread-safe GraphCache).
+  ServeEngine(std::shared_ptr<FrozenStateStore> store,
+              const ServeConfig& config);
+
+  TopKResult Submit(const CacheKey& key, int64_t k);
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Request> batch);
+
+  ServeConfig config_;
+  eval::ObjectScoreFn object_fn_;
+  eval::RelationScoreFn relation_fn_;
+  std::shared_ptr<FrozenStateStore> state_store_;  // null for generic engines
+
+  std::unique_ptr<PredictionCache> cache_;  // null when disabled
+  StatsRecorder stats_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace retia::serve
+
+#endif  // RETIA_SERVE_ENGINE_H_

@@ -1,0 +1,75 @@
+#include "serve/lru_cache.h"
+
+#include "util/check.h"
+
+namespace retia::serve {
+
+PredictionCache::PredictionCache(int64_t capacity, int64_t num_shards) {
+  RETIA_CHECK(num_shards > 0);
+  RETIA_CHECK_LE(num_shards, capacity);
+  shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int64_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PredictionCache::Shard& PredictionCache::ShardFor(const CacheKey& key) {
+  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+bool PredictionCache::Get(const CacheKey& key,
+                          std::vector<ScoredCandidate>* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  if (out != nullptr) *out = it->second->second;
+  return true;
+}
+
+void PredictionCache::Put(const CacheKey& key,
+                          std::vector<ScoredCandidate> value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  if (static_cast<int64_t>(shard.order.size()) >= shard_capacity_) {
+    shard.index.erase(shard.order.back().first);
+    shard.order.pop_back();
+    ++shard.evictions;
+  }
+  shard.order.emplace_front(key, std::move(value));
+  shard.index[key] = shard.order.begin();
+}
+
+CacheCounters PredictionCache::Counters() const {
+  CacheCounters total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.entries += static_cast<int64_t>(shard->order.size());
+  }
+  return total;
+}
+
+void PredictionCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->order.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace retia::serve

@@ -1,0 +1,118 @@
+#ifndef RETIA_SERVE_LRU_CACHE_H_
+#define RETIA_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace retia::serve {
+
+// One ranked prediction candidate (entity or relation id).
+struct ScoredCandidate {
+  int64_t id = 0;
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredCandidate&,
+                         const ScoredCandidate&) = default;
+};
+
+// Which decode path a cached prediction came from.
+enum class QueryKind : uint8_t {
+  kEntity = 0,    // (s, r, ?) -> entities; key (t, s, r)
+  kRelation = 1,  // (s, ?, o) -> relations; key (t, s, o)
+};
+
+// Cache key of one prediction: the serving timestamp plus the two query
+// ids (subject+relation for entity queries, subject+object for relation
+// queries). Because serving decodes against frozen snapshot states, a key
+// fully determines the prediction, so cached entries never go stale until
+// the snapshot itself is replaced.
+struct CacheKey {
+  int64_t t = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+  QueryKind kind = QueryKind::kEntity;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    // splitmix64-style mixing of the four fields.
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (uint64_t v :
+         {static_cast<uint64_t>(k.t), static_cast<uint64_t>(k.a),
+          static_cast<uint64_t>(k.b), static_cast<uint64_t>(k.kind)}) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Point-in-time counter snapshot of a PredictionCache.
+struct CacheCounters {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+
+  double HitRate() const {
+    const int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+// Sharded LRU map from CacheKey to a ranked candidate list. Each shard is
+// an independent (mutex, list, index) triple, so concurrent lookups of
+// different keys mostly touch different locks; eviction is LRU *per shard*
+// with capacity split evenly across shards.
+class PredictionCache {
+ public:
+  // `capacity` is the total entry budget (>= num_shards); `num_shards`
+  // must be > 0. Use one shard when exact global LRU order matters.
+  PredictionCache(int64_t capacity, int64_t num_shards = 8);
+
+  // Copies the cached candidates into `*out` and promotes the entry to
+  // most-recently-used. Counts one hit or one miss.
+  bool Get(const CacheKey& key, std::vector<ScoredCandidate>* out);
+
+  // Inserts or overwrites as most-recently-used, evicting the shard's LRU
+  // entry when the shard is at capacity.
+  void Put(const CacheKey& key, std::vector<ScoredCandidate> value);
+
+  // Summed counters across shards.
+  CacheCounters Counters() const;
+
+  // Drops all entries (counters are kept).
+  void Clear();
+
+  int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
+
+ private:
+  using Entry = std::pair<CacheKey, std::vector<ScoredCandidate>>;
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> order;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        index;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  int64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace retia::serve
+
+#endif  // RETIA_SERVE_LRU_CACHE_H_

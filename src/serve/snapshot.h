@@ -1,0 +1,33 @@
+#ifndef RETIA_SERVE_SNAPSHOT_H_
+#define RETIA_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/retia.h"
+
+namespace retia::serve {
+
+// A model snapshot is the pair of files a serving process needs to rebuild
+// a trained RetiaModel without the training program:
+//   <prefix>.ckpt  binary parameters (nn::SaveCheckpoint format)
+//   <prefix>.meta  nn::Sidecar describing the full RetiaConfig plus the
+//                  dataset vocabulary sizes and name
+//
+// Limitation: the optional static-constraint entity-type table installed by
+// SetEntityTypes() is not captured; loading such a snapshot CHECK-fails on
+// the parameter-count mismatch rather than serving silently wrong results.
+void SaveModelSnapshot(const core::RetiaModel& model,
+                       const std::string& prefix,
+                       const std::string& dataset_name = "");
+
+// Rebuilds the model from <prefix>.meta and loads <prefix>.ckpt into it.
+// The returned model is in eval mode (SetTraining(false)), ready for
+// frozen scoring. `dataset_name`, when non-null, receives the name stored
+// at save time.
+std::unique_ptr<core::RetiaModel> LoadModelSnapshot(
+    const std::string& prefix, std::string* dataset_name = nullptr);
+
+}  // namespace retia::serve
+
+#endif  // RETIA_SERVE_SNAPSHOT_H_

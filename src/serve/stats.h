@@ -1,0 +1,62 @@
+#ifndef RETIA_SERVE_STATS_H_
+#define RETIA_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/lru_cache.h"
+#include "util/timer.h"
+
+namespace retia::serve {
+
+// Point-in-time view of an engine's serving behaviour since the last
+// ResetStats(). All latencies are end-to-end (submit to result, including
+// queueing and batching delay).
+struct ServeStats {
+  int64_t completed = 0;       // requests answered
+  double wall_seconds = 0.0;   // observation window
+  double qps = 0.0;            // completed / wall_seconds
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+
+  // batch_size_histogram[b] = number of decode batches of size b (index 0
+  // is unused; cache hits never reach the batcher).
+  std::vector<int64_t> batch_size_histogram;
+  int64_t batches = 0;
+  double mean_batch_size = 0.0;
+
+  CacheCounters cache;  // hits/misses/evictions since engine construction
+  double cache_hit_rate = 0.0;
+
+  // Single-line JSON rendering of every field above.
+  std::string ToJson() const;
+};
+
+// Thread-safe accumulator behind ServeEngine::Stats(): callers record one
+// latency per completed request, workers record one entry per decoded
+// micro-batch.
+class StatsRecorder {
+ public:
+  explicit StatsRecorder(int64_t max_batch);
+
+  void RecordRequest(double latency_ms);
+  void RecordBatch(int64_t batch_size);
+
+  // Snapshot over the window since construction or the last Reset();
+  // `cache` is merged in verbatim (cache counters live in the cache).
+  ServeStats Snapshot(const CacheCounters& cache) const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  util::Timer timer_;
+  std::vector<float> latencies_ms_;
+  std::vector<int64_t> batch_hist_;
+};
+
+}  // namespace retia::serve
+
+#endif  // RETIA_SERVE_STATS_H_

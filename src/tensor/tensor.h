@@ -102,6 +102,17 @@ class Tensor {
 
 // RAII guard disabling autograd recording (used during evaluation so that
 // forward passes do not build a tape). Nestable.
+//
+// THREAD-SAFETY INVARIANT: grad mode is tracked in a thread_local counter,
+// so a NoGradGuard only affects the thread that constructed it. Any thread
+// running grad-free forward passes concurrently (e.g. the serve workers)
+// must install its OWN guard; otherwise ops on that thread record tape
+// edges whose `parents` handles alias the shared parameter tensors, and a
+// later Backward() would race on their grad buffers. With a per-thread
+// guard in place, concurrent forward passes over shared parameters are
+// safe: every op allocates a fresh result tensor, never mutates its
+// inputs, and the only rng-consuming ops (Dropout, RRelu) are pure
+// pass-throughs outside training mode (audited 2026-08; keep it that way).
 class NoGradGuard {
  public:
   NoGradGuard();

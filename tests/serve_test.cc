@@ -1,0 +1,401 @@
+// Tests for the retia::serve subsystem: sharded LRU prediction cache,
+// micro-batching engine (including bit-identical multi-threaded results),
+// and frozen-model snapshot round-trips. Registered under the ctest label
+// `serve` so `ctest -L serve` runs just these, typically in a
+// -DRETIA_SANITIZE=thread build.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/retia.h"
+#include "eval/metrics.h"
+#include "graph/graph_cache.h"
+#include "serve/engine.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
+#include "tkg/synthetic.h"
+
+namespace retia {
+namespace {
+
+using serve::CacheCounters;
+using serve::CacheKey;
+using serve::PredictionCache;
+using serve::QueryKind;
+using serve::ScoredCandidate;
+using serve::ServeConfig;
+using serve::ServeEngine;
+using serve::TopKResult;
+
+CacheKey EntityKey(int64_t t, int64_t s, int64_t r) {
+  return {t, s, r, QueryKind::kEntity};
+}
+
+std::vector<ScoredCandidate> Value(int64_t id) { return {{id, 1.0f}}; }
+
+TEST(PredictionCacheTest, LruEvictionOrderSingleShard) {
+  PredictionCache cache(/*capacity=*/3, /*num_shards=*/1);
+  cache.Put(EntityKey(0, 0, 0), Value(10));
+  cache.Put(EntityKey(0, 1, 0), Value(11));
+  cache.Put(EntityKey(0, 2, 0), Value(12));
+
+  // Touch the oldest entry so it is most-recently-used again.
+  std::vector<ScoredCandidate> out;
+  ASSERT_TRUE(cache.Get(EntityKey(0, 0, 0), &out));
+  EXPECT_EQ(out, Value(10));
+
+  // Inserting a fourth entry must now evict (0,1,0), not (0,0,0).
+  cache.Put(EntityKey(0, 3, 0), Value(13));
+  EXPECT_FALSE(cache.Get(EntityKey(0, 1, 0), &out));
+  EXPECT_TRUE(cache.Get(EntityKey(0, 0, 0), &out));
+  EXPECT_TRUE(cache.Get(EntityKey(0, 2, 0), &out));
+  EXPECT_TRUE(cache.Get(EntityKey(0, 3, 0), &out));
+
+  const CacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.hits, 4);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.evictions, 1);
+  EXPECT_EQ(counters.entries, 3);
+}
+
+TEST(PredictionCacheTest, OverwriteDoesNotEvict) {
+  PredictionCache cache(/*capacity=*/2, /*num_shards=*/1);
+  cache.Put(EntityKey(0, 0, 0), Value(1));
+  cache.Put(EntityKey(0, 1, 0), Value(2));
+  cache.Put(EntityKey(0, 0, 0), Value(3));  // overwrite, still 2 entries
+  std::vector<ScoredCandidate> out;
+  EXPECT_TRUE(cache.Get(EntityKey(0, 0, 0), &out));
+  EXPECT_EQ(out, Value(3));
+  EXPECT_TRUE(cache.Get(EntityKey(0, 1, 0), &out));
+  EXPECT_EQ(cache.Counters().evictions, 0);
+  EXPECT_EQ(cache.Counters().entries, 2);
+}
+
+TEST(PredictionCacheTest, ShardedCountersAggregate) {
+  PredictionCache cache(/*capacity=*/64, /*num_shards=*/8);
+  for (int64_t i = 0; i < 32; ++i) cache.Put(EntityKey(0, i, 0), Value(i));
+  std::vector<ScoredCandidate> out;
+  int64_t hits = 0;
+  for (int64_t i = 0; i < 48; ++i) {
+    if (cache.Get(EntityKey(0, i, 0), &out)) ++hits;
+  }
+  const CacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.hits, hits);
+  EXPECT_EQ(counters.hits, 32);
+  EXPECT_EQ(counters.misses, 16);
+  EXPECT_EQ(counters.entries, 32);
+}
+
+TEST(PredictionCacheTest, ConcurrentMixedAccessKeepsCountsConsistent) {
+  // Capacity comfortably above the 97 * 3 = 291-key working set even under
+  // hash skew across the 8 shards (128 per shard).
+  PredictionCache cache(/*capacity=*/1024, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int64_t kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int thread_id = 0; thread_id < kThreads; ++thread_id) {
+    threads.emplace_back([&cache, thread_id] {
+      std::vector<ScoredCandidate> out;
+      for (int64_t i = 0; i < kOpsPerThread; ++i) {
+        const CacheKey key = EntityKey(0, i % 97, thread_id % 3);
+        if (!cache.Get(key, &out)) cache.Put(key, Value(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const CacheCounters counters = cache.Counters();
+  EXPECT_EQ(counters.hits + counters.misses, kThreads * kOpsPerThread);
+  EXPECT_EQ(counters.evictions, 0);  // working set fits
+  EXPECT_LE(counters.entries, 97 * 3);
+}
+
+// ---- Engine fixtures --------------------------------------------------------
+
+tkg::SyntheticConfig TinyDataConfig() {
+  tkg::SyntheticConfig config;
+  config.name = "serve-test";
+  config.num_entities = 40;
+  config.num_relations = 6;
+  config.num_timestamps = 20;
+  config.facts_per_timestamp = 15;
+  config.num_schemas = 60;
+  config.max_period = 4;
+  config.seed = 11;
+  return config;
+}
+
+core::RetiaConfig TinyModelConfig(const tkg::TkgDataset& dataset) {
+  core::RetiaConfig config;
+  config.num_entities = dataset.num_entities();
+  config.num_relations = dataset.num_relations();
+  config.dim = 12;
+  config.history_len = 2;
+  config.conv_kernels = 4;
+  config.seed = 3;
+  return config;
+}
+
+// Reference decode: single-threaded frozen scoring straight through the
+// model, no engine, no cache.
+std::vector<std::vector<ScoredCandidate>> ReferenceTopK(
+    core::RetiaModel* model, graph::GraphCache* cache, int64_t t,
+    const std::vector<std::pair<int64_t, int64_t>>& queries, int64_t k) {
+  model->SetTraining(false);
+  tensor::NoGradGuard guard;
+  const std::vector<core::EvolutionModel::StepState> states =
+      model->Evolve(*cache, cache->HistoryBefore(t, model->history_len()));
+  const tensor::Tensor scores = model->ScoreObjectsFrozen(states, queries);
+  std::vector<std::vector<ScoredCandidate>> out;
+  const int64_t n = scores.Dim(1);
+  for (int64_t row = 0; row < scores.Dim(0); ++row) {
+    const float* p = scores.Data() + row * n;
+    std::vector<ScoredCandidate> ranked;
+    for (int64_t id : eval::TopKIndices(p, n, k)) ranked.push_back({id, p[id]});
+    out.push_back(std::move(ranked));
+  }
+  return out;
+}
+
+TEST(ServeEngineTest, ConcurrentTopKBitIdenticalToSingleThreaded) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+  const int64_t k = 5;
+
+  // Every (s, r) pair in both directions: 40 * 12 = 480 queries.
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  for (int64_t s = 0; s < dataset.num_entities(); ++s) {
+    for (int64_t r = 0; r < 2 * dataset.num_relations(); ++r) {
+      queries.emplace_back(s, r);
+    }
+  }
+  const std::vector<std::vector<ScoredCandidate>> reference =
+      ReferenceTopK(&model, &graph_cache, t, queries, k);
+
+  ServeConfig config;
+  config.num_threads = 8;
+  config.max_batch = 16;
+  config.max_k = k;
+  ServeEngine engine(&model, &graph_cache, config);
+  engine.Warmup(t);
+
+  // 8 client threads split the query list; every answer must be
+  // bit-identical to the single-threaded reference.
+  std::vector<std::vector<ScoredCandidate>> answers(queries.size());
+  std::vector<std::thread> clients;
+  constexpr int kClients = 8;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < queries.size(); i += kClients) {
+        answers[i] =
+            engine.TopK(queries[i].first, queries[i].second, t, k).candidates;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(answers[i].size(), reference[i].size()) << "query " << i;
+    for (size_t j = 0; j < answers[i].size(); ++j) {
+      EXPECT_EQ(answers[i][j].id, reference[i][j].id) << "query " << i;
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(answers[i][j].score, reference[i][j].score) << "query " << i;
+    }
+  }
+
+  const serve::ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(queries.size()));
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_GT(stats.qps, 0.0);
+}
+
+TEST(ServeEngineTest, CacheHitsReturnIdenticalResults) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+
+  ServeConfig config;
+  config.num_threads = 2;
+  config.max_k = 4;
+  ServeEngine engine(&model, &graph_cache, config);
+
+  const TopKResult first = engine.TopK(1, 2, t, 4);
+  EXPECT_FALSE(first.cache_hit);
+  const TopKResult second = engine.TopK(1, 2, t, 4);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.candidates, second.candidates);
+
+  // A smaller k is served from the cached prefix.
+  const TopKResult prefix = engine.TopK(1, 2, t, 2);
+  EXPECT_TRUE(prefix.cache_hit);
+  ASSERT_EQ(prefix.candidates.size(), 2u);
+  EXPECT_EQ(prefix.candidates[0], first.candidates[0]);
+  EXPECT_EQ(prefix.candidates[1], first.candidates[1]);
+
+  const serve::ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.cache.hits, 2);
+  EXPECT_EQ(stats.cache.misses, 1);
+  EXPECT_GT(stats.cache_hit_rate, 0.5);
+}
+
+TEST(ServeEngineTest, RelationQueriesMatchFrozenScores) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+
+  model.SetTraining(false);
+  std::vector<std::vector<ScoredCandidate>> reference;
+  {
+    tensor::NoGradGuard guard;
+    const auto states = model.Evolve(
+        graph_cache, graph_cache.HistoryBefore(t, model.history_len()));
+    std::vector<std::pair<int64_t, int64_t>> queries = {{0, 1}, {3, 7}};
+    const tensor::Tensor scores = model.ScoreRelationsFrozen(states, queries);
+    const int64_t m = scores.Dim(1);
+    EXPECT_EQ(m, dataset.num_relations());
+    for (int64_t row = 0; row < scores.Dim(0); ++row) {
+      const float* p = scores.Data() + row * m;
+      std::vector<ScoredCandidate> ranked;
+      for (int64_t id : eval::TopKIndices(p, m, 3)) ranked.push_back({id, p[id]});
+      reference.push_back(std::move(ranked));
+    }
+  }
+
+  ServeConfig config;
+  config.num_threads = 2;
+  config.max_k = 3;
+  ServeEngine engine(&model, &graph_cache, config);
+  EXPECT_EQ(engine.TopKRelation(0, 1, t, 3).candidates, reference[0]);
+  EXPECT_EQ(engine.TopKRelation(3, 7, t, 3).candidates, reference[1]);
+}
+
+TEST(ServeEngineTest, MicroBatchingCoalescesQueuedQueries) {
+  // Generic-scorer engine with one worker. The first decode blocks until
+  // all remaining clients have submitted, so their queries must coalesce
+  // into a single micro-batch afterwards.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release_first_batch = false;
+  std::atomic<int> calls{0};
+
+  eval::ObjectScoreFn object_fn =
+      [&](int64_t, const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        if (calls.fetch_add(1) == 0) {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return release_first_batch; });
+        }
+        // score(q, candidate) = a * 100 + b - candidate: deterministic.
+        const int64_t n = 8;
+        std::vector<float> data;
+        for (const auto& [a, b] : queries) {
+          for (int64_t id = 0; id < n; ++id) {
+            data.push_back(static_cast<float>(a * 100 + b - id));
+          }
+        }
+        return tensor::Tensor::FromVector(
+            {static_cast<int64_t>(queries.size()), n}, std::move(data));
+      };
+  eval::RelationScoreFn relation_fn =
+      [](int64_t, const std::vector<std::pair<int64_t, int64_t>>&) {
+        return tensor::Tensor::Zeros({1, 1});
+      };
+
+  ServeConfig config;
+  config.num_threads = 1;
+  config.max_batch = 32;
+  config.max_k = 1;
+  config.enable_cache = false;
+  ServeEngine engine(object_fn, relation_fn, config);
+
+  constexpr int kClients = 8;
+  std::atomic<int> submitted{0};
+  std::vector<std::thread> clients;
+  std::vector<TopKResult> results(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      submitted.fetch_add(1);
+      results[c] = engine.TopK(c, 0, /*t=*/5, /*k=*/1);
+    });
+  }
+  // Wait until every client has at least reached submission, give their
+  // enqueues time to land, then release the blocked first batch.
+  while (submitted.load() < kClients) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release_first_batch = true;
+  }
+  cv.notify_all();
+  for (std::thread& client : clients) client.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(results[c].candidates.size(), 1u);
+    EXPECT_EQ(results[c].candidates[0].id, 0);  // candidate 0 always wins
+    EXPECT_EQ(results[c].candidates[0].score, static_cast<float>(c * 100));
+  }
+  const serve::ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.completed, kClients);
+  // All clients blocked behind the first batch must have been answered in
+  // far fewer decode ticks than requests (one big batch in the common case).
+  EXPECT_LT(stats.batches, kClients);
+  EXPECT_GT(stats.mean_batch_size, 1.0);
+  EXPECT_FALSE(stats.ToJson().empty());
+}
+
+TEST(ServeSnapshotTest, RoundTripRestoresIdenticalTopK) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+
+  const std::string prefix = testing::TempDir() + "/serve_snapshot";
+  serve::SaveModelSnapshot(model, prefix, dataset.name());
+
+  std::string dataset_name;
+  std::unique_ptr<core::RetiaModel> loaded =
+      serve::LoadModelSnapshot(prefix, &dataset_name);
+  EXPECT_EQ(dataset_name, dataset.name());
+  EXPECT_FALSE(loaded->training());
+  EXPECT_EQ(loaded->config().dim, model.config().dim);
+  EXPECT_EQ(loaded->config().num_entities, model.config().num_entities);
+  EXPECT_EQ(loaded->NumParameters(), model.NumParameters());
+
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  for (int64_t s = 0; s < 10; ++s) queries.emplace_back(s, s % 12);
+  const auto expected = ReferenceTopK(&model, &graph_cache, t, queries, 10);
+
+  // The loaded model must produce identical rankings *and scores* through
+  // a separate graph cache over the same dataset.
+  graph::GraphCache loaded_cache(&dataset);
+  const auto actual =
+      ReferenceTopK(loaded.get(), &loaded_cache, t, queries, 10);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "query " << i;
+  }
+}
+
+TEST(TopKIndicesTest, DeterministicTieBreakByLowerIndex) {
+  const std::vector<float> scores = {1.0f, 3.0f, 3.0f, 2.0f, 0.5f};
+  const std::vector<int64_t> top =
+      eval::TopKIndices(scores.data(), scores.size(), 4);
+  EXPECT_EQ(top, (std::vector<int64_t>{1, 2, 3, 0}));
+  EXPECT_EQ(eval::TopKIndices(scores.data(), scores.size(), 99).size(), 5u);
+}
+
+}  // namespace
+}  // namespace retia
