@@ -2,12 +2,19 @@
 // from (google-benchmark). These are not a paper table; they document the
 // substrate's throughput and make kernel-level regressions visible.
 
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "core/rgcn.h"
 #include "graph/graph_cache.h"
+#include "par/thread_pool.h"
 #include "tensor/ops.h"
 #include "tkg/synthetic.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace {
@@ -118,6 +125,91 @@ void BM_RelationRgcnLayerForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RelationRgcnLayerForward);
+
+// ---------------------------------------------------------------------------
+// Thread sweep: the hot parallel kernels at 1/2/4/8 threads. Each arg swaps
+// the process-wide default pool (par::ScopedDefaultPool), cross-checks the
+// kernel result byte-for-byte against a 1-thread reference (the benchmark
+// aborts on any mismatch — determinism is part of what is being measured),
+// and reports a `speedup_vs_1t` counter from this run's own 1-thread row.
+// On a single-core host the speedup hovers around 1.0; see README for
+// multi-core expectations.
+
+// Per-kernel 1-thread ns/iter, filled by the Arg(1) row. google-benchmark
+// runs args in registration order within one process, so the 1-thread row
+// always lands first.
+std::map<std::string, double>& SerialBaselineNs() {
+  static std::map<std::string, double> baselines;
+  return baselines;
+}
+
+// Runs `kernel` under a `threads`-sized default pool: verifies bit-identity
+// against 1 thread, then times it and records the speedup counter.
+void RunThreadSweep(benchmark::State& state, const std::string& name,
+                    const std::function<Tensor()>& kernel) {
+  const int threads = static_cast<int>(state.range(0));
+  retia::tensor::NoGradGuard guard;
+  std::vector<float> reference;
+  {
+    retia::par::ThreadPool pool(1);
+    retia::par::ScopedDefaultPool scoped(&pool);
+    reference = kernel().impl().data;
+  }
+  retia::par::ThreadPool pool(threads);
+  retia::par::ScopedDefaultPool scoped(&pool);
+  const std::vector<float> check = kernel().impl().data;
+  RETIA_CHECK_EQ(check.size(), reference.size());
+  RETIA_CHECK_MSG(std::memcmp(check.data(), reference.data(),
+                              check.size() * sizeof(float)) == 0,
+                  "thread sweep result not bit-identical to 1-thread run");
+  const auto start = std::chrono::steady_clock::now();
+  int64_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel().Data());
+    ++iters;
+  }
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count()) /
+      static_cast<double>(iters > 0 ? iters : 1);
+  state.counters["threads"] = threads;
+  state.counters["bit_identical"] = 1;
+  if (threads == 1) {
+    SerialBaselineNs()[name] = ns;
+  } else if (SerialBaselineNs().count(name) > 0) {
+    state.counters["speedup_vs_1t"] = SerialBaselineNs()[name] / ns;
+  }
+}
+
+void BM_GemmThreadSweep(benchmark::State& state) {
+  Tensor a = RandomTensor({128, 128}, 21);
+  Tensor b = RandomTensor({128, 128}, 22);
+  RunThreadSweep(state, "gemm",
+                 [&] { return retia::tensor::MatMul(a, b); });
+}
+BENCHMARK(BM_GemmThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SoftmaxCrossEntropyThreadSweep(benchmark::State& state) {
+  Tensor logits = RandomTensor({128, 3000}, 23);
+  std::vector<int64_t> targets;
+  for (int64_t i = 0; i < 128; ++i) targets.push_back((i * 17) % 3000);
+  RunThreadSweep(state, "softmax_ce", [&] {
+    return retia::tensor::CrossEntropyLogits(logits, targets);
+  });
+}
+BENCHMARK(BM_SoftmaxCrossEntropyThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ScatterAddThreadSweep(benchmark::State& state) {
+  Tensor src = RandomTensor({20000, 32}, 24);
+  retia::util::Rng rng(25);
+  std::vector<int64_t> idx(20000);
+  for (auto& i : idx) i = rng.UniformInt(0, 499);
+  RunThreadSweep(state, "scatter_add", [&] {
+    return retia::tensor::ScatterAddRows(src, idx, 500);
+  });
+}
+BENCHMARK(BM_ScatterAddThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# TSan smoke check for the deterministic-parallelism contract.
+#
+# Builds the concurrency-sensitive test binaries (par_test, serve_test) in
+# Release with -fsanitize=thread into build-tsan/ and runs the par- and
+# serve-labelled ctest suites under halt_on_error. Zero TSan reports is a
+# hard requirement: the par::ThreadPool sharding and the ServeEngine drain
+# ticks must be data-race-free, not just bit-identical.
+#
+# Usage: scripts/check.sh [build-dir]        (default: <repo>/build-tsan)
+# Also registered as the ctest test `tsan_smoke` when the tree is
+# configured with -DRETIA_SMOKE_TSAN=ON.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRETIA_SANITIZE=thread \
+  -DRETIA_SMOKE_TSAN=OFF
+
+# Only the concurrency suites: building the whole tree under TSan is slow
+# and the other suites exercise no cross-thread behaviour.
+cmake --build "${BUILD}" -j "${JOBS}" --target par_test serve_test
+
+# halt_on_error: the first race fails the run instead of scrolling past.
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
+  ctest --test-dir "${BUILD}" -L "par|serve" --output-on-failure
+
+echo "check.sh: par|serve suites clean under ThreadSanitizer"

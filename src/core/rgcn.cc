@@ -34,6 +34,11 @@ Tensor EntityRgcnLayer::Forward(const Tensor& nodes, const Tensor& relations,
                                 util::Rng* rng) const {
   RETIA_CHECK_EQ(relations.Dim(0), g.num_relations_aug());
   const int64_t num_nodes = nodes.Dim(0);
+  // The gather / per-edge GEMM / scatter-add kernels below run on
+  // par::DefaultPool() with deterministic fixed shards (GatherRows /
+  // MatMulTransposeB / ScatterAddRows in tensor/), so the message passing
+  // parallelizes across edges while staying bit-identical to the serial
+  // aggregation for every thread count.
   // Per-edge input: e_s + r.
   Tensor x = tensor::Add(tensor::GatherRows(nodes, g.src()),
                          tensor::GatherRows(relations, g.rel()));
@@ -76,25 +81,29 @@ Tensor RelationRgcnLayer::Forward(const Tensor& relations,
   Tensor out = tensor::MatMulTransposeB(relations, self_weight_);
   if (hg.num_edges() > 0) {
     // Per-edge input r_s + hr, transformed by the edge's W_hr. Edges are
-    // processed grouped by hyperrelation type so each group is one matmul.
+    // processed grouped by hyperrelation type so each group is one matmul
+    // (the gather / GEMM / scatter kernels shard deterministically over
+    // par::DefaultPool(); see tensor/). Groups are built in one pass over
+    // the edge list, preserving edge order within each group.
     Tensor x = tensor::Add(tensor::GatherRows(relations, hg.src()),
                            tensor::GatherRows(hyperrelations, hg.hyper_rel()));
     const int64_t num_edges = hg.num_edges();
+    std::vector<std::vector<int64_t>> edge_ids(graph::kNumHyperRelationsAug);
+    std::vector<std::vector<int64_t>> dsts(graph::kNumHyperRelationsAug);
+    std::vector<std::vector<float>> norms(graph::kNumHyperRelationsAug);
+    for (int64_t e = 0; e < num_edges; ++e) {
+      const int64_t hr = hg.hyper_rel()[e];
+      edge_ids[hr].push_back(e);
+      dsts[hr].push_back(hg.dst()[e]);
+      norms[hr].push_back(hg.edge_norm()[e]);
+    }
     for (int64_t hr = 0; hr < graph::kNumHyperRelationsAug; ++hr) {
-      std::vector<int64_t> edge_ids;
-      std::vector<int64_t> dsts;
-      std::vector<float> norms;
-      for (int64_t e = 0; e < num_edges; ++e) {
-        if (hg.hyper_rel()[e] != hr) continue;
-        edge_ids.push_back(e);
-        dsts.push_back(hg.dst()[e]);
-        norms.push_back(hg.edge_norm()[e]);
-      }
-      if (edge_ids.empty()) continue;
-      Tensor group = tensor::GatherRows(x, edge_ids);
+      if (edge_ids[hr].empty()) continue;
+      Tensor group = tensor::GatherRows(x, edge_ids[hr]);
       Tensor msg = tensor::ScaleRows(
-          tensor::MatMulTransposeB(group, weights_[hr]), norms);
-      out = tensor::Add(out, tensor::ScatterAddRows(msg, dsts, num_rel_nodes));
+          tensor::MatMulTransposeB(group, weights_[hr]), norms[hr]);
+      out = tensor::Add(
+          out, tensor::ScatterAddRows(msg, dsts[hr], num_rel_nodes));
     }
   }
   out = tensor::RRelu(out, kRReluLo, kRReluHi, training(), rng);

@@ -2,9 +2,17 @@
 
 #include <cmath>
 
+#include "par/parallel_for.h"
 #include "util/check.h"
 
 namespace retia::nn {
+
+namespace {
+// Elements per Adam/clip shard; shard boundaries derive from the tensor
+// size only (never from the thread count), so updates are bit-identical
+// for every pool size — see par/parallel_for.h.
+constexpr int64_t kElementGrain = 1 << 14;
+}  // namespace
 
 Adam::Adam(std::vector<tensor::Tensor> params, Options options)
     : params_(std::move(params)), options_(options) {
@@ -26,17 +34,25 @@ void Adam::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     tensor::TensorImpl& impl = params_[i].impl();
     if (impl.grad.empty()) continue;
-    const size_t n = impl.data.size();
-    for (size_t j = 0; j < n; ++j) {
-      float g = impl.grad[j];
-      if (options_.weight_decay != 0.0f)
-        g += options_.weight_decay * impl.data[j];
-      m_[i][j] = options_.beta1 * m_[i][j] + (1.0f - options_.beta1) * g;
-      v_[i][j] = options_.beta2 * v_[i][j] + (1.0f - options_.beta2) * g * g;
-      const float mhat = m_[i][j] / bc1;
-      const float vhat = v_[i][j] / bc2;
-      impl.data[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
-    }
+    const int64_t n = static_cast<int64_t>(impl.data.size());
+    float* data = impl.data.data();
+    const float* grad = impl.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    // Element-parallel: every element's update is independent and uses the
+    // identical serial arithmetic, so sharding cannot change the result.
+    par::ParallelFor(n, kElementGrain, [&](int64_t j0, int64_t j1) {
+      for (int64_t j = j0; j < j1; ++j) {
+        float g = grad[j];
+        if (options_.weight_decay != 0.0f)
+          g += options_.weight_decay * data[j];
+        m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+        v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+        const float mhat = m[j] / bc1;
+        const float vhat = v[j] / bc2;
+        data[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+      }
+    });
   }
 }
 
@@ -47,17 +63,34 @@ void Adam::ZeroGrad() {
 }
 
 float ClipGradNorm(std::vector<tensor::Tensor>& params, float max_norm) {
+  // Squared norm via DeterministicReduce: per-shard double partials folded
+  // in shard order, shard boundaries a function of each tensor's size
+  // only — the norm is bit-identical for every thread count.
   double total = 0.0;
   for (tensor::Tensor& p : params) {
     if (!p.HasGrad()) continue;
-    for (float g : p.impl().grad) total += static_cast<double>(g) * g;
+    const std::vector<float>& grad = p.impl().grad;
+    const int64_t n = static_cast<int64_t>(grad.size());
+    total = par::DeterministicReduce<double>(
+        n, kElementGrain, total,
+        [&](int64_t begin, int64_t end) {
+          double partial = 0.0;
+          for (int64_t j = begin; j < end; ++j)
+            partial += static_cast<double>(grad[j]) * grad[j];
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
   }
   const float norm = static_cast<float>(std::sqrt(total));
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (tensor::Tensor& p : params) {
       if (!p.HasGrad()) continue;
-      for (float& g : p.impl().grad) g *= scale;
+      std::vector<float>& grad = p.impl().grad;
+      par::ParallelFor(static_cast<int64_t>(grad.size()), kElementGrain,
+                       [&](int64_t j0, int64_t j1) {
+                         for (int64_t j = j0; j < j1; ++j) grad[j] *= scale;
+                       });
     }
   }
   return norm;

@@ -1,0 +1,47 @@
+#include "par/parallel_for.h"
+
+#include "util/check.h"
+
+namespace retia::par {
+
+int64_t NumShards(int64_t n, int64_t grain) {
+  RETIA_CHECK(grain >= 1);
+  if (n <= grain) return 1;
+  const int64_t shards = (n + grain - 1) / grain;
+  return shards < kMaxShards ? shards : kMaxShards;
+}
+
+int64_t GrainRows(int64_t work_per_row) {
+  if (work_per_row < 1) work_per_row = 1;
+  const int64_t rows = (kTargetShardWork + work_per_row - 1) / work_per_row;
+  return rows >= 1 ? rows : 1;
+}
+
+Range ShardRange(int64_t n, int64_t shards, int64_t shard) {
+  RETIA_CHECK(shards >= 1);
+  RETIA_CHECK(0 <= shard && shard < shards);
+  return {shard * n / shards, (shard + 1) * n / shards};
+}
+
+void ParallelShards(int64_t num_shards,
+                    const std::function<void(int64_t)>& body,
+                    ThreadPool* pool) {
+  if (num_shards <= 0) return;
+  (pool != nullptr ? pool : DefaultPool())->ParallelRun(num_shards, body);
+}
+
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 ThreadPool* pool) {
+  if (n <= 0) return;
+  const int64_t shards = NumShards(n, grain);
+  ParallelShards(
+      shards,
+      [&](int64_t shard) {
+        const Range range = ShardRange(n, shards, shard);
+        body(range.begin, range.end);
+      },
+      pool);
+}
+
+}  // namespace retia::par

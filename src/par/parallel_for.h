@@ -1,0 +1,83 @@
+#ifndef RETIA_PAR_PARALLEL_FOR_H_
+#define RETIA_PAR_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace retia::par {
+
+// Shard-count ceiling. A constant (never the thread count) so that shard
+// boundaries — and therefore per-shard floating-point partials — depend on
+// the problem size alone and survive any pool size bit-identically.
+inline constexpr int64_t kMaxShards = 64;
+
+// Soft target for the amount of work (in "items", whatever the caller's
+// unit is — flops, elements, rows x columns) one shard should carry before
+// splitting further. Small problems therefore stay on one shard and take
+// the exact serial code path.
+inline constexpr int64_t kTargetShardWork = 1 << 15;
+
+// Number of fixed shards for `n` items at a soft minimum of `grain` items
+// per shard: min(kMaxShards, ceil(n / grain)), at least 1. Pure function
+// of (n, grain).
+int64_t NumShards(int64_t n, int64_t grain);
+
+// Rows-per-shard grain for row-blocked kernels whose per-row cost is
+// `work_per_row` items: ceil(kTargetShardWork / work_per_row), >= 1.
+int64_t GrainRows(int64_t work_per_row);
+
+// Half-open item range of `shard` when [0, n) is split into `shards`
+// near-equal contiguous pieces.
+struct Range {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+Range ShardRange(int64_t n, int64_t shards, int64_t shard);
+
+// Runs body(shard) for shard in [0, num_shards) on `pool` (DefaultPool()
+// when null). Blocks until done; the caller participates.
+void ParallelShards(int64_t num_shards,
+                    const std::function<void(int64_t)>& body,
+                    ThreadPool* pool = nullptr);
+
+// Runs body(begin, end) over the fixed shards of [0, n). Shard bodies must
+// write disjoint outputs; under that contract the result is bit-identical
+// to the serial loop for every thread count.
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 ThreadPool* pool = nullptr);
+
+// Deterministic reduction: evaluates partial(begin, end) on every fixed
+// shard of [0, n) in parallel, then folds the per-shard partials IN SHARD
+// ORDER on the calling thread:
+//   combine(...combine(combine(init, p_0), p_1)..., p_{S-1}).
+// Because both the shard boundaries and the fold order are functions of
+// (n, grain) only, the result is bit-identical for every thread count.
+template <typename T, typename PartialFn, typename CombineFn>
+T DeterministicReduce(int64_t n, int64_t grain, T init, PartialFn partial,
+                      CombineFn combine, ThreadPool* pool = nullptr) {
+  if (n <= 0) return init;
+  const int64_t shards = NumShards(n, grain);
+  if (shards == 1) return combine(std::move(init), partial(int64_t{0}, n));
+  std::vector<T> partials(static_cast<size_t>(shards));
+  ParallelShards(
+      shards,
+      [&](int64_t shard) {
+        const Range range = ShardRange(n, shards, shard);
+        partials[static_cast<size_t>(shard)] = partial(range.begin, range.end);
+      },
+      pool);
+  T acc = std::move(init);
+  for (int64_t shard = 0; shard < shards; ++shard) {
+    acc = combine(std::move(acc), std::move(partials[static_cast<size_t>(shard)]));
+  }
+  return acc;
+}
+
+}  // namespace retia::par
+
+#endif  // RETIA_PAR_PARALLEL_FOR_H_

@@ -1,0 +1,193 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace retia::par {
+
+namespace {
+
+// Depth of ParallelRun shard execution on this thread; > 0 means a nested
+// ParallelRun must fall back to serial.
+thread_local int tls_region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++tls_region_depth; }
+  ~RegionGuard() { --tls_region_depth; }
+};
+
+}  // namespace
+
+struct ThreadPool::Job {
+  std::function<void(int64_t)> fn;
+  int64_t num_shards = 0;
+  // Next shard to claim; >= num_shards once all shards are handed out.
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> completed{0};
+  // Fire-and-forget Submit job: nobody waits on `done`, shards must not
+  // mark the parallel region (so the task itself may ParallelRun), and an
+  // escaped exception is fatal.
+  bool detached = false;
+  std::mutex mu;
+  std::condition_variable done;
+  std::exception_ptr error;  // guarded by mu
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InParallelRegion() { return tls_region_depth > 0; }
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping, queue drained
+      job = jobs_.front();
+      if (job->next.load() >= job->num_shards) {
+        // All shards already claimed; retire the job and look again.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    RunShards(*job);
+  }
+}
+
+void ThreadPool::RunShards(Job& job) {
+  for (;;) {
+    const int64_t shard = job.next.fetch_add(1);
+    if (shard >= job.num_shards) return;
+    if (job.detached) {
+      // Serve ticks and other fire-and-forget tasks may themselves issue
+      // ParallelRun, so they do not mark the parallel region.
+      try {
+        job.fn(shard);
+      } catch (...) {
+        util::CheckFailure(__FILE__, __LINE__,
+                           "exception escaped a detached ThreadPool task");
+      }
+    } else {
+      RegionGuard guard;
+      try {
+        job.fn(shard);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    if (job.completed.fetch_add(1) + 1 == job.num_shards) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelRun(int64_t num_shards,
+                             const std::function<void(int64_t)>& fn) {
+  if (num_shards <= 0) return;
+  if (num_shards == 1 || workers_.empty() || InParallelRegion()) {
+    // Serial fallback: shards run in order on the calling thread. Still
+    // marked as a parallel region so doubly-nested calls stay serial too.
+    RegionGuard guard;
+    for (int64_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->num_shards = num_shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+  RunShards(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done.wait(lock,
+                   [&] { return job->completed.load() == job->num_shards; });
+  }
+  {
+    // Retire eagerly so exhausted jobs don't linger at the queue front.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->get() == job.get()) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->detached = true;
+  job->num_shards = 1;
+  job->fn = [moved = std::move(task)](int64_t) { moved(); };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+int ParseThreadCount(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  if (parsed < 1 || parsed > 4096) return fallback;
+  return static_cast<int>(parsed);
+}
+
+int DefaultThreads() {
+  static const int threads = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+    return ParseThreadCount(std::getenv("RETIA_NUM_THREADS"), fallback);
+  }();
+  return threads;
+}
+
+namespace {
+std::atomic<ThreadPool*> g_override_pool{nullptr};
+}  // namespace
+
+ThreadPool* DefaultPool() {
+  ThreadPool* override_pool = g_override_pool.load();
+  if (override_pool != nullptr) return override_pool;
+  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  return pool;
+}
+
+ScopedDefaultPool::ScopedDefaultPool(ThreadPool* pool)
+    : previous_(g_override_pool.exchange(pool)) {}
+
+ScopedDefaultPool::~ScopedDefaultPool() { g_override_pool.store(previous_); }
+
+}  // namespace retia::par

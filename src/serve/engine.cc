@@ -39,10 +39,7 @@ ServeEngine::ServeEngine(eval::ObjectScoreFn object_fn,
     cache_ = std::make_unique<PredictionCache>(config_.cache_capacity,
                                                config_.cache_shards);
   }
-  workers_.reserve(static_cast<size_t>(config_.num_threads));
-  for (int64_t i = 0; i < config_.num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  pool_ = config_.pool != nullptr ? config_.pool : par::DefaultPool();
 }
 
 ServeEngine::ServeEngine(core::RetiaModel* model,
@@ -78,12 +75,14 @@ ServeEngine::ServeEngine(std::shared_ptr<FrozenStateStore> store,
 }
 
 ServeEngine::~ServeEngine() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    stopping_ = true;
-  }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Every queued request has a tick scheduled for it (Submit pairs each
+  // enqueue with one pool_->Submit), so waiting for inflight_ticks_ == 0
+  // also guarantees the queue has been drained and no pool task still
+  // references this engine.
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  stopping_ = true;
+  drained_cv_.wait(lock,
+                   [this] { return inflight_ticks_ == 0 && queue_.empty(); });
 }
 
 TopKResult ServeEngine::TopK(int64_t s, int64_t r, int64_t t, int64_t k) {
@@ -128,28 +127,31 @@ TopKResult ServeEngine::Submit(const CacheKey& key, int64_t k) {
     request.timer = timer;
     future = request.promise.get_future();
     queue_.push_back(std::move(request));
+    ++inflight_ticks_;
   }
-  queue_cv_.notify_one();
+  // One tick per submission: either it becomes an active drainer, or an
+  // already-active drainer's queue sweep answers the request and the tick
+  // returns immediately. On a pool with no workers the tick runs inline
+  // here, before future.get(), so the engine never deadlocks.
+  pool_->Submit([this] { DrainTask(); });
   TopKResult result = future.get();
   stats_.RecordRequest(timer.Millis());
   return result;
 }
 
-void ServeEngine::WorkerLoop() {
-  // Grad mode is thread-local (see tensor.h): each worker installs its own
+void ServeEngine::DrainTask() {
+  // Grad mode is thread-local (see tensor.h): each tick installs its own
   // guard so concurrent decodes never record autograd edges against the
   // shared frozen parameters.
   tensor::NoGradGuard guard;
-  while (true) {
-    std::vector<Request> batch;
-    bool more_pending = false;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, and fully drained
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (active_ticks_ < config_.num_threads) {
+    ++active_ticks_;
+    while (!queue_.empty()) {
       // Micro-batch: everything queued for the front request's
       // (timestamp, kind), up to max_batch. Queries for other timestamps
-      // or kinds stay queued for the next tick / another worker.
+      // or kinds stay queued for a later sweep / another tick.
+      std::vector<Request> batch;
       const CacheKey front = queue_.front().key;
       for (auto it = queue_.begin();
            it != queue_.end() &&
@@ -161,11 +163,14 @@ void ServeEngine::WorkerLoop() {
           ++it;
         }
       }
-      more_pending = !queue_.empty();
+      lock.unlock();
+      ProcessBatch(std::move(batch));
+      lock.lock();
     }
-    if (more_pending) queue_cv_.notify_one();
-    ProcessBatch(std::move(batch));
+    --active_ticks_;
   }
+  --inflight_ticks_;
+  if (inflight_ticks_ == 0 && queue_.empty()) drained_cv_.notify_all();
 }
 
 void ServeEngine::ProcessBatch(std::vector<Request> batch) {

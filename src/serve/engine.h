@@ -8,20 +8,26 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/retia.h"
 #include "eval/evaluator.h"
 #include "graph/graph_cache.h"
+#include "par/thread_pool.h"
 #include "serve/lru_cache.h"
 #include "serve/stats.h"
 
 namespace retia::serve {
 
 struct ServeConfig {
-  // Worker threads running the batched decodes.
+  // Maximum number of drain ticks (batched decodes) running concurrently
+  // on the shared pool. The engine owns no threads of its own: decode work
+  // runs as tasks on `pool` (par::DefaultPool() when null), so one process
+  // hosts many engines without stacking worker fleets.
   int64_t num_threads = 4;
+  // Pool the decode ticks run on; null means par::DefaultPool(). Must
+  // outlive the engine.
+  par::ThreadPool* pool = nullptr;
   // Micro-batch cap: one decode tick coalesces at most this many queued
   // queries sharing a (timestamp, kind).
   int64_t max_batch = 32;
@@ -44,17 +50,27 @@ struct TopKResult {
 //
 // Architecture: callers block in TopK()/TopKRelation(). A cache-enabled
 // engine first probes the sharded LRU prediction cache on the caller's
-// thread (hits never touch the queue). Misses are enqueued; worker threads
-// drain the queue in micro-batches — all pending queries sharing the
-// front request's (timestamp, kind), up to max_batch — and answer each
-// batch with ONE [B, num_candidates] decode through the same
+// thread (hits never touch the queue). Misses are enqueued, and each
+// submission schedules a drain tick on the shared par::ThreadPool; at most
+// config.num_threads ticks run at once, and a running tick keeps draining
+// micro-batches — all pending queries sharing the front request's
+// (timestamp, kind), up to max_batch — until the queue is empty. Each
+// batch is answered with ONE [B, num_candidates] decode through the same
 // eval::ObjectScoreFn / eval::RelationScoreFn-shaped path the evaluator
 // uses. Evolved StepStates are memoized per timestamp behind a lock, so
 // each serving timestamp pays its history evolution once.
 //
+// The engine spawns no threads of its own: decode ticks share
+// par::DefaultPool() (or config.pool) with the intra-op tensor kernels.
+// On a pool with no workers (RETIA_NUM_THREADS=1) ticks run inline on the
+// submitting caller, which keeps the engine deadlock-free even when every
+// pool worker is busy.
+//
 // Determinism: decodes are row-independent pure float math over frozen
-// parameters, so results are bit-identical regardless of thread count,
-// batch composition, or cache state (serve_test asserts this).
+// parameters, and the parallel tensor kernels use fixed problem-derived
+// shards (see par/parallel_for.h), so results are bit-identical regardless
+// of thread count, batch composition, or cache state (serve_test asserts
+// this, including with more clients than pool workers).
 class ServeEngine {
  public:
   // Generic engine over caller-supplied scorers. The score fns must be
@@ -71,7 +87,8 @@ class ServeEngine {
   ServeEngine(core::RetiaModel* model, graph::GraphCache* graph_cache,
               const ServeConfig& config);
 
-  // Drains outstanding requests, then stops and joins the workers.
+  // Blocks until every outstanding request has been answered and every
+  // scheduled drain tick has finished, then detaches from the pool.
   ~ServeEngine();
 
   ServeEngine(const ServeEngine&) = delete;
@@ -122,7 +139,9 @@ class ServeEngine {
               const ServeConfig& config);
 
   TopKResult Submit(const CacheKey& key, int64_t k);
-  void WorkerLoop();
+  // One scheduled tick: becomes an active drainer if the concurrency cap
+  // allows, then drains micro-batches until the queue is empty.
+  void DrainTask();
   void ProcessBatch(std::vector<Request> batch);
 
   ServeConfig config_;
@@ -132,12 +151,17 @@ class ServeEngine {
 
   std::unique_ptr<PredictionCache> cache_;  // null when disabled
   StatsRecorder stats_;
+  par::ThreadPool* pool_ = nullptr;
 
   std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  // Drain ticks currently holding a concurrency slot / still running
+  // (both guarded by queue_mu_). The destructor waits on drained_cv_ for
+  // inflight_ticks_ to hit zero so no task outlives the engine.
+  int64_t active_ticks_ = 0;
+  int64_t inflight_ticks_ = 0;
+  std::condition_variable drained_cv_;
 };
 
 }  // namespace retia::serve

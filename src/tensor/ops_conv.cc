@@ -1,6 +1,19 @@
+#include "par/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
+
+// The convolution kernels (ConvTransE decode = Conv1d over the query
+// batch) are parallelized over par::DefaultPool() with fixed shards that
+// each own disjoint output slices:
+//   forward      — (batch, cout) output maps,
+//   input grad   — batch items,
+//   weight grad  — (cout, cin) filter planes (batch stays the outer loop
+//                  inside a shard, preserving the serial accumulation
+//                  order per filter element),
+//   bias grad    — output channels.
+// Every output element therefore sees the serial arithmetic in the serial
+// order: results are bit-identical for every thread count.
 
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t pad) {
@@ -22,27 +35,31 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   std::vector<float> out(batch * cout * lout, 0.0f);
   const float* px = input.Data();
   const float* pw = weight.Data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t co = 0; co < cout; ++co) {
-      float* orow = out.data() + (b * cout + co) * lout;
-      if (bias.defined()) {
-        const float bv = bias.Data()[co];
-        for (int64_t l = 0; l < lout; ++l) orow[l] = bv;
-      }
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* xrow = px + (b * cin + ci) * length;
-        const float* wrow = pw + (co * cin + ci) * ksize;
-        for (int64_t l = 0; l < lout; ++l) {
-          float acc = 0.0f;
-          for (int64_t kk = 0; kk < ksize; ++kk) {
-            const int64_t src = l + kk - pad;
-            if (src >= 0 && src < length) acc += wrow[kk] * xrow[src];
+  par::ParallelFor(
+      batch * cout, par::GrainRows(cin * lout * ksize),
+      [&](int64_t map0, int64_t map1) {
+        for (int64_t map = map0; map < map1; ++map) {
+          const int64_t b = map / cout;
+          const int64_t co = map % cout;
+          float* orow = out.data() + map * lout;
+          if (bias.defined()) {
+            const float bv = bias.Data()[co];
+            for (int64_t l = 0; l < lout; ++l) orow[l] = bv;
           }
-          orow[l] += acc;
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            const float* xrow = px + (b * cin + ci) * length;
+            const float* wrow = pw + (co * cin + ci) * ksize;
+            for (int64_t l = 0; l < lout; ++l) {
+              float acc = 0.0f;
+              for (int64_t kk = 0; kk < ksize; ++kk) {
+                const int64_t src = l + kk - pad;
+                if (src >= 0 && src < length) acc += wrow[kk] * xrow[src];
+              }
+              orow[l] += acc;
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return MakeOpResult(
       {batch, cout, lout}, std::move(out), {input, weight, bias},
       [input, weight, bias, batch, cin, length, cout, ksize, lout,
@@ -52,47 +69,59 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         const float* pw = weight.Data();
         if (input.RequiresGrad()) {
           std::vector<float> gx(batch * cin * length, 0.0f);
-          for (int64_t b = 0; b < batch; ++b)
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* grow = g + (b * cout + co) * lout;
-              for (int64_t ci = 0; ci < cin; ++ci) {
-                float* xrow = gx.data() + (b * cin + ci) * length;
-                const float* wrow = pw + (co * cin + ci) * ksize;
-                for (int64_t l = 0; l < lout; ++l)
-                  for (int64_t kk = 0; kk < ksize; ++kk) {
-                    const int64_t src = l + kk - pad;
-                    if (src >= 0 && src < length)
-                      xrow[src] += grow[l] * wrow[kk];
+          par::ParallelFor(
+              batch, par::GrainRows(cout * cin * lout * ksize),
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t b = b0; b < b1; ++b)
+                  for (int64_t co = 0; co < cout; ++co) {
+                    const float* grow = g + (b * cout + co) * lout;
+                    for (int64_t ci = 0; ci < cin; ++ci) {
+                      float* xrow = gx.data() + (b * cin + ci) * length;
+                      const float* wrow = pw + (co * cin + ci) * ksize;
+                      for (int64_t l = 0; l < lout; ++l)
+                        for (int64_t kk = 0; kk < ksize; ++kk) {
+                          const int64_t src = l + kk - pad;
+                          if (src >= 0 && src < length)
+                            xrow[src] += grow[l] * wrow[kk];
+                        }
+                    }
                   }
-              }
-            }
+              });
           input.impl().AccumulateGrad(gx.data(), batch * cin * length);
         }
         if (weight.RequiresGrad()) {
           std::vector<float> gw(cout * cin * ksize, 0.0f);
-          for (int64_t b = 0; b < batch; ++b)
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* grow = g + (b * cout + co) * lout;
-              for (int64_t ci = 0; ci < cin; ++ci) {
-                const float* xrow = px + (b * cin + ci) * length;
-                float* wrow = gw.data() + (co * cin + ci) * ksize;
-                for (int64_t l = 0; l < lout; ++l)
-                  for (int64_t kk = 0; kk < ksize; ++kk) {
-                    const int64_t src = l + kk - pad;
-                    if (src >= 0 && src < length)
-                      wrow[kk] += grow[l] * xrow[src];
+          par::ParallelFor(
+              cout * cin, par::GrainRows(batch * lout * ksize),
+              [&](int64_t plane0, int64_t plane1) {
+                for (int64_t b = 0; b < batch; ++b)
+                  for (int64_t plane = plane0; plane < plane1; ++plane) {
+                    const int64_t co = plane / cin;
+                    const int64_t ci = plane % cin;
+                    const float* grow = g + (b * cout + co) * lout;
+                    const float* xrow = px + (b * cin + ci) * length;
+                    float* wrow = gw.data() + plane * ksize;
+                    for (int64_t l = 0; l < lout; ++l)
+                      for (int64_t kk = 0; kk < ksize; ++kk) {
+                        const int64_t src = l + kk - pad;
+                        if (src >= 0 && src < length)
+                          wrow[kk] += grow[l] * xrow[src];
+                      }
                   }
-              }
-            }
+              });
           weight.impl().AccumulateGrad(gw.data(), cout * cin * ksize);
         }
         if (bias.defined() && bias.RequiresGrad()) {
           std::vector<float> gb(cout, 0.0f);
-          for (int64_t b = 0; b < batch; ++b)
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* grow = g + (b * cout + co) * lout;
-              for (int64_t l = 0; l < lout; ++l) gb[co] += grow[l];
-            }
+          par::ParallelFor(
+              cout, par::GrainRows(batch * lout),
+              [&](int64_t co0, int64_t co1) {
+                for (int64_t b = 0; b < batch; ++b)
+                  for (int64_t co = co0; co < co1; ++co) {
+                    const float* grow = g + (b * cout + co) * lout;
+                    for (int64_t l = 0; l < lout; ++l) gb[co] += grow[l];
+                  }
+              });
           bias.impl().AccumulateGrad(gb.data(), cout);
         }
       });
@@ -121,32 +150,37 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   std::vector<float> out(batch * cout * ho * wo, 0.0f);
   const float* px = input.Data();
   const float* pw = weight.Data();
-  for (int64_t b = 0; b < batch; ++b)
-    for (int64_t co = 0; co < cout; ++co) {
-      float* omap = out.data() + (b * cout + co) * ho * wo;
-      if (bias.defined()) {
-        const float bv = bias.Data()[co];
-        for (int64_t i = 0; i < ho * wo; ++i) omap[i] = bv;
-      }
-      for (int64_t ci = 0; ci < cin; ++ci) {
-        const float* xmap = px + (b * cin + ci) * h * w;
-        const float* wmap = pw + (co * cin + ci) * kh * kw;
-        for (int64_t oy = 0; oy < ho; ++oy)
-          for (int64_t ox = 0; ox < wo; ++ox) {
-            float acc = 0.0f;
-            for (int64_t ky = 0; ky < kh; ++ky) {
-              const int64_t sy = oy + ky - pad;
-              if (sy < 0 || sy >= h) continue;
-              for (int64_t kx = 0; kx < kw; ++kx) {
-                const int64_t sx = ox + kx - pad;
-                if (sx < 0 || sx >= w) continue;
-                acc += wmap[ky * kw + kx] * xmap[sy * w + sx];
-              }
-            }
-            omap[oy * wo + ox] += acc;
+  par::ParallelFor(
+      batch * cout, par::GrainRows(cin * ho * wo * kh * kw),
+      [&](int64_t map0, int64_t map1) {
+        for (int64_t map = map0; map < map1; ++map) {
+          const int64_t b = map / cout;
+          const int64_t co = map % cout;
+          float* omap = out.data() + map * ho * wo;
+          if (bias.defined()) {
+            const float bv = bias.Data()[co];
+            for (int64_t i = 0; i < ho * wo; ++i) omap[i] = bv;
           }
-      }
-    }
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            const float* xmap = px + (b * cin + ci) * h * w;
+            const float* wmap = pw + (co * cin + ci) * kh * kw;
+            for (int64_t oy = 0; oy < ho; ++oy)
+              for (int64_t ox = 0; ox < wo; ++ox) {
+                float acc = 0.0f;
+                for (int64_t ky = 0; ky < kh; ++ky) {
+                  const int64_t sy = oy + ky - pad;
+                  if (sy < 0 || sy >= h) continue;
+                  for (int64_t kx = 0; kx < kw; ++kx) {
+                    const int64_t sx = ox + kx - pad;
+                    if (sx < 0 || sx >= w) continue;
+                    acc += wmap[ky * kw + kx] * xmap[sy * w + sx];
+                  }
+                }
+                omap[oy * wo + ox] += acc;
+              }
+          }
+        }
+      });
   return MakeOpResult(
       {batch, cout, ho, wo}, std::move(out), {input, weight, bias},
       [input, weight, bias, batch, cin, h, w, cout, kh, kw, ho, wo,
@@ -156,63 +190,75 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         const float* pw = weight.Data();
         if (input.RequiresGrad()) {
           std::vector<float> gx(batch * cin * h * w, 0.0f);
-          for (int64_t b = 0; b < batch; ++b)
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* gmap = g + (b * cout + co) * ho * wo;
-              for (int64_t ci = 0; ci < cin; ++ci) {
-                float* xmap = gx.data() + (b * cin + ci) * h * w;
-                const float* wmap = pw + (co * cin + ci) * kh * kw;
-                for (int64_t oy = 0; oy < ho; ++oy)
-                  for (int64_t ox = 0; ox < wo; ++ox) {
-                    const float gv = gmap[oy * wo + ox];
-                    if (gv == 0.0f) continue;
-                    for (int64_t ky = 0; ky < kh; ++ky) {
-                      const int64_t sy = oy + ky - pad;
-                      if (sy < 0 || sy >= h) continue;
-                      for (int64_t kx = 0; kx < kw; ++kx) {
-                        const int64_t sx = ox + kx - pad;
-                        if (sx < 0 || sx >= w) continue;
-                        xmap[sy * w + sx] += gv * wmap[ky * kw + kx];
-                      }
+          par::ParallelFor(
+              batch, par::GrainRows(cout * cin * ho * wo * kh * kw),
+              [&](int64_t b0, int64_t b1) {
+                for (int64_t b = b0; b < b1; ++b)
+                  for (int64_t co = 0; co < cout; ++co) {
+                    const float* gmap = g + (b * cout + co) * ho * wo;
+                    for (int64_t ci = 0; ci < cin; ++ci) {
+                      float* xmap = gx.data() + (b * cin + ci) * h * w;
+                      const float* wmap = pw + (co * cin + ci) * kh * kw;
+                      for (int64_t oy = 0; oy < ho; ++oy)
+                        for (int64_t ox = 0; ox < wo; ++ox) {
+                          const float gv = gmap[oy * wo + ox];
+                          if (gv == 0.0f) continue;
+                          for (int64_t ky = 0; ky < kh; ++ky) {
+                            const int64_t sy = oy + ky - pad;
+                            if (sy < 0 || sy >= h) continue;
+                            for (int64_t kx = 0; kx < kw; ++kx) {
+                              const int64_t sx = ox + kx - pad;
+                              if (sx < 0 || sx >= w) continue;
+                              xmap[sy * w + sx] += gv * wmap[ky * kw + kx];
+                            }
+                          }
+                        }
                     }
                   }
-              }
-            }
+              });
           input.impl().AccumulateGrad(gx.data(), batch * cin * h * w);
         }
         if (weight.RequiresGrad()) {
           std::vector<float> gw(cout * cin * kh * kw, 0.0f);
-          for (int64_t b = 0; b < batch; ++b)
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* gmap = g + (b * cout + co) * ho * wo;
-              for (int64_t ci = 0; ci < cin; ++ci) {
-                const float* xmap = px + (b * cin + ci) * h * w;
-                float* wmap = gw.data() + (co * cin + ci) * kh * kw;
-                for (int64_t oy = 0; oy < ho; ++oy)
-                  for (int64_t ox = 0; ox < wo; ++ox) {
-                    const float gv = gmap[oy * wo + ox];
-                    if (gv == 0.0f) continue;
-                    for (int64_t ky = 0; ky < kh; ++ky) {
-                      const int64_t sy = oy + ky - pad;
-                      if (sy < 0 || sy >= h) continue;
-                      for (int64_t kx = 0; kx < kw; ++kx) {
-                        const int64_t sx = ox + kx - pad;
-                        if (sx < 0 || sx >= w) continue;
-                        wmap[ky * kw + kx] += gv * xmap[sy * w + sx];
+          par::ParallelFor(
+              cout * cin, par::GrainRows(batch * ho * wo * kh * kw),
+              [&](int64_t plane0, int64_t plane1) {
+                for (int64_t b = 0; b < batch; ++b)
+                  for (int64_t plane = plane0; plane < plane1; ++plane) {
+                    const int64_t co = plane / cin;
+                    const int64_t ci = plane % cin;
+                    const float* gmap = g + (b * cout + co) * ho * wo;
+                    const float* xmap = px + (b * cin + ci) * h * w;
+                    float* wmap = gw.data() + plane * kh * kw;
+                    for (int64_t oy = 0; oy < ho; ++oy)
+                      for (int64_t ox = 0; ox < wo; ++ox) {
+                        const float gv = gmap[oy * wo + ox];
+                        if (gv == 0.0f) continue;
+                        for (int64_t ky = 0; ky < kh; ++ky) {
+                          const int64_t sy = oy + ky - pad;
+                          if (sy < 0 || sy >= h) continue;
+                          for (int64_t kx = 0; kx < kw; ++kx) {
+                            const int64_t sx = ox + kx - pad;
+                            if (sx < 0 || sx >= w) continue;
+                            wmap[ky * kw + kx] += gv * xmap[sy * w + sx];
+                          }
+                        }
                       }
-                    }
                   }
-              }
-            }
+              });
           weight.impl().AccumulateGrad(gw.data(), cout * cin * kh * kw);
         }
         if (bias.defined() && bias.RequiresGrad()) {
           std::vector<float> gb(cout, 0.0f);
-          for (int64_t b = 0; b < batch; ++b)
-            for (int64_t co = 0; co < cout; ++co) {
-              const float* gmap = g + (b * cout + co) * ho * wo;
-              for (int64_t i = 0; i < ho * wo; ++i) gb[co] += gmap[i];
-            }
+          par::ParallelFor(
+              cout, par::GrainRows(batch * ho * wo),
+              [&](int64_t co0, int64_t co1) {
+                for (int64_t b = 0; b < batch; ++b)
+                  for (int64_t co = co0; co < co1; ++co) {
+                    const float* gmap = g + (b * cout + co) * ho * wo;
+                    for (int64_t i = 0; i < ho * wo; ++i) gb[co] += gmap[i];
+                  }
+              });
           bias.impl().AccumulateGrad(gb.data(), cout);
         }
       });

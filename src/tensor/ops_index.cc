@@ -1,9 +1,39 @@
+#include <algorithm>
 #include <cstring>
 #include <memory>
 
+#include "par/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
+
+namespace {
+
+// Scatter-add of `k` source rows into `rows` destination rows ("owner
+// computes"): each fixed shard owns a contiguous destination-row range and
+// scans the whole index list, accumulating only the rows it owns. Writes
+// are disjoint across shards and every destination row receives its
+// contributions in index order — exactly the serial accumulation, so the
+// result is bit-identical for every thread count. The duplicate-index
+// case (several sources hitting one destination, the message-passing
+// aggregation pattern) is therefore race-free by construction.
+void ScatterAddRowsKernel(const float* src, const int64_t* idx, int64_t k,
+                          int64_t n, int64_t rows, float* out) {
+  const int64_t shards =
+      std::min(par::NumShards(k * n, par::kTargetShardWork), rows);
+  par::ParallelShards(shards, [&](int64_t shard) {
+    const par::Range owned = par::ShardRange(rows, shards, shard);
+    for (int64_t e = 0; e < k; ++e) {
+      const int64_t d = idx[e];
+      if (d < owned.begin || d >= owned.end) continue;
+      float* dst = out + d * n;
+      const float* row = src + e * n;
+      for (int64_t j = 0; j < n; ++j) dst[j] += row[j];
+    }
+  });
+}
+
+}  // namespace
 
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
   RETIA_CHECK_EQ(a.Rank(), 2);
@@ -15,18 +45,22 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
   for (int64_t e = 0; e < k; ++e) {
     RETIA_CHECK_LT(idx[e], rows);
     RETIA_CHECK_LE(0, idx[e]);
-    std::memcpy(out.data() + e * n, pa + idx[e] * n, n * sizeof(float));
   }
+  par::ParallelFor(k, par::GrainRows(n), [&](int64_t e0, int64_t e1) {
+    for (int64_t e = e0; e < e1; ++e) {
+      std::memcpy(out.data() + e * n, pa + idx[e] * n, n * sizeof(float));
+    }
+  });
   auto idx_copy = std::make_shared<std::vector<int64_t>>(idx);
   return MakeOpResult({k, n}, std::move(out), {a},
                       [a, idx_copy, rows, n, k](TensorImpl& self) mutable {
                         if (!a.RequiresGrad()) return;
+                        // Adjoint of a gather is a (duplicate-index)
+                        // scatter-add of the output grads.
                         std::vector<float> ga(rows * n, 0.0f);
-                        for (int64_t e = 0; e < k; ++e) {
-                          const float* g = self.grad.data() + e * n;
-                          float* dst = ga.data() + (*idx_copy)[e] * n;
-                          for (int64_t j = 0; j < n; ++j) dst[j] += g[j];
-                        }
+                        ScatterAddRowsKernel(self.grad.data(),
+                                             idx_copy->data(), k, n, rows,
+                                             ga.data());
                         a.impl().AccumulateGrad(ga.data(), rows * n);
                       });
 }
@@ -38,24 +72,26 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
   const int64_t k = src.Dim(0);
   const int64_t n = src.Dim(1);
   std::vector<float> out(rows * n, 0.0f);
-  const float* ps = src.Data();
   for (int64_t e = 0; e < k; ++e) {
     RETIA_CHECK_LT(idx[e], rows);
     RETIA_CHECK_LE(0, idx[e]);
-    float* dst = out.data() + idx[e] * n;
-    const float* row = ps + e * n;
-    for (int64_t j = 0; j < n; ++j) dst[j] += row[j];
   }
+  ScatterAddRowsKernel(src.Data(), idx.data(), k, n, rows, out.data());
   auto idx_copy = std::make_shared<std::vector<int64_t>>(idx);
   return MakeOpResult({rows, n}, std::move(out), {src},
                       [src, idx_copy, n, k](TensorImpl& self) mutable {
                         if (!src.RequiresGrad()) return;
+                        // Adjoint is a gather: disjoint per source row.
                         std::vector<float> gs(k * n);
-                        for (int64_t e = 0; e < k; ++e) {
-                          const float* g =
-                              self.grad.data() + (*idx_copy)[e] * n;
-                          std::memcpy(gs.data() + e * n, g, n * sizeof(float));
-                        }
+                        par::ParallelFor(
+                            k, par::GrainRows(n), [&](int64_t e0, int64_t e1) {
+                              for (int64_t e = e0; e < e1; ++e) {
+                                const float* g =
+                                    self.grad.data() + (*idx_copy)[e] * n;
+                                std::memcpy(gs.data() + e * n, g,
+                                            n * sizeof(float));
+                              }
+                            });
                         src.impl().AccumulateGrad(gs.data(), k * n);
                       });
 }

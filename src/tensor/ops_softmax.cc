@@ -1,9 +1,16 @@
 #include <cmath>
 #include <memory>
 
+#include "par/parallel_for.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
+
+// The batched softmax / cross-entropy kernels are row-parallel over
+// par::DefaultPool(): every row is written by exactly one fixed shard with
+// the serial per-row arithmetic, and the scalar loss is folded serially in
+// row order from per-row terms — so outputs, losses, and gradients are
+// bit-identical to the serial kernels for every thread count.
 
 Tensor Softmax(const Tensor& a) {
   RETIA_CHECK_EQ(a.Rank(), 2);
@@ -11,31 +18,35 @@ Tensor Softmax(const Tensor& a) {
   const int64_t n = a.Dim(1);
   std::vector<float> out(m * n);
   const float* pa = a.Data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      out[i * n + j] = std::exp(row[j] - mx);
-      denom += out[i * n + j];
+  par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
+      const float* row = pa + i * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        out[i * n + j] = std::exp(row[j] - mx);
+        denom += out[i * n + j];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t j = 0; j < n; ++j) out[i * n + j] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t j = 0; j < n; ++j) out[i * n + j] *= inv;
-  }
+  });
   return MakeOpResult(
       a.Shape(), std::move(out), {a}, [a, m, n](TensorImpl& self) mutable {
         if (!a.RequiresGrad()) return;
         // dx = y * (dy - sum_j dy_j y_j) per row.
         std::vector<float> g(m * n);
-        for (int64_t i = 0; i < m; ++i) {
-          const float* y = self.data.data() + i * n;
-          const float* dy = self.grad.data() + i * n;
-          double dot = 0.0;
-          for (int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
-          for (int64_t j = 0; j < n; ++j)
-            g[i * n + j] = y[j] * (dy[j] - static_cast<float>(dot));
-        }
+        par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+          for (int64_t i = row0; i < row1; ++i) {
+            const float* y = self.data.data() + i * n;
+            const float* dy = self.grad.data() + i * n;
+            double dot = 0.0;
+            for (int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
+            for (int64_t j = 0; j < n; ++j)
+              g[i * n + j] = y[j] * (dy[j] - static_cast<float>(dot));
+          }
+        });
         a.impl().AccumulateGrad(g.data(), m * n);
       });
 }
@@ -46,29 +57,33 @@ Tensor LogSoftmax(const Tensor& a) {
   const int64_t n = a.Dim(1);
   std::vector<float> out(m * n);
   const float* pa = a.Data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(denom));
-    for (int64_t j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
-  }
+  par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
+      const float* row = pa + i * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+      const float lse = mx + static_cast<float>(std::log(denom));
+      for (int64_t j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
+    }
+  });
   return MakeOpResult(
       a.Shape(), std::move(out), {a}, [a, m, n](TensorImpl& self) mutable {
         if (!a.RequiresGrad()) return;
         // dx = dy - softmax(x) * sum_j dy_j per row; softmax = exp(out).
         std::vector<float> g(m * n);
-        for (int64_t i = 0; i < m; ++i) {
-          const float* y = self.data.data() + i * n;
-          const float* dy = self.grad.data() + i * n;
-          double total = 0.0;
-          for (int64_t j = 0; j < n; ++j) total += dy[j];
-          for (int64_t j = 0; j < n; ++j)
-            g[i * n + j] =
-                dy[j] - std::exp(y[j]) * static_cast<float>(total);
-        }
+        par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+          for (int64_t i = row0; i < row1; ++i) {
+            const float* y = self.data.data() + i * n;
+            const float* dy = self.grad.data() + i * n;
+            double total = 0.0;
+            for (int64_t j = 0; j < n; ++j) total += dy[j];
+            for (int64_t j = 0; j < n; ++j)
+              g[i * n + j] =
+                  dy[j] - std::exp(y[j]) * static_cast<float>(total);
+          }
+        });
         a.impl().AccumulateGrad(g.data(), m * n);
       });
 }
@@ -109,21 +124,27 @@ Tensor CrossEntropyLogits(const Tensor& logits,
   const int64_t m = logits.Dim(0);
   const int64_t n = logits.Dim(1);
   const float* pl = logits.Data();
-  // Cache softmax for the backward pass.
+  // Cache softmax for the backward pass. Per-row losses land in a buffer
+  // and are summed serially in row order below, so the total matches the
+  // serial accumulation bit-for-bit.
   auto probs = std::make_shared<std::vector<float>>(m * n);
+  std::vector<double> row_loss(m);
+  par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+    for (int64_t i = row0; i < row1; ++i) {
+      const float* row = pl + i * n;
+      float mx = row[0];
+      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      double denom = 0.0;
+      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+      const double lse = mx + std::log(denom);
+      RETIA_CHECK_LT(targets[i], n);
+      row_loss[i] = lse - row[targets[i]];
+      for (int64_t j = 0; j < n; ++j)
+        (*probs)[i * n + j] = static_cast<float>(std::exp(row[j] - lse));
+    }
+  });
   double loss = 0.0;
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pl + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    double denom = 0.0;
-    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
-    const double lse = mx + std::log(denom);
-    RETIA_CHECK_LT(targets[i], n);
-    loss += lse - row[targets[i]];
-    for (int64_t j = 0; j < n; ++j)
-      (*probs)[i * n + j] = static_cast<float>(std::exp(row[j] - lse));
-  }
+  for (int64_t i = 0; i < m; ++i) loss += row_loss[i];
   loss /= static_cast<double>(m);
   auto tgt = std::make_shared<std::vector<int64_t>>(targets);
   return MakeOpResult(
@@ -132,11 +153,13 @@ Tensor CrossEntropyLogits(const Tensor& logits,
         if (!logits.RequiresGrad()) return;
         std::vector<float> g(m * n);
         const float scale = self.grad[0] / static_cast<float>(m);
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t j = 0; j < n; ++j)
-            g[i * n + j] = scale * (*probs)[i * n + j];
-          g[i * n + (*tgt)[i]] -= scale;
-        }
+        par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+          for (int64_t i = row0; i < row1; ++i) {
+            for (int64_t j = 0; j < n; ++j)
+              g[i * n + j] = scale * (*probs)[i * n + j];
+            g[i * n + (*tgt)[i]] -= scale;
+          }
+        });
         logits.impl().AccumulateGrad(g.data(), m * n);
       });
 }

@@ -20,6 +20,7 @@
 #include "core/retia.h"
 #include "eval/metrics.h"
 #include "graph/graph_cache.h"
+#include "par/thread_pool.h"
 #include "serve/engine.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
@@ -219,6 +220,61 @@ TEST(ServeEngineTest, ConcurrentTopKBitIdenticalToSingleThreaded) {
   EXPECT_EQ(stats.completed, static_cast<int64_t>(queries.size()));
   EXPECT_GE(stats.batches, 1);
   EXPECT_GT(stats.qps, 0.0);
+}
+
+TEST(ServeEngineTest, OversubscribedPoolStaysBitIdenticalAndDeadlockFree) {
+  // Many more client threads than pool workers: a 2-thread shared pool
+  // (1 worker + participating callers) serves 12 concurrent clients. The
+  // drain ticks run inline on client threads when no worker is free, so
+  // nothing can deadlock, every query completes, and answers stay
+  // bit-identical to the single-threaded reference.
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+  const int64_t k = 4;
+
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  for (int64_t s = 0; s < dataset.num_entities(); ++s) {
+    for (int64_t r = 0; r < 2 * dataset.num_relations(); ++r) {
+      queries.emplace_back(s, r);
+    }
+  }
+  const std::vector<std::vector<ScoredCandidate>> reference =
+      ReferenceTopK(&model, &graph_cache, t, queries, k);
+
+  par::ThreadPool pool(2);  // declared before the engine: must outlive it
+  ServeConfig config;
+  config.num_threads = 2;
+  config.pool = &pool;
+  config.max_batch = 8;
+  config.max_k = k;
+  config.enable_cache = false;  // force every query through the queue
+  ServeEngine engine(&model, &graph_cache, config);
+  engine.Warmup(t);
+
+  std::vector<std::vector<ScoredCandidate>> answers(queries.size());
+  std::vector<std::thread> clients;
+  constexpr int kClients = 12;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < queries.size(); i += kClients) {
+        answers[i] =
+            engine.TopK(queries[i].first, queries[i].second, t, k).candidates;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(answers[i].size(), reference[i].size()) << "query " << i;
+    for (size_t j = 0; j < answers[i].size(); ++j) {
+      EXPECT_EQ(answers[i][j].id, reference[i][j].id) << "query " << i;
+      EXPECT_EQ(answers[i][j].score, reference[i][j].score) << "query " << i;
+    }
+  }
+  const serve::ServeStats stats = engine.Stats();
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(queries.size()));
 }
 
 TEST(ServeEngineTest, CacheHitsReturnIdenticalResults) {

@@ -1,9 +1,12 @@
 // Property-style parameterized sweeps over the tensor kernels that carry
 // the RGCN message passing and the ConvTransE decoders.
 
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "grad_check.h"
+#include "par/thread_pool.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -130,6 +133,158 @@ TEST(MatMulProperty, Linearity) {
   for (int64_t i = 0; i < lhs.NumElements(); ++i) {
     EXPECT_NEAR(lhs.Data()[i], rhs.Data()[i], 1e-4f);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel == serial, exactly: the randomized counterpart of the par_test
+// end-to-end check. 50 random (shape, seed) draws; the parallel matmul and
+// softmax-cross-entropy kernels must match a 1-thread pool byte for byte.
+
+class ParallelSerialEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelSerialEquivalence, MatMulAndSoftmaxMatchSerialExactly) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  const int64_t m = 1 + rng.UniformInt(0, 90);
+  const int64_t k = 1 + rng.UniformInt(0, 60);
+  const int64_t n = 1 + rng.UniformInt(0, 90);
+  Tensor a = TestTensor({m, k}, GetParam() * 5 + 1);
+  Tensor b = TestTensor({n, k}, GetParam() * 5 + 2);
+  std::vector<int64_t> targets;
+  for (int64_t i = 0; i < m; ++i) targets.push_back(i % n);
+
+  struct Capture {
+    std::vector<float> logits, soft, loss, ga, gb;
+  };
+  auto run = [&](int threads) {
+    par::ThreadPool pool(threads);
+    par::ScopedDefaultPool guard(&pool);
+    Tensor logits = MatMulTransposeB(a, b);
+    Tensor loss = CrossEntropyLogits(logits, targets);
+    a.ZeroGrad();
+    b.ZeroGrad();
+    loss.Backward();
+    Capture c;
+    c.logits = logits.impl().data;
+    c.soft = Softmax(logits).impl().data;
+    c.loss = loss.impl().data;
+    c.ga = a.impl().grad;
+    c.gb = b.impl().grad;
+    return c;
+  };
+  const Capture serial = run(1);
+  const Capture parallel = run(8);
+  auto expect_bytes = [](const std::vector<float>& got,
+                         const std::vector<float>& want, const char* what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    EXPECT_EQ(
+        std::memcmp(got.data(), want.data(), got.size() * sizeof(float)), 0)
+        << what;
+  };
+  expect_bytes(parallel.logits, serial.logits, "logits");
+  expect_bytes(parallel.soft, serial.soft, "softmax");
+  expect_bytes(parallel.loss, serial.loss, "loss");
+  expect_bytes(parallel.ga, serial.ga, "grad a");
+  expect_bytes(parallel.gb, serial.gb, "grad b");
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftyRandomShapes, ParallelSerialEquivalence,
+                         ::testing::Range<uint64_t>(0, 50));
+
+// ---------------------------------------------------------------------------
+// Conv2d padding edge cases: kernel as large as the padded input, pad
+// bigger than the kernel overhang, and 1x1 kernels. Gradient-checked.
+
+struct Conv2dCase {
+  int64_t batch, cin, cout, h, w, ksize, pad;
+};
+
+class Conv2dPaddingSweep : public ::testing::TestWithParam<Conv2dCase> {};
+
+TEST_P(Conv2dPaddingSweep, OutputShapeAndGradients) {
+  const Conv2dCase c = GetParam();
+  Tensor x = TestTensor({c.batch, c.cin, c.h, c.w}, 61);
+  Tensor w = TestTensor({c.cout, c.cin, c.ksize, c.ksize}, 62);
+  Tensor bias = TestTensor({c.cout}, 63);
+  Tensor out = Conv2d(x, w, bias, c.pad);
+  EXPECT_EQ(out.Dim(0), c.batch);
+  EXPECT_EQ(out.Dim(1), c.cout);
+  EXPECT_EQ(out.Dim(2), c.h + 2 * c.pad - c.ksize + 1);
+  EXPECT_EQ(out.Dim(3), c.w + 2 * c.pad - c.ksize + 1);
+  Tensor mask = TestTensor({out.NumElements()}, 64, false);
+  CheckGradients(
+      [&] {
+        Tensor o = Conv2d(x, w, bias, c.pad);
+        return Sum(Mul(Reshape(o, {1, o.NumElements()}),
+                       Reshape(mask, {1, mask.NumElements()})));
+      },
+      {x, w, bias});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaddingEdges, Conv2dPaddingSweep,
+    ::testing::Values(Conv2dCase{1, 1, 1, 2, 2, 2, 0},   // kernel == input
+                      Conv2dCase{1, 2, 2, 3, 3, 3, 2},   // pad > overhang
+                      Conv2dCase{2, 1, 2, 3, 2, 1, 0},   // 1x1, no pad
+                      Conv2dCase{1, 1, 1, 2, 3, 2, 1})); // rectangular input
+
+// ---------------------------------------------------------------------------
+// LayerNormRows: gradient-checked through the full normalisation (mean,
+// variance, affine), including a constant row where the centered input is
+// exactly zero.
+
+TEST(LayerNormProperty, GradientsThroughNormalisation) {
+  Tensor x = TestTensor({3, 5}, 71);
+  Tensor gamma = TestTensor({5}, 72);
+  Tensor beta = TestTensor({5}, 73);
+  Tensor mask = TestTensor({15}, 74, false);
+  CheckGradients(
+      [&] {
+        Tensor o = LayerNormRows(x, gamma, beta);
+        return Sum(Mul(Reshape(o, {1, 15}), Reshape(mask, {1, 15})));
+      },
+      {x, gamma, beta});
+}
+
+TEST(LayerNormProperty, ConstantRowNormalisesToBeta) {
+  Tensor x = Tensor::Full({2, 4}, 3.25f);
+  Tensor gamma = TestTensor({4}, 75, false);
+  Tensor beta = TestTensor({4}, 76, false);
+  Tensor out = LayerNormRows(x, gamma, beta);
+  // Centered input is exactly zero, so the output is beta exactly.
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(out.At(i, j), beta.Data()[j]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate-index ScatterAddRows: the adjoint of a duplicate-index gather,
+// gradient-checked so the owner-computes parallel kernel proves it routes
+// every duplicate's gradient.
+
+TEST(GatherScatterProperty, DuplicateIndexScatterGradients) {
+  const std::vector<int64_t> idx = {2, 0, 2, 2, 1, 0};  // heavy duplicates
+  Tensor src = TestTensor({6, 3}, 81);
+  Tensor mask = TestTensor({12}, 82, false);
+  CheckGradients(
+      [&] {
+        Tensor o = ScatterAddRows(src, idx, 4);  // row 3 stays empty
+        return Sum(Mul(Reshape(o, {1, 12}), Reshape(mask, {1, 12})));
+      },
+      {src});
+}
+
+TEST(GatherScatterProperty, DuplicateIndexGatherGradients) {
+  const std::vector<int64_t> idx = {1, 1, 0, 1};
+  Tensor table = TestTensor({3, 4}, 83);
+  Tensor mask = TestTensor({16}, 84, false);
+  CheckGradients(
+      [&] {
+        Tensor o = GatherRows(table, idx);
+        return Sum(Mul(Reshape(o, {1, 16}), Reshape(mask, {1, 16})));
+      },
+      {table});
 }
 
 }  // namespace
