@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "baselines/cygnet.h"
+#include "obs/metrics.h"
 #include "baselines/regcn.h"
 #include "baselines/renet.h"
 #include "baselines/static_models.h"
@@ -376,6 +377,19 @@ RunResult RunCygnet(const tkg::SyntheticConfig& profile, ResultsCache& cache) {
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  // Every bench run leaves a metrics snapshot next to its cached results
+  // (the runtime decomposition in EXPERIMENTS.md is read off this file).
+  static const bool snapshot_registered = [] {
+    std::atexit([] {
+      const std::string dir = DefaultCacheDir();
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      obs::MetricsRegistry::Get().WriteJsonFile(dir +
+                                                "/metrics_snapshot.json");
+    });
+    return true;
+  }();
+  static_cast<void>(snapshot_registered);
   std::cout << "\n================================================================\n"
             << title << "\n" << paper_ref << "\n"
             << "Data: scaled synthetic stand-ins for the paper benchmarks (see\n"

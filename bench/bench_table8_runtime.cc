@@ -11,6 +11,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -86,5 +87,39 @@ int main() {
   std::cout << "check: RE-GCN <~ CEN <~ RETIA prediction cost on every "
                "dataset: "
             << (ordering_holds ? "PASS" : "FAIL") << "\n";
+
+  // Runtime decomposition (docs/OBSERVABILITY.md): where the freshly
+  // computed runs above actually spent their time, read off the in-process
+  // metrics. Empty when every result came from the bench cache — delete
+  // bench_cache/ (or point RETIA_BENCH_CACHE elsewhere) to re-measure.
+  const auto hists = retia::obs::MetricsRegistry::Get().HistogramSnapshots();
+  const std::vector<std::string> phases = {
+      "train.epoch.us",   "train.forward.us", "train.backward.us",
+      "train.clip.us",    "train.step.us",    "tensor.gemm.us",
+      "tensor.gemm_bwd.us", "tensor.softmax_ce.us", "tensor.conv2d.us"};
+  int64_t samples = 0;
+  for (const std::string& name : phases) {
+    auto it = hists.find(name);
+    if (it != hists.end()) samples += it->second.count;
+  }
+  std::cout << "\nRuntime decomposition (per-phase metrics, this process):\n";
+  if (samples == 0) {
+    std::cout << "  (no fresh work this run: all results were served from "
+                 "the bench cache)\n";
+  } else {
+    TablePrinter decomposition(
+        {"Phase", "count", "mean us", "p50 us", "p99 us", "total s"});
+    for (const std::string& name : phases) {
+      auto it = hists.find(name);
+      if (it == hists.end() || it->second.count == 0) continue;
+      const auto& snap = it->second;
+      decomposition.AddRow({name, std::to_string(snap.count),
+                            TablePrinter::Num(snap.mean, 1),
+                            TablePrinter::Num(snap.p50, 1),
+                            TablePrinter::Num(snap.p99, 1),
+                            TablePrinter::Num(snap.sum / 1e6, 2)});
+    }
+    decomposition.Print(std::cout);
+  }
   return 0;
 }

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# TSan smoke check for the deterministic-parallelism contract.
+# Concurrency + observability checks.
 #
-# Builds the concurrency-sensitive test binaries (par_test, serve_test) in
-# Release with -fsanitize=thread into build-tsan/ and runs the par- and
-# serve-labelled ctest suites under halt_on_error. Zero TSan reports is a
-# hard requirement: the par::ThreadPool sharding and the ServeEngine drain
-# ticks must be data-race-free, not just bit-identical.
+# 1. Docs/metrics lint: every metric or span name used at a RETIA_OBS_*
+#    call site must be catalogued in docs/OBSERVABILITY.md (grep-based,
+#    runs before any compile so it fails fast).
+# 2. TSan smoke: builds the concurrency-sensitive test binaries (par_test,
+#    serve_test, obs_test, obs_disabled_test) in Release with
+#    -fsanitize=thread into build-tsan/ and runs the par/serve/obs-labelled
+#    ctest suites under halt_on_error. Zero TSan reports is a hard
+#    requirement: the par::ThreadPool sharding, the ServeEngine drain
+#    ticks, and the obs hot paths (relaxed-atomic metrics, per-thread
+#    trace rings) must be data-race-free, not just bit-identical.
 #
 # Usage: scripts/check.sh [build-dir]        (default: <repo>/build-tsan)
 # Also registered as the ctest test `tsan_smoke` when the tree is
@@ -16,6 +21,31 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-${ROOT}/build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# ---------------------------------------------------------------------------
+# Docs/metrics lint. Pull every string literal passed to a RETIA_OBS_*
+# macro in the instrumented trees (comment lines skipped so usage examples
+# in headers don't count) and require each name to appear in the
+# catalogue.
+CATALOGUE="${ROOT}/docs/OBSERVABILITY.md"
+[ -f "${CATALOGUE}" ] || { echo "lint: ${CATALOGUE} missing" >&2; exit 1; }
+
+missing=0
+for name in $(grep -rh --include='*.cc' --include='*.h' \
+    -E 'RETIA_OBS_(TIMED_SCOPE|TRACE_SPAN|COUNTER_ADD|GAUGE_SET|HIST_RECORD)\("' \
+    "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" 2>/dev/null \
+    | grep -vE '^[[:space:]]*//' \
+    | grep -oE '"[a-z0-9_.]+"' | tr -d '"' | sort -u); do
+  if ! grep -qF "\`${name}\`" "${CATALOGUE}"; then
+    echo "lint: metric '${name}' is used in the tree but not catalogued" \
+         "in docs/OBSERVABILITY.md" >&2
+    missing=1
+  fi
+done
+[ "${missing}" -eq 0 ] || exit 1
+echo "check.sh: every registered metric name is catalogued in docs/OBSERVABILITY.md"
+
+# ---------------------------------------------------------------------------
+# TSan smoke.
 cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DRETIA_SANITIZE=thread \
@@ -23,10 +53,11 @@ cmake -B "${BUILD}" -S "${ROOT}" \
 
 # Only the concurrency suites: building the whole tree under TSan is slow
 # and the other suites exercise no cross-thread behaviour.
-cmake --build "${BUILD}" -j "${JOBS}" --target par_test serve_test
+cmake --build "${BUILD}" -j "${JOBS}" \
+  --target par_test serve_test obs_test obs_disabled_test
 
 # halt_on_error: the first race fails the run instead of scrolling past.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
-  ctest --test-dir "${BUILD}" -L "par|serve" --output-on-failure
+  ctest --test-dir "${BUILD}" -L "par|serve|obs" --output-on-failure
 
-echo "check.sh: par|serve suites clean under ThreadSanitizer"
+echo "check.sh: par|serve|obs suites clean under ThreadSanitizer"

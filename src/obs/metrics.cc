@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace retia::obs {
+
+int64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              anchor)
+      .count();
+}
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) {
+  bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 1) return 0;
+  const int index =
+      std::bit_width(static_cast<uint64_t>(value));  // floor(log2)+1
+  return index < kNumBuckets ? index : kNumBuckets - 1;
+}
+
+int64_t Histogram::BucketLowerEdge(int bucket) {
+  return bucket == 0 ? 0 : int64_t{1} << (bucket - 1);
+}
+
+int64_t Histogram::BucketUpperEdge(int bucket) {
+  return int64_t{1} << bucket;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::QuantileFromBuckets(
+    const std::array<int64_t, kNumBuckets>& buckets, int64_t count, double q) {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank (1-based) with linear interpolation inside the bucket.
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket <= 0) continue;
+    cumulative += in_bucket;
+    if (cumulative >= rank) {
+      const double position =
+          static_cast<double>(rank - (cumulative - in_bucket));
+      const double fraction = position / static_cast<double>(in_bucket);
+      const double lower = static_cast<double>(BucketLowerEdge(i));
+      const double upper = static_cast<double>(BucketUpperEdge(i));
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return static_cast<double>(BucketUpperEdge(kNumBuckets - 1));
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  // A racing Record may have bumped count_ but not its bucket yet (or vice
+  // versa); normalise to the bucket total so the quantile walk is
+  // self-consistent.
+  int64_t bucket_total = 0;
+  for (int64_t b : snap.buckets) bucket_total += b;
+  snap.count = bucket_total;
+  snap.mean = snap.count > 0 ? snap.sum / static_cast<double>(snap.count) : 0.0;
+  snap.p50 = QuantileFromBuckets(snap.buckets, snap.count, 0.50);
+  snap.p95 = QuantileFromBuckets(snap.buckets, snap.count, 0.95);
+  snap.p99 = QuantileFromBuckets(snap.buckets, snap.count, 0.99);
+  return snap;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = [] {
+    InitObsFromEnvOnce();
+    return new MetricsRegistry();
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETIA_CHECK_MSG(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETIA_CHECK_MSG(counters_.count(name) == 0 && histograms_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RETIA_CHECK_MSG(counters_.count(name) == 0 && gauges_.count(name) == 0,
+                  "metric '" << name << "' already registered as another kind");
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, metric] : counters_) names.push_back(name);
+  for (const auto& [name, metric] : gauges_) names.push_back(name);
+  for (const auto& [name, metric] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << counter->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << FormatDouble(gauge->Value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    const Histogram::Snapshot snap = histogram->Snap();
+    out << "\"" << name << "\":{\"count\":" << snap.count
+        << ",\"sum\":" << FormatDouble(snap.sum)
+        << ",\"mean\":" << FormatDouble(snap.mean)
+        << ",\"p50\":" << FormatDouble(snap.p50)
+        << ",\"p95\":" << FormatDouble(snap.p95)
+        << ",\"p99\":" << FormatDouble(snap.p99) << ",\"buckets\":[";
+    int last_nonzero = -1;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (snap.buckets[static_cast<size_t>(i)] != 0) last_nonzero = i;
+    }
+    for (int i = 0; i <= last_nonzero; ++i) {
+      if (i > 0) out << ",";
+      out << snap.buckets[static_cast<size_t>(i)];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << ToJson() << "\n";
+  return out.good();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> values;
+  for (const auto& [name, counter] : counters_) values[name] = counter->Value();
+  return values;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> values;
+  for (const auto& [name, gauge] : gauges_) values[name] = gauge->Value();
+  return values;
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> snaps;
+  for (const auto& [name, histogram] : histograms_) {
+    snaps[name] = histogram->Snap();
+  }
+  return snaps;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace retia::obs

@@ -1,0 +1,165 @@
+#ifndef RETIA_OBS_METRICS_H_
+#define RETIA_OBS_METRICS_H_
+
+// retia::obs metrics: a process-wide registry of named counters, gauges,
+// and fixed-bucket histograms.
+//
+// Ownership / threading contract: the registry is a leaked process-wide
+// singleton; Get*() registration takes a mutex once per call site (cache
+// the returned pointer — the RETIA_OBS_* macros in obs.h do this with a
+// function-local static), after which every returned pointer is valid for
+// the life of the process and every record operation is a handful of
+// relaxed atomics — safe from any thread, lock-free on the hot path.
+// Snapshots (ToJson / *Snapshots) are weakly consistent: values recorded
+// concurrently with a snapshot may or may not be included.
+//
+// Usage:
+//   obs::Counter* reqs = obs::MetricsRegistry::Get().GetCounter("serve.requests");
+//   reqs->Add(1);
+//   obs::Histogram* lat = obs::MetricsRegistry::Get().GetHistogram("serve.compute.us");
+//   lat->Record(elapsed_us);
+//   std::cout << obs::MetricsRegistry::Get().ToJson() << "\n";
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace retia::obs {
+
+// Monotonic nanoseconds since an arbitrary process-wide anchor (the first
+// call). Shared clock for ScopedTimer histograms and trace-event
+// timestamps so metric latencies and trace spans line up.
+int64_t NowNs();
+
+// Process-wide kill switch for metric recording (tracing has its own in
+// trace.h). Defaults to on; bench_obs_overhead flips it to measure the
+// instrumentation cost. Counter/Gauge/Histogram record methods themselves
+// do NOT check it — the check lives in ScopedTimer and the RETIA_OBS_*
+// macros, so direct pointer use stays branch-free.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (loss, queue depth, ...).
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+  void Reset() { Set(0.0); }
+
+ private:
+  // Double stored as bits so the hot path is one relaxed integer store.
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Fixed-bucket histogram over non-negative integer samples (microseconds
+// for the latency instances, plain counts for e.g. serve.batch_size).
+//
+// Buckets are powers of two — bucket 0 holds values < 1, bucket i >= 1
+// holds [2^(i-1), 2^i) — so the bucket edges are a pure function of the
+// bucket index, never of the data, and recording is a countl_zero plus one
+// relaxed fetch_add. Quantiles are estimated from the bucket counts by
+// nearest-rank with linear interpolation inside the selected bucket, which
+// bounds the error of p50/p95/p99 by one bucket width.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;  // last bucket ~2^42us ~= 51 days
+
+  void Record(int64_t value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;   // sum of recorded values
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::array<int64_t, kNumBuckets> buckets{};
+  };
+  Snapshot Snap() const;
+
+  // Bucket index for `value`: 0 for value < 1, else floor(log2(value)) + 1
+  // capped at kNumBuckets - 1. Exposed for the bucket-edge unit tests.
+  static int BucketIndex(int64_t value);
+  // Half-open value range [lower, upper) of `bucket`.
+  static int64_t BucketLowerEdge(int bucket);
+  static int64_t BucketUpperEdge(int bucket);
+  // Quantile q in [0, 1] estimated from bucket counts alone (see class
+  // comment). Pure function, unit-testable without a live histogram.
+  static double QuantileFromBuckets(
+      const std::array<int64_t, kNumBuckets>& buckets, int64_t count,
+      double q);
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+};
+
+// Name -> metric map. Names are dot-separated lowercase
+// (`subsystem.what.unit`, e.g. `tensor.gemm.us`); every name registered
+// anywhere in the tree must be catalogued in docs/OBSERVABILITY.md —
+// scripts/check.sh greps the sources and fails on undocumented names.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  // Find-or-create. Registering one name as two different metric kinds is
+  // a programming error and aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Sorted names of every registered metric (all three kinds).
+  std::vector<std::string> Names() const;
+
+  // One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  // {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,
+  //  "buckets":[...]}}} with histogram bucket arrays trimmed of trailing
+  // zeros.
+  std::string ToJson() const;
+  // Writes ToJson() (plus a trailing newline) to `path`; false on I/O
+  // error.
+  bool WriteJsonFile(const std::string& path) const;
+
+  // Structured snapshots for programmatic consumers (bench_table8_runtime's
+  // runtime decomposition).
+  std::map<std::string, int64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, Histogram::Snapshot> HistogramSnapshots() const;
+
+  // Zeroes every registered metric (the metrics stay registered). Test- and
+  // bench-only; concurrent recorders may interleave with the reset.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace retia::obs
+
+#endif  // RETIA_OBS_METRICS_H_

@@ -1,0 +1,120 @@
+#ifndef RETIA_OBS_OBS_H_
+#define RETIA_OBS_OBS_H_
+
+// retia::obs umbrella header: the RETIA_OBS_* instrumentation macros and
+// the RAII ScopedTimer that ties metrics (obs/metrics.h) and tracing
+// (obs/trace.h) together.
+//
+// Ownership / threading contract: every macro is safe from any thread.
+// Each call site resolves its metric pointer once (function-local static)
+// and afterwards pays a few relaxed atomics per hit; metric and span
+// names must be string literals. Defining RETIA_OBS_DISABLE (per
+// translation unit or tree-wide via -DRETIA_OBS_DISABLE=ON) compiles
+// every macro to nothing — the obs library itself still links.
+//
+// Usage:
+//   {
+//     RETIA_OBS_TIMED_SCOPE("tensor.gemm.us");   // histogram + trace span
+//     Gemm(...);
+//   }
+//   RETIA_OBS_COUNTER_ADD("par.jobs", 1);
+//   RETIA_OBS_GAUGE_SET("train.loss.joint", loss);
+//
+// Every metric name used with these macros must be catalogued in
+// docs/OBSERVABILITY.md; scripts/check.sh fails otherwise.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace retia::obs {
+
+// Times a scope into a histogram (in MICROSECONDS) and, when tracing is
+// enabled, also emits a trace span under the same name. Inactive (no
+// clock reads) when metrics are disabled and tracing is off.
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram* histogram, const char* name)
+      : histogram_(MetricsEnabled() ? histogram : nullptr),
+        name_(Trace::Enabled() ? name : nullptr) {
+    if (histogram_ != nullptr || name_ != nullptr) start_ns_ = NowNs();
+  }
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr && name_ == nullptr) return;
+    const int64_t duration_ns = NowNs() - start_ns_;
+    if (histogram_ != nullptr) histogram_->Record(duration_ns / 1000);
+    if (name_ != nullptr) Trace::RecordComplete(name_, start_ns_, duration_ns);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  const char* name_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace retia::obs
+
+#define RETIA_OBS_CONCAT_INNER_(a, b) a##b
+#define RETIA_OBS_CONCAT_(a, b) RETIA_OBS_CONCAT_INNER_(a, b)
+
+#if defined(RETIA_OBS_DISABLE)
+
+#define RETIA_OBS_TIMED_SCOPE(name) static_cast<void>(0)
+#define RETIA_OBS_TRACE_SPAN(name) static_cast<void>(0)
+#define RETIA_OBS_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define RETIA_OBS_GAUGE_SET(name, value) static_cast<void>(0)
+#define RETIA_OBS_HIST_RECORD(name, value) static_cast<void>(0)
+
+#else  // !defined(RETIA_OBS_DISABLE)
+
+// Histogram-timed scope (+ trace span when tracing): place at the top of
+// the block to measure. `name` must be a string literal.
+#define RETIA_OBS_TIMED_SCOPE(name)                                      \
+  static ::retia::obs::Histogram* RETIA_OBS_CONCAT_(                     \
+      retia_obs_hist_, __LINE__) =                                       \
+      ::retia::obs::MetricsRegistry::Get().GetHistogram(name);           \
+  ::retia::obs::ScopedTimer RETIA_OBS_CONCAT_(retia_obs_timer_,          \
+                                              __LINE__)(                 \
+      RETIA_OBS_CONCAT_(retia_obs_hist_, __LINE__), name)
+
+// Trace-only scope: no histogram, records only while tracing is enabled.
+#define RETIA_OBS_TRACE_SPAN(name)                                       \
+  static const bool RETIA_OBS_CONCAT_(retia_obs_env_, __LINE__) =        \
+      (::retia::obs::InitObsFromEnvOnce(), true);                        \
+  static_cast<void>(RETIA_OBS_CONCAT_(retia_obs_env_, __LINE__));        \
+  ::retia::obs::TraceSpan RETIA_OBS_CONCAT_(retia_obs_span_,             \
+                                            __LINE__)(name)
+
+#define RETIA_OBS_COUNTER_ADD(name, delta)                               \
+  do {                                                                   \
+    if (::retia::obs::MetricsEnabled()) {                                \
+      static ::retia::obs::Counter* retia_obs_counter =                  \
+          ::retia::obs::MetricsRegistry::Get().GetCounter(name);         \
+      retia_obs_counter->Add(delta);                                     \
+    }                                                                    \
+  } while (0)
+
+#define RETIA_OBS_GAUGE_SET(name, value)                                 \
+  do {                                                                   \
+    if (::retia::obs::MetricsEnabled()) {                                \
+      static ::retia::obs::Gauge* retia_obs_gauge =                      \
+          ::retia::obs::MetricsRegistry::Get().GetGauge(name);           \
+      retia_obs_gauge->Set(value);                                       \
+    }                                                                    \
+  } while (0)
+
+#define RETIA_OBS_HIST_RECORD(name, value)                               \
+  do {                                                                   \
+    if (::retia::obs::MetricsEnabled()) {                                \
+      static ::retia::obs::Histogram* retia_obs_histogram =              \
+          ::retia::obs::MetricsRegistry::Get().GetHistogram(name);       \
+      retia_obs_histogram->Record(value);                                \
+    }                                                                    \
+  } while (0)
+
+#endif  // RETIA_OBS_DISABLE
+
+#endif  // RETIA_OBS_OBS_H_

@@ -1,0 +1,246 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace retia::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+};
+
+// One ring per thread. The owning thread appends under `mu`; exporters
+// briefly lock the same mutex to copy, so appends never race with reads
+// (appends are uncontended except during an export).
+struct ThreadBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<TraceEvent> ring;
+  int64_t next = 0;      // ring index of the next write
+  int64_t retained = 0;  // min(total appended, capacity)
+  int64_t dropped = 0;   // events overwritten by wrap-around
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // live + exited threads
+  uint32_t next_tid = 1;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+ThreadBuffer& LocalBuffer() {
+  // The shared_ptr in the registry keeps a thread's events alive (and
+  // exportable) after the thread exits.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    BufferRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    created->tid = registry.next_tid++;
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool Trace::Enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void Trace::Enable() {
+  g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::Disable() {
+  g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Trace::RecordComplete(const char* name, int64_t start_ns,
+                           int64_t duration_ns) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.ring.empty()) {
+    buffer.ring.resize(static_cast<size_t>(kRingCapacity));
+  }
+  if (buffer.retained == kRingCapacity) {
+    ++buffer.dropped;
+  } else {
+    ++buffer.retained;
+  }
+  buffer.ring[static_cast<size_t>(buffer.next)] = {name, start_ns, duration_ns};
+  buffer.next = (buffer.next + 1) % kRingCapacity;
+}
+
+namespace {
+
+struct ExportEvent {
+  TraceEvent event;
+  uint32_t tid = 0;
+};
+
+std::vector<ExportEvent> CollectEvents() {
+  std::vector<ExportEvent> events;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    // Oldest retained event first: with a full ring that is `next`, else 0.
+    const int64_t count = buffer->retained;
+    const int64_t start =
+        count == Trace::kRingCapacity ? buffer->next : int64_t{0};
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t slot = (start + i) % Trace::kRingCapacity;
+      events.push_back(
+          {buffer->ring[static_cast<size_t>(slot)], buffer->tid});
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+std::string Trace::ToJson() {
+  std::vector<ExportEvent> events = CollectEvents();
+  std::sort(events.begin(), events.end(),
+            [](const ExportEvent& a, const ExportEvent& b) {
+              return a.event.start_ns < b.event.start_ns;
+            });
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out << ",";
+    const ExportEvent& e = events[i];
+    // Chrome's `ts`/`dur` unit is microseconds.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.event.start_ns) / 1e3);
+    out << "{\"name\":\"" << e.event.name
+        << "\",\"cat\":\"retia\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.event.duration_ns) / 1e3);
+    out << ",\"dur\":" << buf << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool Trace::WriteFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << ToJson() << "\n";
+  return out.good();
+}
+
+void Trace::Clear() {
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->next = 0;
+    buffer->retained = 0;
+    buffer->dropped = 0;
+  }
+}
+
+int64_t Trace::DroppedCount() {
+  int64_t dropped = 0;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+int64_t Trace::EventCount() {
+  int64_t count = 0;
+  BufferRegistry& registry = Registry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    count += buffer->retained;
+  }
+  return count;
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(Trace::Enabled() ? name : nullptr) {
+  if (name_ != nullptr) start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ != nullptr) {
+    Trace::RecordComplete(name_, start_ns_, NowNs() - start_ns_);
+  }
+}
+
+namespace {
+
+std::string& TracePathAtExit() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+std::string& MetricsPathAtExit() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void WriteObsFilesAtExit() {
+  const std::string& trace_path = TracePathAtExit();
+  if (!trace_path.empty() && !Trace::WriteFile(trace_path)) {
+    std::fprintf(stderr, "[obs] failed to write RETIA_TRACE file %s\n",
+                 trace_path.c_str());
+  }
+  const std::string& metrics_path = MetricsPathAtExit();
+  if (!metrics_path.empty() &&
+      !MetricsRegistry::Get().WriteJsonFile(metrics_path)) {
+    std::fprintf(stderr, "[obs] failed to write RETIA_METRICS file %s\n",
+                 metrics_path.c_str());
+  }
+}
+
+}  // namespace
+
+void InitObsFromEnvOnce() {
+  static const bool initialized = [] {
+    const char* trace_path = std::getenv("RETIA_TRACE");
+    const char* metrics_path = std::getenv("RETIA_METRICS");
+    if (trace_path != nullptr && *trace_path != '\0') {
+      TracePathAtExit() = trace_path;
+      Trace::Enable();
+    }
+    if (metrics_path != nullptr && *metrics_path != '\0') {
+      MetricsPathAtExit() = metrics_path;
+    }
+    if (!TracePathAtExit().empty() || !MetricsPathAtExit().empty()) {
+      std::atexit(WriteObsFilesAtExit);
+    }
+    return true;
+  }();
+  static_cast<void>(initialized);
+}
+
+}  // namespace retia::obs

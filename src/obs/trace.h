@@ -1,0 +1,77 @@
+#ifndef RETIA_OBS_TRACE_H_
+#define RETIA_OBS_TRACE_H_
+
+// retia::obs tracing: RAII spans recorded into per-thread ring buffers and
+// exported as Chrome trace-event JSON (open chrome://tracing or
+// https://ui.perfetto.dev and load the file).
+//
+// Ownership / threading contract: spans may open and close on any thread;
+// each thread appends to its own fixed-capacity ring buffer (oldest events
+// are overwritten and counted as dropped), so recording never blocks on
+// other threads. Span names must be string literals (or otherwise outlive
+// the process) — the buffers store the pointer, not a copy. Tracing is OFF
+// by default: a closed span with tracing off costs one relaxed atomic
+// load. Enable programmatically or by setting RETIA_TRACE=<file>, which
+// also writes the trace at process exit.
+//
+// Usage:
+//   retia::obs::Trace::Enable();
+//   { RETIA_OBS_TRACE_SPAN("train.forward"); model.Evolve(...); }
+//   retia::obs::Trace::WriteFile("epoch.trace.json");
+
+#include <cstdint>
+#include <string>
+
+namespace retia::obs {
+
+class Trace {
+ public:
+  // Events each thread retains; older events are overwritten (ring).
+  static constexpr int64_t kRingCapacity = 1 << 16;
+
+  static bool Enabled();
+  static void Enable();
+  static void Disable();
+
+  // Appends one complete ("ph":"X") event for the calling thread.
+  // `name` must outlive the process (string literal).
+  static void RecordComplete(const char* name, int64_t start_ns,
+                             int64_t duration_ns);
+
+  // Chrome trace-event JSON of every retained event from every thread,
+  // sorted by start time: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  static std::string ToJson();
+  // Writes ToJson() to `path`; false on I/O error.
+  static bool WriteFile(const std::string& path);
+
+  // Drops every retained event (buffers stay registered).
+  static void Clear();
+  // Total events overwritten by ring wrap-around since the last Clear().
+  static int64_t DroppedCount();
+  // Events currently retained across all threads.
+  static int64_t EventCount();
+};
+
+// Trace-only RAII span; see obs.h for RETIA_OBS_TRACE_SPAN, which
+// compiles out under RETIA_OBS_DISABLE.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // null when tracing was off at construction
+  int64_t start_ns_ = 0;
+};
+
+// One-time environment hookup, invoked lazily from MetricsRegistry::Get()
+// and TraceSpan construction: RETIA_TRACE=<file> enables tracing now and
+// writes the trace file at process exit; RETIA_METRICS=<file> writes a
+// metrics JSON snapshot at process exit. Safe to call repeatedly.
+void InitObsFromEnvOnce();
+
+}  // namespace retia::obs
+
+#endif  // RETIA_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace retia::par {
@@ -70,14 +71,19 @@ void ThreadPool::WorkerLoop() {
         continue;
       }
     }
-    RunShards(*job);
+    RunShards(*job, /*on_worker=*/true);
   }
 }
 
-void ThreadPool::RunShards(Job& job) {
+void ThreadPool::RunShards(Job& job, bool on_worker) {
   for (;;) {
     const int64_t shard = job.next.fetch_add(1);
     if (shard >= job.num_shards) return;
+    if (on_worker) {
+      RETIA_OBS_COUNTER_ADD("par.worker_shards", 1);
+    } else {
+      RETIA_OBS_COUNTER_ADD("par.caller_shards", 1);
+    }
     if (job.detached) {
       // Serve ticks and other fire-and-forget tasks may themselves issue
       // ParallelRun, so they do not mark the parallel region.
@@ -90,6 +96,7 @@ void ThreadPool::RunShards(Job& job) {
     } else {
       RegionGuard guard;
       try {
+        RETIA_OBS_TRACE_SPAN("par.shard");
         job.fn(shard);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.mu);
@@ -109,19 +116,28 @@ void ThreadPool::ParallelRun(int64_t num_shards,
   if (num_shards == 1 || workers_.empty() || InParallelRegion()) {
     // Serial fallback: shards run in order on the calling thread. Still
     // marked as a parallel region so doubly-nested calls stay serial too.
+    RETIA_OBS_COUNTER_ADD("par.jobs_serial", 1);
     RegionGuard guard;
-    for (int64_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    for (int64_t shard = 0; shard < num_shards; ++shard) {
+      RETIA_OBS_TRACE_SPAN("par.shard");
+      fn(shard);
+    }
     return;
   }
+  RETIA_OBS_TIMED_SCOPE("par.job.us");
+  RETIA_OBS_COUNTER_ADD("par.jobs", 1);
+  RETIA_OBS_COUNTER_ADD("par.shards", num_shards);
   auto job = std::make_shared<Job>();
   job->fn = fn;
   job->num_shards = num_shards;
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);
+    RETIA_OBS_GAUGE_SET("par.queue_depth",
+                        static_cast<double>(jobs_.size()));
   }
   cv_.notify_all();
-  RunShards(*job);
+  RunShards(*job, /*on_worker=*/false);
   {
     std::unique_lock<std::mutex> lock(job->mu);
     job->done.wait(lock,
@@ -141,6 +157,7 @@ void ThreadPool::ParallelRun(int64_t num_shards,
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  RETIA_OBS_COUNTER_ADD("par.submitted", 1);
   if (workers_.empty()) {
     task();
     return;
@@ -152,6 +169,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(std::move(job));
+    RETIA_OBS_GAUGE_SET("par.queue_depth",
+                        static_cast<double>(jobs_.size()));
   }
   cv_.notify_one();
 }

@@ -1,6 +1,27 @@
 #ifndef RETIA_PAR_THREAD_POOL_H_
 #define RETIA_PAR_THREAD_POOL_H_
 
+// Work-sharing thread pool behind retia's deterministic intra-op
+// parallelism (see parallel_for.h for the fixed-shard helpers and
+// DESIGN.md §7 for the bit-identity contract).
+//
+// Ownership / threading contract: a ThreadPool owns `threads - 1` worker
+// threads; the caller of ParallelRun always participates, so progress
+// never depends on free workers. ParallelRun may be called from any
+// thread (concurrently from several), shard bodies must write disjoint
+// outputs, and a nested ParallelRun runs serially. The process-wide
+// DefaultPool() is shared by the tensor kernels, the optimizer, and
+// serve::ServeEngine; it is created on first use and never destroyed.
+// Queue depth, shard counts and caller-participation are exported as
+// `par.*` metrics (docs/OBSERVABILITY.md).
+//
+// Usage:
+//   par::ThreadPool pool(4);                  // or par::DefaultPool()
+//   pool.ParallelRun(num_shards, [&](int64_t shard) {
+//     const par::Range r = par::ShardRange(n, num_shards, shard);
+//     for (int64_t i = r.begin; i < r.end; ++i) out[i] = f(i);
+//   });
+
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -58,8 +79,10 @@ class ThreadPool {
   struct Job;
 
   void WorkerLoop();
-  // Claims and runs shards of `job` until none are left.
-  static void RunShards(Job& job);
+  // Claims and runs shards of `job` until none are left. `on_worker`
+  // distinguishes pool workers from the participating caller in the
+  // par.worker_shards / par.caller_shards metrics.
+  static void RunShards(Job& job, bool on_worker);
 
   std::mutex mu_;
   std::condition_variable cv_;

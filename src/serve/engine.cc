@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "eval/metrics.h"
+#include "obs/obs.h"
 #include "tensor/tensor.h"
 #include "util/check.h"
 
@@ -108,14 +109,17 @@ void ServeEngine::ResetStats() { stats_.Reset(); }
 TopKResult ServeEngine::Submit(const CacheKey& key, int64_t k) {
   RETIA_CHECK(k > 0);
   RETIA_CHECK_LE(k, config_.max_k);
+  RETIA_OBS_COUNTER_ADD("serve.requests", 1);
   util::Timer timer;
   if (cache_ != nullptr) {
     std::vector<ScoredCandidate> cached;
     if (cache_->Get(key, &cached)) {
+      RETIA_OBS_COUNTER_ADD("serve.cache.hits", 1);
       if (static_cast<int64_t>(cached.size()) > k) cached.resize(k);
       stats_.RecordRequest(timer.Millis());
       return {std::move(cached), /*cache_hit=*/true};
     }
+    RETIA_OBS_COUNTER_ADD("serve.cache.misses", 1);
   }
   std::future<TopKResult> future;
   {
@@ -146,6 +150,7 @@ void ServeEngine::DrainTask() {
   tensor::NoGradGuard guard;
   std::unique_lock<std::mutex> lock(queue_mu_);
   if (active_ticks_ < config_.num_threads) {
+    RETIA_OBS_TIMED_SCOPE("serve.tick.us");
     ++active_ticks_;
     while (!queue_.empty()) {
       // Micro-batch: everything queued for the front request's
@@ -174,18 +179,32 @@ void ServeEngine::DrainTask() {
 }
 
 void ServeEngine::ProcessBatch(std::vector<Request> batch) {
+  RETIA_OBS_TRACE_SPAN("serve.batch");
   const int64_t t = batch.front().key.t;
   const QueryKind kind = batch.front().key.kind;
   std::vector<std::pair<int64_t, int64_t>> queries;
   queries.reserve(batch.size());
   for (const Request& request : batch) {
     queries.emplace_back(request.key.a, request.key.b);
+    // Each request's timer started at submission, so at this point it has
+    // measured exactly the time spent queued.
+    const double wait_ms = request.timer.Millis();
+    stats_.RecordQueueWait(wait_ms);
+    RETIA_OBS_HIST_RECORD("serve.queue_wait.us",
+                          static_cast<int64_t>(wait_ms * 1000.0));
   }
+  util::Timer compute_timer;
   const tensor::Tensor scores = kind == QueryKind::kEntity
                                     ? object_fn_(t, queries)
                                     : relation_fn_(t, queries);
   RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(batch.size()));
   const int64_t n = scores.Dim(1);
+  const double compute_ms = compute_timer.Millis();
+  stats_.RecordCompute(compute_ms);
+  RETIA_OBS_HIST_RECORD("serve.compute.us",
+                        static_cast<int64_t>(compute_ms * 1000.0));
+  RETIA_OBS_HIST_RECORD("serve.batch_size",
+                        static_cast<int64_t>(batch.size()));
   stats_.RecordBatch(static_cast<int64_t>(batch.size()));
   for (size_t i = 0; i < batch.size(); ++i) {
     const float* row = scores.Data() + static_cast<int64_t>(i) * n;

@@ -1,6 +1,27 @@
 #ifndef RETIA_SERVE_ENGINE_H_
 #define RETIA_SERVE_ENGINE_H_
 
+// retia::serve::ServeEngine — concurrent batched top-k inference over a
+// frozen extrapolation model (micro-batching, sharded LRU prediction
+// cache, per-timestamp state memoization).
+//
+// Ownership / threading contract: the engine owns no threads — drain
+// ticks run as tasks on the shared par::DefaultPool() (or config.pool,
+// which must outlive the engine). TopK()/TopKRelation() are safe to call
+// from any number of client threads concurrently; the borrowed model and
+// GraphCache must outlive the engine and stay frozen while it runs. The
+// destructor blocks until every outstanding request is answered.
+// Request/cache counters, batch-size and queue-wait/compute histograms
+// are exported as `serve.*` metrics (docs/OBSERVABILITY.md) and merged
+// into Stats().ToJson().
+//
+// Usage:
+//   serve::ServeConfig config;
+//   serve::ServeEngine engine(&model, &graph_cache, config);
+//   engine.Warmup(t);
+//   serve::TopKResult top = engine.TopK(subject, relation, t, /*k=*/10);
+//   std::cout << engine.Stats().ToJson() << "\n";
+
 #include <condition_variable>
 #include <cstdint>
 #include <deque>

@@ -33,6 +33,10 @@ std::string ServeStats::ToJson() const {
       << ",\"qps\":" << FormatDouble(qps)
       << ",\"p50_latency_ms\":" << FormatDouble(p50_latency_ms)
       << ",\"p99_latency_ms\":" << FormatDouble(p99_latency_ms)
+      << ",\"p50_queue_wait_ms\":" << FormatDouble(p50_queue_wait_ms)
+      << ",\"p99_queue_wait_ms\":" << FormatDouble(p99_queue_wait_ms)
+      << ",\"p50_compute_ms\":" << FormatDouble(p50_compute_ms)
+      << ",\"p99_compute_ms\":" << FormatDouble(p99_compute_ms)
       << ",\"batches\":" << batches
       << ",\"mean_batch_size\":" << FormatDouble(mean_batch_size)
       << ",\"batch_size_histogram\":[";
@@ -58,6 +62,16 @@ void StatsRecorder::RecordRequest(double latency_ms) {
   latencies_ms_.push_back(static_cast<float>(latency_ms));
 }
 
+void StatsRecorder::RecordQueueWait(double wait_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_wait_ms_.push_back(static_cast<float>(wait_ms));
+}
+
+void StatsRecorder::RecordCompute(double compute_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  compute_ms_.push_back(static_cast<float>(compute_ms));
+}
+
 void StatsRecorder::RecordBatch(int64_t batch_size) {
   std::lock_guard<std::mutex> lock(mu_);
   RETIA_CHECK(batch_size > 0);
@@ -74,6 +88,10 @@ ServeStats StatsRecorder::Snapshot(const CacheCounters& cache) const {
                                        : 0.0;
   stats.p50_latency_ms = Quantile(latencies_ms_, 0.50);
   stats.p99_latency_ms = Quantile(latencies_ms_, 0.99);
+  stats.p50_queue_wait_ms = Quantile(queue_wait_ms_, 0.50);
+  stats.p99_queue_wait_ms = Quantile(queue_wait_ms_, 0.99);
+  stats.p50_compute_ms = Quantile(compute_ms_, 0.50);
+  stats.p99_compute_ms = Quantile(compute_ms_, 0.99);
   stats.batch_size_histogram = batch_hist_;
   int64_t weighted = 0;
   for (size_t b = 1; b < batch_hist_.size(); ++b) {
@@ -91,6 +109,8 @@ void StatsRecorder::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   timer_.Reset();
   latencies_ms_.clear();
+  queue_wait_ms_.clear();
+  compute_ms_.clear();
   std::fill(batch_hist_.begin(), batch_hist_.end(), 0);
 }
 

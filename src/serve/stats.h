@@ -21,6 +21,14 @@ struct ServeStats {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
 
+  // Decomposition of the end-to-end latency for requests that reached the
+  // batcher (cache hits have neither): time spent queued before a drain
+  // tick picked the request up, and time spent inside the batched decode.
+  double p50_queue_wait_ms = 0.0;
+  double p99_queue_wait_ms = 0.0;
+  double p50_compute_ms = 0.0;
+  double p99_compute_ms = 0.0;
+
   // batch_size_histogram[b] = number of decode batches of size b (index 0
   // is unused; cache hits never reach the batcher).
   std::vector<int64_t> batch_size_histogram;
@@ -43,6 +51,10 @@ class StatsRecorder {
 
   void RecordRequest(double latency_ms);
   void RecordBatch(int64_t batch_size);
+  // One sample per batched request: submission-to-decode-start wait.
+  void RecordQueueWait(double wait_ms);
+  // One sample per decoded micro-batch: the batched decode duration.
+  void RecordCompute(double compute_ms);
 
   // Snapshot over the window since construction or the last Reset();
   // `cache` is merged in verbatim (cache counters live in the cache).
@@ -54,6 +66,8 @@ class StatsRecorder {
   mutable std::mutex mu_;
   util::Timer timer_;
   std::vector<float> latencies_ms_;
+  std::vector<float> queue_wait_ms_;
+  std::vector<float> compute_ms_;
   std::vector<int64_t> batch_hist_;
 };
 

@@ -1,3 +1,4 @@
+#include "obs/obs.h"
 #include "par/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -17,6 +18,7 @@ namespace retia::tensor {
 
 Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t pad) {
+  RETIA_OBS_TIMED_SCOPE("tensor.conv1d.us");
   RETIA_CHECK_EQ(input.Rank(), 3);
   RETIA_CHECK_EQ(weight.Rank(), 3);
   const int64_t batch = input.Dim(0);
@@ -129,6 +131,7 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
 
 Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
               int64_t pad) {
+  RETIA_OBS_TIMED_SCOPE("tensor.conv2d.us");
   RETIA_CHECK_EQ(input.Rank(), 4);
   RETIA_CHECK_EQ(weight.Rank(), 4);
   const int64_t batch = input.Dim(0);

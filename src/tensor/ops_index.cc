@@ -2,6 +2,7 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/obs.h"
 #include "par/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -36,6 +37,7 @@ void ScatterAddRowsKernel(const float* src, const int64_t* idx, int64_t k,
 }  // namespace
 
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
+  RETIA_OBS_TIMED_SCOPE("tensor.gather.us");
   RETIA_CHECK_EQ(a.Rank(), 2);
   const int64_t n = a.Dim(1);
   const int64_t rows = a.Dim(0);
@@ -67,6 +69,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
 
 Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
                       int64_t rows) {
+  RETIA_OBS_TIMED_SCOPE("tensor.scatter_add.us");
   RETIA_CHECK_EQ(src.Rank(), 2);
   RETIA_CHECK_EQ(src.Dim(0), static_cast<int64_t>(idx.size()));
   const int64_t k = src.Dim(0);

@@ -1,3 +1,4 @@
+#include "obs/obs.h"
 #include "par/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -69,6 +70,7 @@ void GemmTransposeAAccum(const float* a, const float* g, float* out, int64_t m,
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RETIA_OBS_TIMED_SCOPE("tensor.gemm.us");
   RETIA_CHECK_EQ(a.Rank(), 2);
   RETIA_CHECK_EQ(b.Rank(), 2);
   RETIA_CHECK_EQ(a.Dim(1), b.Dim(0));
@@ -80,6 +82,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return MakeOpResult(
       {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl& self) mutable {
         // dA = dC * B^T ; dB = A^T * dC.
+        RETIA_OBS_TIMED_SCOPE("tensor.gemm_bwd.us");
         if (a.RequiresGrad()) {
           std::vector<float> ga(m * k, 0.0f);
           GemmTransposeBAccum(self.grad.data(), b.Data(), ga.data(), m, n, k);
@@ -94,6 +97,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
+  RETIA_OBS_TIMED_SCOPE("tensor.gemm.us");
   RETIA_CHECK_EQ(a.Rank(), 2);
   RETIA_CHECK_EQ(b.Rank(), 2);
   RETIA_CHECK_EQ(a.Dim(1), b.Dim(1));
@@ -105,6 +109,7 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   return MakeOpResult(
       {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl& self) mutable {
         // C = A B^T: dA = dC * B ; dB = dC^T * A.
+        RETIA_OBS_TIMED_SCOPE("tensor.gemm_bwd.us");
         if (a.RequiresGrad()) {
           std::vector<float> ga(m * k, 0.0f);
           GemmAccum(self.grad.data(), b.Data(), ga.data(), m, n, k);

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/obs.h"
 #include "par/parallel_for.h"
 #include "tensor/ops.h"
 
@@ -13,6 +14,7 @@ namespace retia::tensor {
 // bit-identical to the serial kernels for every thread count.
 
 Tensor Softmax(const Tensor& a) {
+  RETIA_OBS_TIMED_SCOPE("tensor.softmax.us");
   RETIA_CHECK_EQ(a.Rank(), 2);
   const int64_t m = a.Dim(0);
   const int64_t n = a.Dim(1);
@@ -52,6 +54,7 @@ Tensor Softmax(const Tensor& a) {
 }
 
 Tensor LogSoftmax(const Tensor& a) {
+  RETIA_OBS_TIMED_SCOPE("tensor.softmax.us");
   RETIA_CHECK_EQ(a.Rank(), 2);
   const int64_t m = a.Dim(0);
   const int64_t n = a.Dim(1);
@@ -119,6 +122,7 @@ Tensor NllFromProbs(const Tensor& p, const std::vector<int64_t>& targets) {
 
 Tensor CrossEntropyLogits(const Tensor& logits,
                           const std::vector<int64_t>& targets) {
+  RETIA_OBS_TIMED_SCOPE("tensor.softmax_ce.us");
   RETIA_CHECK_EQ(logits.Rank(), 2);
   RETIA_CHECK_EQ(logits.Dim(0), static_cast<int64_t>(targets.size()));
   const int64_t m = logits.Dim(0);
@@ -151,6 +155,7 @@ Tensor CrossEntropyLogits(const Tensor& logits,
       {1}, {static_cast<float>(loss)}, {logits},
       [logits, tgt, probs, m, n](TensorImpl& self) mutable {
         if (!logits.RequiresGrad()) return;
+        RETIA_OBS_TIMED_SCOPE("tensor.softmax_ce_bwd.us");
         std::vector<float> g(m * n);
         const float scale = self.grad[0] / static_cast<float>(m);
         par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {

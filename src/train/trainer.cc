@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "obs/obs.h"
 #include "util/timer.h"
 
 namespace retia::train {
@@ -23,12 +24,30 @@ bool Trainer::StepOnTimestamp(int64_t t,
   if (history.empty()) return false;
   model_->SetTraining(true);
   model_->ZeroGrad();
-  std::vector<core::EvolutionModel::StepState> states =
-      model_->Evolve(*cache_, history);
-  core::EvolutionModel::LossParts loss = model_->ComputeLoss(states, facts);
-  loss.joint.Backward();
-  nn::ClipGradNorm(params_, config_.grad_clip);
-  optimizer_.Step();
+  core::EvolutionModel::LossParts loss;
+  {
+    RETIA_OBS_TIMED_SCOPE("train.forward.us");
+    std::vector<core::EvolutionModel::StepState> states =
+        model_->Evolve(*cache_, history);
+    loss = model_->ComputeLoss(states, facts);
+  }
+  {
+    RETIA_OBS_TIMED_SCOPE("train.backward.us");
+    loss.joint.Backward();
+  }
+  float grad_norm = 0.0f;
+  {
+    RETIA_OBS_TIMED_SCOPE("train.clip.us");
+    grad_norm = nn::ClipGradNorm(params_, config_.grad_clip);
+  }
+  {
+    RETIA_OBS_TIMED_SCOPE("train.step.us");
+    optimizer_.Step();
+  }
+  RETIA_OBS_GAUGE_SET("train.grad_norm", grad_norm);
+  RETIA_OBS_GAUGE_SET("train.loss.joint", loss.joint.Item());
+  RETIA_OBS_GAUGE_SET("train.loss.entity", loss.entity_loss);
+  RETIA_OBS_GAUGE_SET("train.loss.relation", loss.relation_loss);
   if (parts != nullptr) *parts = loss;
   return true;
 }
@@ -61,6 +80,7 @@ std::vector<EpochRecord> Trainer::TrainGeneral() {
   int64_t below_best = 0;
   std::vector<std::vector<float>> best_params;
   for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    RETIA_OBS_TIMED_SCOPE("train.epoch.us");
     util::Timer timer;
     EpochRecord rec;
     int64_t batches = 0;

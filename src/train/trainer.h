@@ -1,6 +1,23 @@
 #ifndef RETIA_TRAIN_TRAINER_H_
 #define RETIA_TRAIN_TRAINER_H_
 
+// Training / evaluation driver for any core::EvolutionModel: the general
+// training process with validation early stopping (Sec. IV-D1) and split
+// evaluation with optional online continuous training (Sec. III-F).
+//
+// Ownership / threading contract: a Trainer borrows the model and the
+// graph cache (both must outlive it) and owns only the Adam state. All
+// methods must be called from one thread — parallelism happens inside the
+// tensor kernels on par::DefaultPool(). Per-phase timings (forward,
+// backward, clip, step, epoch) and loss / grad-norm gauges are exported
+// as `train.*` metrics (docs/OBSERVABILITY.md).
+//
+// Usage:
+//   train::Trainer trainer(&model, &cache, {.max_epochs = 30});
+//   std::vector<train::EpochRecord> curve = trainer.TrainGeneral();
+//   eval::EvalResult test =
+//       trainer.Evaluate(cache.dataset().test_times(), /*online=*/true);
+
 #include <cstdint>
 #include <vector>
 

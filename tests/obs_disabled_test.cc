@@ -1,0 +1,65 @@
+// Compile-out coverage for RETIA_OBS_DISABLE.
+//
+// This translation unit defines RETIA_OBS_DISABLE (via a per-target
+// target_compile_definitions in tests/CMakeLists.txt) while linking the
+// normally-built libraries, proving that instrumented call sites build and
+// run with every RETIA_OBS_* macro expanded to nothing: no metric is
+// registered, no trace event is recorded, and the direct obs API still
+// works for code that wants it.
+
+#ifndef RETIA_OBS_DISABLE
+#error "obs_disabled_test must be compiled with RETIA_OBS_DISABLE defined"
+#endif
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.h"
+
+namespace retia::obs {
+namespace {
+
+TEST(ObsDisabledTest, MacrosCompileToNoOpsAndRegisterNothing) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  const std::vector<std::string> before = registry.Names();
+  {
+    RETIA_OBS_TIMED_SCOPE("obs_disabled.timed.us");
+    RETIA_OBS_TRACE_SPAN("obs_disabled.span");
+    RETIA_OBS_COUNTER_ADD("obs_disabled.counter", 1);
+    RETIA_OBS_GAUGE_SET("obs_disabled.gauge", 1.0);
+    RETIA_OBS_HIST_RECORD("obs_disabled.hist", 1);
+  }
+  const std::vector<std::string> after = registry.Names();
+  EXPECT_EQ(before, after);
+  for (const std::string& name : after) {
+    EXPECT_EQ(name.rfind("obs_disabled.", 0), std::string::npos) << name;
+  }
+}
+
+TEST(ObsDisabledTest, DisabledMacrosRecordNoTraceEvents) {
+  Trace::Clear();
+  Trace::Enable();
+  {
+    RETIA_OBS_TRACE_SPAN("obs_disabled.enabled_span");
+    RETIA_OBS_TIMED_SCOPE("obs_disabled.enabled_timed.us");
+  }
+  Trace::Disable();
+  EXPECT_EQ(Trace::EventCount(), 0);
+  Trace::Clear();
+}
+
+TEST(ObsDisabledTest, DirectApiStillWorks) {
+  // The compile-out removes the macros only; the library API remains for
+  // code that manages metrics explicitly.
+  Counter* counter =
+      MetricsRegistry::Get().GetCounter("obs_disabled.direct_counter");
+  counter->Add(3);
+  EXPECT_EQ(counter->Value(), 3);
+  counter->Reset();
+}
+
+}  // namespace
+}  // namespace retia::obs
