@@ -15,6 +15,7 @@
 #include "baselines/ttranse.h"
 #include "core/retia.h"
 #include "util/check.h"
+#include "util/env.h"
 #include "util/timer.h"
 
 namespace retia::bench {
@@ -53,8 +54,7 @@ std::vector<tkg::SyntheticConfig> YagoWikiProfiles() {
 
 namespace {
 std::string DefaultCacheDir() {
-  const char* env = std::getenv("RETIA_BENCH_CACHE");
-  return env != nullptr ? env : "bench_cache";
+  return util::Env::StringOr("RETIA_BENCH_CACHE", "bench_cache");
 }
 }  // namespace
 

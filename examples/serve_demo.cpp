@@ -1,7 +1,7 @@
 // Serving demo: train RETIA on a YAGO-like synthetic TKG, freeze it into a
-// snapshot (checkpoint + sidecar), then serve TopK entity and relation
-// queries from 8 concurrent client threads through retia::serve's batched,
-// cached engine.
+// snapshot (one crash-safe retia::ckpt artifact), then serve TopK entity
+// and relation queries from 8 concurrent client threads through
+// retia::serve's batched, cached engine.
 //
 // Build and run:
 //   cmake -B build && cmake --build build -j
@@ -15,12 +15,14 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/result.h"
 #include "core/retia.h"
 #include "graph/graph_cache.h"
 #include "serve/engine.h"
 #include "serve/snapshot.h"
 #include "tkg/synthetic.h"
 #include "train/trainer.h"
+#include "util/env.h"
 #include "util/timer.h"
 
 int main() {
@@ -50,16 +52,27 @@ int main() {
   std::cout << "training took " << util::FormatDuration(timer.Seconds())
             << "\n";
 
-  // 2. Freeze: write <prefix>.ckpt + <prefix>.meta, then rebuild the model
-  //    from disk exactly as a standalone serving process would.
-  const char* tmpdir = std::getenv("TMPDIR");
+  // 2. Freeze: write the <prefix>.ckpt artifact, then rebuild the model
+  //    from disk exactly as a standalone serving process would. Both calls
+  //    report failures as ckpt::Result — a serving process refuses a bad
+  //    snapshot instead of aborting.
   const std::string prefix =
-      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/retia_serve_demo";
-  serve::SaveModelSnapshot(model, prefix, dataset.name());
+      util::Env::StringOr("TMPDIR", "/tmp") + "/retia_serve_demo";
+  if (ckpt::Result saved =
+          serve::SaveModelSnapshot(model, prefix, dataset.name());
+      !saved.ok()) {
+    std::cerr << "failed to save snapshot: " << saved.ToString() << "\n";
+    return 1;
+  }
   std::string snapshot_dataset;
-  std::unique_ptr<core::RetiaModel> frozen =
-      serve::LoadModelSnapshot(prefix, &snapshot_dataset);
-  std::cout << "snapshot " << prefix << ".{ckpt,meta} (dataset '"
+  std::unique_ptr<core::RetiaModel> frozen;
+  if (ckpt::Result loaded =
+          serve::LoadModelSnapshot(prefix, &frozen, &snapshot_dataset);
+      !loaded.ok()) {
+    std::cerr << "failed to load snapshot: " << loaded.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "snapshot " << prefix << ".ckpt (dataset '"
             << snapshot_dataset << "', " << frozen->NumParameters()
             << " parameters)\n";
 

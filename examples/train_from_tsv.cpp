@@ -13,9 +13,16 @@
 //     --patience N        early-stopping patience              [default 5]
 //     --offline           skip online continuous training
 //     --filtered          report time-aware filtered metrics too
-//     --save PATH         write a checkpoint after training
-//     --load PATH         start from a checkpoint (skips training if
-//                         --epochs 0)
+//     --save PATH         write a parameter checkpoint after training
+//     --load PATH         start from a parameter checkpoint (skips
+//                         training if --epochs 0)
+//     --resume PATH       crash-safe training: save the full training
+//                         state (parameters, Adam, RNG, epoch cursor) to
+//                         PATH after every epoch, and continue from it
+//                         when PATH already exists. A killed run resumed
+//                         this way reaches bit-identical parameters. The
+//                         RETIA_RESUME environment variable is an
+//                         equivalent spelling (the flag wins).
 //
 // With no argument, a demonstration dataset is generated, saved to
 // /tmp/retia_demo.tsv and used, so the binary is runnable standalone.
@@ -25,11 +32,13 @@
 #include <iostream>
 #include <string>
 
+#include "ckpt/result.h"
 #include "core/retia.h"
 #include "graph/graph_cache.h"
 #include "nn/checkpoint.h"
 #include "tkg/synthetic.h"
 #include "train/trainer.h"
+#include "util/env.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -48,6 +57,7 @@ int main(int argc, char** argv) {
   bool filtered = false;
   std::string save_path;
   std::string load_path;
+  std::string resume_path = util::Env::StringOr("RETIA_RESUME", "");
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,6 +77,7 @@ int main(int argc, char** argv) {
     else if (arg == "--filtered") filtered = true;
     else if (arg == "--save") save_path = next();
     else if (arg == "--load") load_path = next();
+    else if (arg == "--resume") resume_path = next();
     else if (arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return 1;
@@ -130,7 +141,22 @@ int main(int argc, char** argv) {
   }
 
   graph::GraphCache cache(&dataset);
+  tc.checkpoint_path = resume_path;
   train::Trainer trainer(&model, &cache, tc);
+  if (!resume_path.empty()) {
+    ckpt::Result resumed = trainer.ResumeState(resume_path);
+    if (resumed.ok()) {
+      std::cout << "resumed training state from " << resume_path
+                << " (next epoch " << trainer.next_epoch() << ")\n";
+    } else if (resumed.code() == ckpt::ErrorCode::kIoError) {
+      std::cout << "no training state at " << resume_path
+                << "; starting fresh\n";
+    } else {
+      std::cerr << "cannot resume from " << resume_path << ": "
+                << resumed.ToString() << "\n";
+      return 1;
+    }
+  }
   if (tc.max_epochs > 0) {
     util::Timer timer;
     trainer.TrainGeneral();

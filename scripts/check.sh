@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Concurrency + observability checks.
+# Concurrency, observability, and crash-safety checks.
 #
 # 1. Docs/metrics lint: every metric or span name used at a RETIA_OBS_*
 #    call site must be catalogued in docs/OBSERVABILITY.md (grep-based,
@@ -11,6 +11,15 @@
 #    requirement: the par::ThreadPool sharding, the ServeEngine drain
 #    ticks, and the obs hot paths (relaxed-atomic metrics, per-thread
 #    trace rings) must be data-race-free, not just bit-identical.
+# 3. ASan ckpt suite: builds ckpt_test and the ckpt_smoke example with
+#    -fsanitize=address into build-asan/ and runs the ckpt-labelled ctest
+#    suite. The artifact parser is fed corrupt and truncated bytes on
+#    purpose, so it runs under ASan to prove the bounds checks hold.
+# 4. Kill-and-resume smoke: trains the synthetic ckpt_smoke dataset to
+#    completion, repeats the run with per-epoch state saves and a
+#    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
+#    from the surviving artifact, and requires the resumed parameters to
+#    be byte-identical (cmp) to the uninterrupted run.
 #
 # Usage: scripts/check.sh [build-dir]        (default: <repo>/build-tsan)
 # Also registered as the ctest test `tsan_smoke` when the tree is
@@ -19,6 +28,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-${ROOT}/build-tsan}"
+BUILD_ASAN="${ROOT}/build-asan"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # ---------------------------------------------------------------------------
@@ -61,3 +71,46 @@ TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
   ctest --test-dir "${BUILD}" -L "par|serve|obs" --output-on-failure
 
 echo "check.sh: par|serve|obs suites clean under ThreadSanitizer"
+
+# ---------------------------------------------------------------------------
+# ASan ckpt suite. The corruption-matrix tests deliberately hand the
+# artifact parser flipped, truncated, and trailing bytes; AddressSanitizer
+# turns any missed bounds check into a hard failure instead of a lucky read.
+cmake -B "${BUILD_ASAN}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRETIA_SANITIZE=address \
+  -DRETIA_SMOKE_TSAN=OFF
+
+cmake --build "${BUILD_ASAN}" -j "${JOBS}" --target ckpt_test ckpt_smoke
+
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:${ASAN_OPTIONS}}" \
+  ctest --test-dir "${BUILD_ASAN}" -L ckpt --output-on-failure
+
+echo "check.sh: ckpt suite clean under AddressSanitizer"
+
+# ---------------------------------------------------------------------------
+# Kill-and-resume smoke, on the ASan binary so the crash path is
+# sanitized too. `straight` trains 4 epochs without checkpoints and dumps
+# the final parameter bytes; `crashy` repeats the run with per-epoch state
+# saves until retia::fail delivers SIGKILL right after the 3rd atomic
+# rename (i.e. after epoch 2's save hits disk); `resume` reloads the
+# surviving artifact, finishes the remaining epoch, and dumps its bytes.
+# The two dumps must be identical — resume-exactness is cmp, not "close".
+SMOKE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/retia_ckpt_smoke.XXXXXX")"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+SMOKE_BIN="${BUILD_ASAN}/examples/ckpt_smoke"
+
+"${SMOKE_BIN}" straight "${SMOKE_DIR}"
+
+rc=0
+RETIA_FAIL_CRASH_AFTER_RENAME=3 "${SMOKE_BIN}" crashy "${SMOKE_DIR}" || rc=$?
+if [ "${rc}" -ne 137 ]; then
+  echo "check.sh: expected the crashy run to die with SIGKILL (rc 137)," \
+       "got rc ${rc}" >&2
+  exit 1
+fi
+
+"${SMOKE_BIN}" resume "${SMOKE_DIR}"
+
+cmp "${SMOKE_DIR}/params_straight.bin" "${SMOKE_DIR}/params_resumed.bin"
+echo "check.sh: resumed parameters byte-identical to the uninterrupted run"

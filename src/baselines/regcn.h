@@ -62,6 +62,7 @@ class RegcnModel : public core::EvolutionModel {
       const std::vector<std::pair<int64_t, int64_t>>& queries) override;
 
   int64_t history_len() const override { return config_.history_len; }
+  util::Rng* MutableRng() override { return &rng_; }
 
   const RegcnConfig& config() const { return config_; }
 

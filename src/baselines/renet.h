@@ -55,6 +55,7 @@ class RenetModel : public core::EvolutionModel {
       const std::vector<std::pair<int64_t, int64_t>>& queries) override;
 
   int64_t history_len() const override { return config_.history_len; }
+  util::Rng* MutableRng() override { return &rng_; }
 
  private:
   // Mean embedding of each entity's interaction partners at one timestamp

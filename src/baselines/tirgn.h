@@ -59,6 +59,8 @@ class TirgnModel : public core::EvolutionModel {
       const std::vector<std::pair<int64_t, int64_t>>& queries) override;
 
   int64_t history_len() const override { return config_.local.history_len; }
+  // TiRGN's trainable state lives in its local RE-GCN; so does its RNG.
+  util::Rng* MutableRng() override { return local_->MutableRng(); }
 
  private:
   // Normalised global repetition distribution for object queries (s, r)

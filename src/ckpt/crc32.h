@@ -1,0 +1,24 @@
+#ifndef RETIA_CKPT_CRC32_H_
+#define RETIA_CKPT_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace retia::ckpt {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every artifact section and the file as a whole. Table-driven,
+// byte at a time: integrity checking is a rounding error next to the
+// fsync the writer already pays.
+
+// Incremental update: fold `len` bytes into a running CRC. Seed with 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32Update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace retia::ckpt
+
+#endif  // RETIA_CKPT_CRC32_H_

@@ -1,0 +1,206 @@
+#include "ckpt/legacy.h"
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include "ckpt/artifact.h"
+#include "ckpt/bytes.h"
+#include "nn/checkpoint.h"
+#include "util/check.h"
+
+namespace retia::ckpt {
+
+namespace {
+
+constexpr char kMagic[] = "RETIACKPT1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+constexpr char kSidecarMagic[] = "RETIASIDE1";
+
+std::string ShapeString(const std::vector<int64_t>& shape) {
+  std::string s = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace
+
+Result ReadLegacyCheckpointInto(nn::Module* module, const std::string& path) {
+  RETIA_CHECK(module != nullptr);
+  std::string bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kMagic, kMagicLen) != 0) {
+    return Result::Error(ErrorCode::kBadMagic,
+                         path + " is not a RETIA checkpoint");
+  }
+  ByteReader r(std::string_view(bytes).substr(kMagicLen), "v1 checkpoint");
+  uint64_t count = 0;
+  RETIA_CKPT_RETURN_IF_ERROR(r.U64(&count));
+  auto named = module->NamedParameters();
+  if (count != named.size()) {
+    return Result::Error(
+        ErrorCode::kSchemaMismatch,
+        path + ": checkpoint has " + std::to_string(count) +
+            " parameters, model has " + std::to_string(named.size()));
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    RETIA_CKPT_RETURN_IF_ERROR(r.U64(&name_len));
+    if (name_len > bytes.size()) {
+      return Result::Error(ErrorCode::kCorrupt,
+                           path + ": implausible parameter-name length");
+    }
+    std::string name;
+    RETIA_CKPT_RETURN_IF_ERROR(r.StrRaw(&name, name_len));
+    if (name != named[i].first) {
+      return Result::Error(ErrorCode::kSchemaMismatch,
+                           path + ": parameter order mismatch: checkpoint "
+                                  "has '" +
+                               name + "', model expects '" + named[i].first +
+                               "'");
+    }
+    uint64_t rank = 0;
+    RETIA_CKPT_RETURN_IF_ERROR(r.U64(&rank));
+    if (rank > 16) {
+      return Result::Error(ErrorCode::kCorrupt,
+                           path + ": implausible rank for parameter '" +
+                               name + "'");
+    }
+    std::vector<int64_t> shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      RETIA_CKPT_RETURN_IF_ERROR(r.I64(&shape[d]));
+    }
+    tensor::Tensor& t = named[i].second;
+    if (shape != t.Shape()) {
+      return Result::Error(ErrorCode::kSchemaMismatch,
+                           path + ": shape mismatch for parameter '" + name +
+                               "' (checkpoint " + ShapeString(shape) +
+                               ", model " + ShapeString(t.Shape()) + ")");
+    }
+    Result payload = r.Raw(t.Data(), static_cast<size_t>(t.NumElements()) *
+                                         sizeof(float));
+    if (!payload.ok()) {
+      return Result::Error(ErrorCode::kTruncated,
+                           path + ": truncated checkpoint at parameter '" +
+                               name + "'");
+    }
+  }
+  return r.ExpectEnd();
+}
+
+Result WriteLegacyCheckpoint(const nn::Module& module,
+                             const std::string& path) {
+  ByteWriter w;
+  w.Raw(kMagic, kMagicLen);
+  const auto named = module.NamedParameters();
+  w.U64(named.size());
+  for (const auto& [name, t] : named) {
+    w.U64(name.size());
+    w.Raw(name.data(), name.size());
+    const auto& shape = t.Shape();
+    w.U64(shape.size());
+    for (int64_t dim : shape) w.I64(dim);
+    w.Raw(t.Data(), static_cast<size_t>(t.NumElements()) * sizeof(float));
+  }
+  return WriteFileDurably(path, w.bytes());
+}
+
+Result ReadLegacySidecar(const std::string& path, Sidecar* out) {
+  std::string bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  std::istringstream in(bytes);
+  std::string line;
+  if (!std::getline(in, line) || line != kSidecarMagic) {
+    return Result::Error(ErrorCode::kBadMagic,
+                         path + " is not a RETIA sidecar");
+  }
+  Sidecar entries;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Result::Error(ErrorCode::kCorrupt,
+                           path + " has a malformed sidecar line: " + line);
+    }
+    entries.emplace_back(line.substr(0, tab), line.substr(tab + 1));
+  }
+  *out = std::move(entries);
+  return Result::Ok();
+}
+
+Result WriteLegacySidecar(const std::string& path, const Sidecar& entries) {
+  std::string text(kSidecarMagic);
+  text += "\n";
+  for (const auto& [key, value] : entries) {
+    if (key.find_first_of("\t\n") != std::string::npos ||
+        value.find_first_of("\t\n") != std::string::npos) {
+      return Result::Error(ErrorCode::kSchemaMismatch,
+                           "sidecar entry '" + key +
+                               "' contains a tab or newline");
+    }
+    text += key;
+    text += "\t";
+    text += value;
+    text += "\n";
+  }
+  return WriteFileDurably(path, text);
+}
+
+Result SidecarLookup(const Sidecar& sidecar, const std::string& key,
+                     std::string* out) {
+  for (const auto& [k, v] : sidecar) {
+    if (k == key) {
+      *out = v;
+      return Result::Ok();
+    }
+  }
+  return Result::Error(ErrorCode::kMissingSection,
+                       "sidecar has no key '" + key + "'");
+}
+
+}  // namespace retia::ckpt
+
+// ---------------------------------------------------------------------------
+// Deprecated retia::nn entry points (declared in nn/checkpoint.h), now thin
+// shims over the Result-returning implementations above. They keep the old
+// abort-on-error contract for one release; new code handles the Result.
+
+namespace retia::nn {
+
+void SaveCheckpoint(const Module& module, const std::string& path) {
+  const ckpt::Result r = ckpt::WriteLegacyCheckpoint(module, path);
+  RETIA_CHECK_MSG(r.ok(), r.ToString());
+}
+
+void LoadCheckpoint(Module* module, const std::string& path) {
+  const ckpt::Result r = ckpt::ReadLegacyCheckpointInto(module, path);
+  RETIA_CHECK_MSG(r.ok(), r.ToString());
+}
+
+void SaveSidecar(const std::string& path, const Sidecar& entries) {
+  const ckpt::Result r = ckpt::WriteLegacySidecar(path, entries);
+  RETIA_CHECK_MSG(r.ok(), r.ToString());
+}
+
+Sidecar LoadSidecar(const std::string& path) {
+  Sidecar entries;
+  const ckpt::Result r = ckpt::ReadLegacySidecar(path, &entries);
+  RETIA_CHECK_MSG(r.ok(), r.ToString());
+  return entries;
+}
+
+const std::string& SidecarValue(const Sidecar& sidecar,
+                                const std::string& key) {
+  for (const auto& [k, v] : sidecar) {
+    if (k == key) return v;
+  }
+  RETIA_CHECK_MSG(false, "sidecar has no key '" << key << "'");
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+}  // namespace retia::nn

@@ -1,0 +1,46 @@
+#ifndef RETIA_CKPT_LEGACY_H_
+#define RETIA_CKPT_LEGACY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/result.h"
+#include "nn/module.h"
+
+namespace retia::ckpt {
+
+// Readers and writers for the v1 on-disk formats (RETIACKPT1 binary
+// parameter checkpoints and RETIASIDE1 text sidecars), kept for one
+// release so existing files stay loadable. Unlike the original
+// implementations these never abort: every malformed input surfaces as a
+// Result naming the offending parameter or line. New code should write
+// RETIACKPT2 artifacts (ckpt/artifact.h); docs/CHECKPOINTS.md describes
+// the migration.
+
+using Sidecar = std::vector<std::pair<std::string, std::string>>;
+
+// Loads a RETIACKPT1 parameter file into `module` (matched by name and
+// shape, same contract as the old nn::LoadCheckpoint).
+Result ReadLegacyCheckpointInto(nn::Module* module, const std::string& path);
+
+// Writes the v1 binary format, but atomically (tmp + fsync + rename) via
+// the shared durable-write protocol.
+Result WriteLegacyCheckpoint(const nn::Module& module,
+                             const std::string& path);
+
+// Loads a RETIASIDE1 key/value sidecar.
+Result ReadLegacySidecar(const std::string& path, Sidecar* out);
+
+// Writes the v1 sidecar format atomically. Keys and values must be
+// single-line and tab-free.
+Result WriteLegacySidecar(const std::string& path, const Sidecar& entries);
+
+// Value of `key` in a sidecar/meta listing; kMissingSection (naming the
+// key) when absent.
+Result SidecarLookup(const Sidecar& sidecar, const std::string& key,
+                     std::string* out);
+
+}  // namespace retia::ckpt
+
+#endif  // RETIA_CKPT_LEGACY_H_

@@ -1,0 +1,81 @@
+#ifndef RETIA_CKPT_MODEL_IO_H_
+#define RETIA_CKPT_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ckpt/legacy.h"
+#include "ckpt/result.h"
+#include "core/retia.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace retia::ckpt {
+
+// Typed encode/decode of the standard artifact sections. Encoders are
+// infallible (they serialize live objects); decoders validate everything
+// against the in-memory target and return kSchemaMismatch naming the
+// offending parameter or key rather than trusting the file.
+
+// Canonical section names (docs/CHECKPOINTS.md).
+inline constexpr char kSectionMeta[] = "meta";
+inline constexpr char kSectionParams[] = "model.params";
+inline constexpr char kSectionStaticTypes[] = "model.static_types";
+inline constexpr char kSectionAdam[] = "optim.adam";
+inline constexpr char kSectionRng[] = "rng.model";
+inline constexpr char kSectionCursor[] = "train.cursor";
+inline constexpr char kSectionBestParams[] = "train.best_params";
+inline constexpr char kSectionRecords[] = "train.records";
+
+// Ordered key/value metadata (same shape as the v1 sidecar).
+using Meta = Sidecar;
+
+// ---- Section payloads ----------------------------------------------------
+
+// Named parameters of a module: names, shapes, float payloads.
+std::string EncodeParams(const nn::Module& module);
+Result DecodeParamsInto(nn::Module* module, std::string_view payload);
+
+std::string EncodeMeta(const Meta& meta);
+Result DecodeMeta(std::string_view payload, Meta* out);
+
+// Adam state: step count plus both moment vectors per parameter.
+std::string EncodeAdam(const nn::Adam& adam);
+Result DecodeAdamInto(nn::Adam* adam, std::string_view payload);
+
+// Full util::Rng engine state (std::mt19937_64 stream serialization).
+std::string EncodeRng(const util::Rng& rng);
+Result DecodeRngInto(util::Rng* rng, std::string_view payload);
+
+// ---- RetiaConfig <-> meta ------------------------------------------------
+
+// Appends every RetiaConfig field to `meta` (keys identical to the v1
+// snapshot sidecar, so one decoder serves both formats).
+void AppendRetiaConfigMeta(const core::RetiaConfig& config, Meta* meta);
+Result RetiaConfigFromMeta(const Meta& meta, core::RetiaConfig* out);
+
+// ---- Model artifacts (the serve snapshot, v2) ----------------------------
+
+// One self-contained artifact: meta (config + dataset name), parameters,
+// and — when SetEntityTypes() installed one — the static-constraint
+// entity-type table as its own versioned section, so such models round-trip
+// instead of failing on a parameter-count mismatch at load.
+Result SaveModelArtifact(const core::RetiaModel& model,
+                         const std::string& path,
+                         const std::string& dataset_name);
+
+// Rebuilds the model from a v2 artifact. Returns kLegacyFormat (without
+// touching `out`) when `path` holds a v1 checkpoint, so callers can
+// dispatch to the legacy pair loader. The model is returned in train mode;
+// serving callers flip SetTraining(false) themselves.
+Result LoadModelArtifact(const std::string& path,
+                         std::unique_ptr<core::RetiaModel>* out,
+                         std::string* dataset_name);
+
+}  // namespace retia::ckpt
+
+#endif  // RETIA_CKPT_MODEL_IO_H_

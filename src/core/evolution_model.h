@@ -8,6 +8,7 @@
 #include "nn/module.h"
 #include "tensor/tensor.h"
 #include "tkg/dataset.h"
+#include "util/rng.h"
 
 namespace retia::core {
 
@@ -53,6 +54,12 @@ class EvolutionModel : public nn::Module {
 
   // Length k of the history window the model was configured for.
   virtual int64_t history_len() const = 0;
+
+  // The RNG stream the model consumes during training (dropout etc.), or
+  // nullptr for RNG-free models. train::Trainer persists and restores it
+  // through retia::ckpt so a resumed run replays the exact dropout masks
+  // an uninterrupted run would have drawn.
+  virtual util::Rng* MutableRng() { return nullptr; }
 };
 
 }  // namespace retia::core

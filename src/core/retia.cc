@@ -75,6 +75,7 @@ void RetiaModel::SetEntityTypes(const std::vector<int64_t>& types,
   RETIA_CHECK(num_types > 0);
   for (int64_t t : types) RETIA_CHECK_LT(t, num_types);
   entity_types_ = types;
+  num_static_types_ = num_types;
   static_type_init_ =
       std::make_unique<nn::Embedding>(num_types, config_.dim, &rng_);
   RegisterModule("static_type_init", static_type_init_.get());

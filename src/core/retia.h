@@ -119,6 +119,13 @@ class RetiaModel : public EvolutionModel {
 
   const RetiaConfig& config() const { return config_; }
   util::Rng& rng() { return rng_; }
+  util::Rng* MutableRng() override { return &rng_; }
+
+  // Static-constraint introspection, consumed by retia::ckpt so model
+  // artifacts can serialize the SetEntityTypes() table as its own section.
+  bool has_entity_types() const { return !entity_types_.empty(); }
+  const std::vector<int64_t>& entity_types() const { return entity_types_; }
+  int64_t num_static_types() const { return num_static_types_; }
 
  private:
   // Shared decode bodies; `rng` is only touched in training mode (dropout),
@@ -147,6 +154,7 @@ class RetiaModel : public EvolutionModel {
   std::unique_ptr<nn::Embedding> hyper_init_;     // HR_0
   std::unique_ptr<nn::Embedding> static_type_init_;  // static constraint
   std::vector<int64_t> entity_types_;
+  int64_t num_static_types_ = 0;
   // Frozen random embeddings used by the ablation protocols (Sec. IV-C /
   // IV-D1): the ablated side keeps its initialization "unchanged".
   tensor::Tensor frozen_entities_;       // when !use_eam

@@ -9,29 +9,37 @@
 
 namespace retia::nn {
 
-// Binary checkpoint format for Module parameters.
+// DEPRECATED — thin shims over retia::ckpt, kept for one release.
 //
-// Layout: magic "RETIACKPT1\n", then per parameter one record:
-//   name\n shape_rank shape... float payload
-// Parameters are matched by name on load; shapes must agree. Loading a
-// checkpoint from a differently configured model CHECK-fails with the
-// offending parameter named.
+// These are the original v1 entry points (RETIACKPT1 binary parameter
+// checkpoints + RETIASIDE1 text sidecars). They now delegate to the
+// Result-returning implementations in ckpt/legacy.cc (linked from
+// retia_ckpt) and keep the historical abort-on-error contract: any load
+// failure CHECK-fails with the ckpt error detail. New code should use
+// retia::ckpt directly —
+//   * ckpt::SaveModelArtifact / LoadModelArtifact for model snapshots
+//     (one crash-safe RETIACKPT2 file, config + params + static types);
+//   * train::Trainer::SaveState / ResumeState for training state;
+//   * ckpt::ArtifactWriter/Reader for custom sections —
+// all of which report errors as ckpt::Result instead of aborting. See
+// docs/CHECKPOINTS.md for the formats and the migration story.
+
+// Writes the v1 parameter checkpoint (now atomically: tmp+fsync+rename).
 void SaveCheckpoint(const Module& module, const std::string& path);
 
-// Loads parameter values into `module` in place. Every parameter of the
-// module must be present in the file (and vice versa).
+// Loads parameter values into `module` in place; aborts on any mismatch.
+// Prefer ckpt::ReadLegacyCheckpointInto, which returns a ckpt::Result.
 void LoadCheckpoint(Module* module, const std::string& path);
 
-// Plain-text sidecar accompanying a checkpoint: ordered key/value lines
-// under a "RETIASIDE1" magic header. A checkpoint alone cannot rebuild a
-// model — the constructor arguments (config, vocabulary sizes) live here.
-// Keys and values must be single-line and tab-free.
+// Plain-text key/value sidecar (v1). Superseded by the "meta" section of
+// RETIACKPT2 artifacts.
 using Sidecar = std::vector<std::pair<std::string, std::string>>;
 
 void SaveSidecar(const std::string& path, const Sidecar& entries);
 Sidecar LoadSidecar(const std::string& path);
 
-// Value of `key`; CHECK-fails when the key is absent.
+// Value of `key`; CHECK-fails when the key is absent. Prefer
+// ckpt::SidecarLookup.
 const std::string& SidecarValue(const Sidecar& sidecar, const std::string& key);
 
 }  // namespace retia::nn

@@ -1,6 +1,7 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "par/parallel_for.h"
 #include "util/check.h"
@@ -54,6 +55,20 @@ void Adam::Step() {
       }
     });
   }
+}
+
+void Adam::RestoreState(int64_t step_count, std::vector<std::vector<float>> m,
+                        std::vector<std::vector<float>> v) {
+  RETIA_CHECK(step_count >= 0);
+  RETIA_CHECK_EQ(m.size(), params_.size());
+  RETIA_CHECK_EQ(v.size(), params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    RETIA_CHECK_EQ(m[i].size(), params_[i].impl().data.size());
+    RETIA_CHECK_EQ(v[i].size(), params_[i].impl().data.size());
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 void Adam::ZeroGrad() {

@@ -31,6 +31,18 @@ class Adam {
   void set_lr(float lr) { options_.lr = lr; }
   float lr() const { return options_.lr; }
 
+  // State exposure for retia::ckpt: resume-exact training must persist the
+  // step count (bias correction) and both moment vectors.
+  int64_t step_count() const { return step_count_; }
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+
+  // Restores serialized state. The moment vectors must match the parameter
+  // list element-for-element (callers validate first; this CHECK-fails on
+  // violation because a silently misaligned optimizer is unrecoverable).
+  void RestoreState(int64_t step_count, std::vector<std::vector<float>> m,
+                    std::vector<std::vector<float>> v);
+
  private:
   std::vector<tensor::Tensor> params_;
   Options options_;

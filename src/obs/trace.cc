@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace retia::obs {
 
@@ -226,14 +227,12 @@ void WriteObsFilesAtExit() {
 
 void InitObsFromEnvOnce() {
   static const bool initialized = [] {
-    const char* trace_path = std::getenv("RETIA_TRACE");
-    const char* metrics_path = std::getenv("RETIA_METRICS");
-    if (trace_path != nullptr && *trace_path != '\0') {
-      TracePathAtExit() = trace_path;
+    if (util::Env::IsSet("RETIA_TRACE")) {
+      TracePathAtExit() = util::Env::Raw("RETIA_TRACE");
       Trace::Enable();
     }
-    if (metrics_path != nullptr && *metrics_path != '\0') {
-      MetricsPathAtExit() = metrics_path;
+    if (util::Env::IsSet("RETIA_METRICS")) {
+      MetricsPathAtExit() = util::Env::Raw("RETIA_METRICS");
     }
     if (!TracePathAtExit().empty() || !MetricsPathAtExit().empty()) {
       std::atexit(WriteObsFilesAtExit);

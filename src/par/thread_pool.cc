@@ -7,6 +7,7 @@
 
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/env.h"
 
 namespace retia::par {
 
@@ -176,10 +177,8 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 int ParseThreadCount(const char* value, int fallback) {
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0') return fallback;
+  int64_t parsed = 0;
+  if (!util::Env::ParseInt(value, &parsed)) return fallback;
   if (parsed < 1 || parsed > 4096) return fallback;
   return static_cast<int>(parsed);
 }
@@ -188,7 +187,7 @@ int DefaultThreads() {
   static const int threads = [] {
     const unsigned hw = std::thread::hardware_concurrency();
     const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
-    return ParseThreadCount(std::getenv("RETIA_NUM_THREADS"), fallback);
+    return ParseThreadCount(util::Env::Raw("RETIA_NUM_THREADS"), fallback);
   }();
   return threads;
 }

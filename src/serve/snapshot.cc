@@ -1,112 +1,69 @@
 #include "serve/snapshot.h"
 
-#include <cstdio>
 #include <string>
+#include <utility>
 
-#include "nn/checkpoint.h"
-#include "util/check.h"
+#include "ckpt/legacy.h"
+#include "ckpt/model_io.h"
 
 namespace retia::serve {
 
 namespace {
 
-constexpr char kFormatVersion[] = "1";
+// Loads the legacy snapshot pair: <prefix>.ckpt in RETIACKPT1 format plus
+// the <prefix>.meta sidecar. The sidecar keys match the meta section of
+// v2 artifacts, so the config decoder is shared.
+ckpt::Result LoadLegacySnapshot(const std::string& prefix,
+                                std::unique_ptr<core::RetiaModel>* model,
+                                std::string* dataset_name) {
+  ckpt::Sidecar sidecar;
+  RETIA_CKPT_RETURN_IF_ERROR(
+      ckpt::ReadLegacySidecar(prefix + ".meta", &sidecar));
+  std::string version;
+  RETIA_CKPT_RETURN_IF_ERROR(
+      ckpt::SidecarLookup(sidecar, "format_version", &version));
+  if (version != "1") {
+    return ckpt::Result::Error(
+        ckpt::ErrorCode::kBadVersion,
+        "unsupported snapshot format_version '" + version + "' in " + prefix +
+            ".meta");
+  }
+  core::RetiaConfig config;
+  RETIA_CKPT_RETURN_IF_ERROR(ckpt::RetiaConfigFromMeta(sidecar, &config));
 
-std::string FloatString(float v) {
-  char buf[32];
-  // %.9g round-trips any float32 exactly.
-  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
-  return buf;
-}
+  auto loaded = std::make_unique<core::RetiaModel>(config);
+  RETIA_CKPT_RETURN_IF_ERROR(
+      ckpt::ReadLegacyCheckpointInto(loaded.get(), prefix + ".ckpt"));
 
-int64_t IntValue(const nn::Sidecar& sidecar, const std::string& key) {
-  return std::stoll(nn::SidecarValue(sidecar, key));
-}
-
-float FloatValue(const nn::Sidecar& sidecar, const std::string& key) {
-  return std::stof(nn::SidecarValue(sidecar, key));
-}
-
-bool BoolValue(const nn::Sidecar& sidecar, const std::string& key) {
-  const std::string& v = nn::SidecarValue(sidecar, key);
-  RETIA_CHECK_MSG(v == "0" || v == "1", "bad bool sidecar value for " << key);
-  return v == "1";
+  if (dataset_name != nullptr) {
+    RETIA_CKPT_RETURN_IF_ERROR(
+        ckpt::SidecarLookup(sidecar, "dataset_name", dataset_name));
+  }
+  *model = std::move(loaded);
+  return ckpt::Result::Ok();
 }
 
 }  // namespace
 
-void SaveModelSnapshot(const core::RetiaModel& model,
-                       const std::string& prefix,
-                       const std::string& dataset_name) {
-  const core::RetiaConfig& c = model.config();
-  nn::Sidecar sidecar = {
-      {"format_version", kFormatVersion},
-      {"dataset_name", dataset_name},
-      {"num_entities", std::to_string(c.num_entities)},
-      {"num_relations", std::to_string(c.num_relations)},
-      {"dim", std::to_string(c.dim)},
-      {"history_len", std::to_string(c.history_len)},
-      {"rgcn_layers", std::to_string(c.rgcn_layers)},
-      {"num_bases", std::to_string(c.num_bases)},
-      {"conv_kernels", std::to_string(c.conv_kernels)},
-      {"conv_kernel_size", std::to_string(c.conv_kernel_size)},
-      {"dropout", FloatString(c.dropout)},
-      {"lambda_entity", FloatString(c.lambda_entity)},
-      {"use_eam", c.use_eam ? "1" : "0"},
-      {"use_ram", c.use_ram ? "1" : "0"},
-      {"use_tim", c.use_tim ? "1" : "0"},
-      {"hyper_mode", std::to_string(static_cast<int>(c.hyper_mode))},
-      {"relation_mode", std::to_string(static_cast<int>(c.relation_mode))},
-      {"time_variability_decode", c.time_variability_decode ? "1" : "0"},
-      {"use_static_constraint", c.use_static_constraint ? "1" : "0"},
-      {"static_angle_step_deg", FloatString(c.static_angle_step_deg)},
-      {"static_weight", FloatString(c.static_weight)},
-      // The seed reproduces the frozen (non-parameter) ablation embeddings,
-      // which are derived from the RNG at construction.
-      {"seed", std::to_string(c.seed)},
-  };
-  nn::SaveSidecar(prefix + ".meta", sidecar);
-  nn::SaveCheckpoint(model, prefix + ".ckpt");
+ckpt::Result SaveModelSnapshot(const core::RetiaModel& model,
+                               const std::string& prefix,
+                               const std::string& dataset_name) {
+  return ckpt::SaveModelArtifact(model, prefix + ".ckpt", dataset_name);
 }
 
-std::unique_ptr<core::RetiaModel> LoadModelSnapshot(
-    const std::string& prefix, std::string* dataset_name) {
-  const nn::Sidecar sidecar = nn::LoadSidecar(prefix + ".meta");
-  RETIA_CHECK_MSG(
-      nn::SidecarValue(sidecar, "format_version") == kFormatVersion,
-      "unsupported snapshot format in " << prefix << ".meta");
-  if (dataset_name != nullptr) {
-    *dataset_name = nn::SidecarValue(sidecar, "dataset_name");
+ckpt::Result LoadModelSnapshot(const std::string& prefix,
+                               std::unique_ptr<core::RetiaModel>* model,
+                               std::string* dataset_name) {
+  std::unique_ptr<core::RetiaModel> loaded;
+  ckpt::Result r =
+      ckpt::LoadModelArtifact(prefix + ".ckpt", &loaded, dataset_name);
+  if (r.code() == ckpt::ErrorCode::kLegacyFormat) {
+    r = LoadLegacySnapshot(prefix, &loaded, dataset_name);
   }
-  core::RetiaConfig config;
-  config.num_entities = IntValue(sidecar, "num_entities");
-  config.num_relations = IntValue(sidecar, "num_relations");
-  config.dim = IntValue(sidecar, "dim");
-  config.history_len = IntValue(sidecar, "history_len");
-  config.rgcn_layers = IntValue(sidecar, "rgcn_layers");
-  config.num_bases = IntValue(sidecar, "num_bases");
-  config.conv_kernels = IntValue(sidecar, "conv_kernels");
-  config.conv_kernel_size = IntValue(sidecar, "conv_kernel_size");
-  config.dropout = FloatValue(sidecar, "dropout");
-  config.lambda_entity = FloatValue(sidecar, "lambda_entity");
-  config.use_eam = BoolValue(sidecar, "use_eam");
-  config.use_ram = BoolValue(sidecar, "use_ram");
-  config.use_tim = BoolValue(sidecar, "use_tim");
-  config.hyper_mode =
-      static_cast<core::HyperMode>(IntValue(sidecar, "hyper_mode"));
-  config.relation_mode =
-      static_cast<core::RelationMode>(IntValue(sidecar, "relation_mode"));
-  config.time_variability_decode =
-      BoolValue(sidecar, "time_variability_decode");
-  config.use_static_constraint = BoolValue(sidecar, "use_static_constraint");
-  config.static_angle_step_deg = FloatValue(sidecar, "static_angle_step_deg");
-  config.static_weight = FloatValue(sidecar, "static_weight");
-  config.seed = static_cast<uint64_t>(IntValue(sidecar, "seed"));
-
-  auto model = std::make_unique<core::RetiaModel>(config);
-  nn::LoadCheckpoint(model.get(), prefix + ".ckpt");
-  model->SetTraining(false);
-  return model;
+  RETIA_CKPT_RETURN_IF_ERROR(std::move(r));
+  loaded->SetTraining(false);
+  *model = std::move(loaded);
+  return ckpt::Result::Ok();
 }
 
 }  // namespace retia::serve

@@ -4,29 +4,38 @@
 #include <memory>
 #include <string>
 
+#include "ckpt/result.h"
 #include "core/retia.h"
 
 namespace retia::serve {
 
-// A model snapshot is the pair of files a serving process needs to rebuild
-// a trained RetiaModel without the training program:
-//   <prefix>.ckpt  binary parameters (nn::SaveCheckpoint format)
-//   <prefix>.meta  nn::Sidecar describing the full RetiaConfig plus the
-//                  dataset vocabulary sizes and name
+// A model snapshot is everything a serving process needs to rebuild a
+// trained RetiaModel without the training program, stored as one
+// crash-safe RETIACKPT2 artifact at <prefix>.ckpt: the full RetiaConfig
+// and dataset name (meta section), the parameters, and — when
+// SetEntityTypes() installed one — the static-constraint entity-type
+// table as its own versioned section, so static-constraint models
+// round-trip instead of failing at load. docs/CHECKPOINTS.md specifies
+// the format.
 //
-// Limitation: the optional static-constraint entity-type table installed by
-// SetEntityTypes() is not captured; loading such a snapshot CHECK-fails on
-// the parameter-count mismatch rather than serving silently wrong results.
-void SaveModelSnapshot(const core::RetiaModel& model,
-                       const std::string& prefix,
-                       const std::string& dataset_name = "");
+// Both calls report failures as ckpt::Result instead of aborting, so a
+// serving process can refuse a bad snapshot and keep running.
 
-// Rebuilds the model from <prefix>.meta and loads <prefix>.ckpt into it.
-// The returned model is in eval mode (SetTraining(false)), ready for
-// frozen scoring. `dataset_name`, when non-null, receives the name stored
-// at save time.
-std::unique_ptr<core::RetiaModel> LoadModelSnapshot(
-    const std::string& prefix, std::string* dataset_name = nullptr);
+// Atomically writes <prefix>.ckpt (tmp + fsync + rename; a crash leaves
+// either the old snapshot or the new one, never a torn file).
+ckpt::Result SaveModelSnapshot(const core::RetiaModel& model,
+                               const std::string& prefix,
+                               const std::string& dataset_name = "");
+
+// Rebuilds the model from <prefix>.ckpt. Legacy v1 snapshot pairs
+// (<prefix>.ckpt in RETIACKPT1 format + <prefix>.meta sidecar) are
+// detected and loaded transparently. On success `*model` holds the model
+// in eval mode (SetTraining(false)), ready for frozen scoring, and
+// `dataset_name` (when non-null) receives the name stored at save time.
+// On failure `*model` is untouched.
+[[nodiscard]] ckpt::Result LoadModelSnapshot(
+    const std::string& prefix, std::unique_ptr<core::RetiaModel>* model,
+    std::string* dataset_name = nullptr);
 
 }  // namespace retia::serve
 

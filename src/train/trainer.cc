@@ -1,11 +1,71 @@
 #include "train/trainer.h"
 
 #include <iostream>
+#include <utility>
 
+#include "ckpt/artifact.h"
+#include "ckpt/bytes.h"
+#include "ckpt/model_io.h"
 #include "obs/obs.h"
 #include "util/timer.h"
 
 namespace retia::train {
+
+namespace {
+
+constexpr char kTrainerArtifactKind[] = "retia.trainer_state";
+
+std::string EncodeCursor(int64_t next_epoch, double best_mrr,
+                         int64_t below_best, int64_t online_updates) {
+  ckpt::ByteWriter w;
+  w.I64(next_epoch);
+  w.F64(best_mrr);
+  w.I64(below_best);
+  w.I64(online_updates);
+  return w.Take();
+}
+
+std::string EncodeParamVectors(const std::vector<std::vector<float>>& params) {
+  ckpt::ByteWriter w;
+  w.U64(params.size());
+  for (const std::vector<float>& p : params) {
+    w.FloatArray(p.data(), static_cast<int64_t>(p.size()));
+  }
+  return w.Take();
+}
+
+std::string EncodeRecords(const std::vector<EpochRecord>& records) {
+  ckpt::ByteWriter w;
+  w.U64(records.size());
+  for (const EpochRecord& r : records) {
+    w.F64(r.joint_loss);
+    w.F64(r.entity_loss);
+    w.F64(r.relation_loss);
+    w.F64(r.valid_entity_mrr);
+    w.F64(r.seconds);
+  }
+  return w.Take();
+}
+
+ckpt::Result DecodeRecords(std::string_view payload,
+                           std::vector<EpochRecord>* out) {
+  ckpt::ByteReader r(payload, ckpt::kSectionRecords);
+  uint64_t count = 0;
+  RETIA_CKPT_RETURN_IF_ERROR(r.U64(&count));
+  std::vector<EpochRecord> records(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RETIA_CKPT_RETURN_IF_ERROR(r.F64(&records[i].joint_loss));
+    RETIA_CKPT_RETURN_IF_ERROR(r.F64(&records[i].entity_loss));
+    RETIA_CKPT_RETURN_IF_ERROR(r.F64(&records[i].relation_loss));
+    RETIA_CKPT_RETURN_IF_ERROR(r.F64(&records[i].valid_entity_mrr));
+    RETIA_CKPT_RETURN_IF_ERROR(r.F64(&records[i].seconds));
+  }
+  RETIA_CKPT_RETURN_IF_ERROR(r.ExpectEnd());
+  *out = std::move(records);
+  return ckpt::Result::Ok();
+}
+
+}  // namespace
 
 Trainer::Trainer(core::EvolutionModel* model, graph::GraphCache* cache,
                  const TrainConfig& config)
@@ -75,11 +135,8 @@ void Trainer::RestoreParams(const std::vector<std::vector<float>>& snapshot) {
 }
 
 std::vector<EpochRecord> Trainer::TrainGeneral() {
-  std::vector<EpochRecord> records;
-  double best_mrr = -1.0;
-  int64_t below_best = 0;
-  std::vector<std::vector<float>> best_params;
-  for (int64_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+  for (int64_t epoch = next_epoch_;
+       epoch < config_.max_epochs && below_best_ < config_.patience; ++epoch) {
     RETIA_OBS_TIMED_SCOPE("train.epoch.us");
     util::Timer timer;
     EpochRecord rec;
@@ -99,24 +156,152 @@ std::vector<EpochRecord> Trainer::TrainGeneral() {
     }
     rec.valid_entity_mrr = ValidationEntityMrr();
     rec.seconds = timer.Seconds();
-    records.push_back(rec);
+    records_.push_back(rec);
     if (config_.verbose) {
       std::cout << "epoch " << epoch << " loss " << rec.joint_loss
                 << " (e " << rec.entity_loss << ", r " << rec.relation_loss
                 << ") valid MRR " << rec.valid_entity_mrr << " ["
                 << util::FormatDuration(rec.seconds) << "]\n";
     }
-    if (rec.valid_entity_mrr > best_mrr) {
-      best_mrr = rec.valid_entity_mrr;
-      below_best = 0;
-      best_params = SnapshotParams();
+    if (rec.valid_entity_mrr > best_mrr_) {
+      best_mrr_ = rec.valid_entity_mrr;
+      below_best_ = 0;
+      best_params_ = SnapshotParams();
     } else {
-      ++below_best;
-      if (below_best >= config_.patience) break;
+      ++below_best_;
+    }
+    next_epoch_ = epoch + 1;
+    // Persist the pre-restore training state: a resumed run must see the
+    // live parameters the next epoch would have trained from, not the
+    // best-validation parameters restored below.
+    if (!config_.checkpoint_path.empty()) {
+      ckpt::Result saved = SaveState(config_.checkpoint_path);
+      if (!saved.ok()) {
+        std::cerr << "[train] WARNING: failed to save training state to '"
+                  << config_.checkpoint_path << "': " << saved.ToString()
+                  << "\n";
+      }
     }
   }
-  if (!best_params.empty()) RestoreParams(best_params);
-  return records;
+  if (!best_params_.empty()) RestoreParams(best_params_);
+  return records_;
+}
+
+ckpt::Result Trainer::SaveState(const std::string& path) const {
+  ckpt::ArtifactWriter writer;
+  ckpt::Meta meta = {{"artifact", kTrainerArtifactKind}};
+  writer.AddSection(ckpt::kSectionMeta, ckpt::EncodeMeta(meta));
+  writer.AddSection(ckpt::kSectionParams, ckpt::EncodeParams(*model_));
+  writer.AddSection(ckpt::kSectionAdam, ckpt::EncodeAdam(optimizer_));
+  if (const util::Rng* rng = model_->MutableRng(); rng != nullptr) {
+    writer.AddSection(ckpt::kSectionRng, ckpt::EncodeRng(*rng));
+  }
+  writer.AddSection(
+      ckpt::kSectionCursor,
+      EncodeCursor(next_epoch_, best_mrr_, below_best_, online_updates_));
+  if (!best_params_.empty()) {
+    writer.AddSection(ckpt::kSectionBestParams,
+                      EncodeParamVectors(best_params_));
+  }
+  writer.AddSection(ckpt::kSectionRecords, EncodeRecords(records_));
+  return writer.WriteFile(path);
+}
+
+ckpt::Result Trainer::ResumeState(const std::string& path) {
+  ckpt::ArtifactReader reader;
+  RETIA_CKPT_RETURN_IF_ERROR(ckpt::ArtifactReader::Open(path, &reader));
+
+  std::string_view meta_bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(reader.Section(ckpt::kSectionMeta, &meta_bytes));
+  ckpt::Meta meta;
+  RETIA_CKPT_RETURN_IF_ERROR(ckpt::DecodeMeta(meta_bytes, &meta));
+  std::string kind;
+  RETIA_CKPT_RETURN_IF_ERROR(ckpt::SidecarLookup(meta, "artifact", &kind));
+  if (kind != kTrainerArtifactKind) {
+    return ckpt::Result::Error(
+        ckpt::ErrorCode::kSchemaMismatch,
+        "artifact is a '" + kind + "', not a " + kTrainerArtifactKind);
+  }
+
+  // Decode everything into locals before mutating the trainer: a
+  // mismatching artifact must leave this trainer untouched.
+  std::string_view params_bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(
+      reader.Section(ckpt::kSectionParams, &params_bytes));
+
+  std::string_view cursor_bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(
+      reader.Section(ckpt::kSectionCursor, &cursor_bytes));
+  ckpt::ByteReader cursor(cursor_bytes, ckpt::kSectionCursor);
+  int64_t next_epoch = 0, below_best = 0, online_updates = 0;
+  double best_mrr = -1.0;
+  RETIA_CKPT_RETURN_IF_ERROR(cursor.I64(&next_epoch));
+  RETIA_CKPT_RETURN_IF_ERROR(cursor.F64(&best_mrr));
+  RETIA_CKPT_RETURN_IF_ERROR(cursor.I64(&below_best));
+  RETIA_CKPT_RETURN_IF_ERROR(cursor.I64(&online_updates));
+  RETIA_CKPT_RETURN_IF_ERROR(cursor.ExpectEnd());
+  if (next_epoch < 0 || below_best < 0 || online_updates < 0) {
+    return ckpt::Result::Error(ckpt::ErrorCode::kCorrupt,
+                               "negative value in training cursor");
+  }
+
+  std::vector<std::vector<float>> best_params;
+  if (reader.Has(ckpt::kSectionBestParams)) {
+    std::string_view best_bytes;
+    RETIA_CKPT_RETURN_IF_ERROR(
+        reader.Section(ckpt::kSectionBestParams, &best_bytes));
+    ckpt::ByteReader r(best_bytes, ckpt::kSectionBestParams);
+    uint64_t count = 0;
+    RETIA_CKPT_RETURN_IF_ERROR(r.U64(&count));
+    if (count != params_.size()) {
+      return ckpt::Result::Error(
+          ckpt::ErrorCode::kSchemaMismatch,
+          "artifact best-params cover " + std::to_string(count) +
+              " parameters, model has " + std::to_string(params_.size()));
+    }
+    best_params.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      RETIA_CKPT_RETURN_IF_ERROR(r.FloatArray(&best_params[i]));
+      if (best_params[i].size() != params_[i].impl().data.size()) {
+        return ckpt::Result::Error(
+            ckpt::ErrorCode::kSchemaMismatch,
+            "artifact best-params entry " + std::to_string(i) +
+                " has wrong size");
+      }
+    }
+    RETIA_CKPT_RETURN_IF_ERROR(r.ExpectEnd());
+  }
+
+  std::vector<EpochRecord> records;
+  std::string_view records_bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(
+      reader.Section(ckpt::kSectionRecords, &records_bytes));
+  RETIA_CKPT_RETURN_IF_ERROR(DecodeRecords(records_bytes, &records));
+
+  // All fallible decoding into model/optimizer state comes last; the
+  // schema checks above make the remaining failures (shape or name
+  // mismatches) the only ones that could leave partial state, and
+  // DecodeParamsInto validates every name and shape before writing.
+  RETIA_CKPT_RETURN_IF_ERROR(ckpt::DecodeParamsInto(model_, params_bytes));
+
+  std::string_view adam_bytes;
+  RETIA_CKPT_RETURN_IF_ERROR(reader.Section(ckpt::kSectionAdam, &adam_bytes));
+  RETIA_CKPT_RETURN_IF_ERROR(ckpt::DecodeAdamInto(&optimizer_, adam_bytes));
+
+  if (util::Rng* rng = model_->MutableRng();
+      rng != nullptr && reader.Has(ckpt::kSectionRng)) {
+    std::string_view rng_bytes;
+    RETIA_CKPT_RETURN_IF_ERROR(reader.Section(ckpt::kSectionRng, &rng_bytes));
+    RETIA_CKPT_RETURN_IF_ERROR(ckpt::DecodeRngInto(rng, rng_bytes));
+  }
+
+  next_epoch_ = next_epoch;
+  best_mrr_ = best_mrr;
+  below_best_ = below_best;
+  online_updates_ = online_updates;
+  best_params_ = std::move(best_params);
+  records_ = std::move(records);
+  return ckpt::Result::Ok();
 }
 
 eval::EvalResult Trainer::Evaluate(const std::vector<int64_t>& times,
@@ -146,7 +331,7 @@ eval::EvalResult Trainer::Evaluate(const std::vector<int64_t>& times,
       const float general_lr = optimizer_.lr();
       optimizer_.set_lr(config_.online_lr);
       for (int64_t step = 0; step < config_.online_steps; ++step) {
-        StepOnTimestamp(t, nullptr);
+        if (StepOnTimestamp(t, nullptr)) ++online_updates_;
       }
       optimizer_.set_lr(general_lr);
     };

@@ -12,6 +12,14 @@
 // backward, clip, step, epoch) and loss / grad-norm gauges are exported
 // as `train.*` metrics (docs/OBSERVABILITY.md).
 //
+// Crash safety: when TrainConfig::checkpoint_path is set, the full
+// training state — model parameters, Adam moments, the model's RNG
+// stream, the epoch cursor, the best-validation parameters and the epoch
+// records — is written as one atomic retia::ckpt artifact after every
+// epoch. A killed run resumed with ResumeState() continues to
+// bit-identical parameters and records (wall-clock `seconds` excepted);
+// see docs/CHECKPOINTS.md.
+//
 // Usage:
 //   train::Trainer trainer(&model, &cache, {.max_epochs = 30});
 //   std::vector<train::EpochRecord> curve = trainer.TrainGeneral();
@@ -19,8 +27,10 @@
 //       trainer.Evaluate(cache.dataset().test_times(), /*online=*/true);
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ckpt/result.h"
 #include "core/evolution_model.h"
 #include "eval/evaluator.h"
 #include "graph/graph_cache.h"
@@ -40,10 +50,15 @@ struct TrainConfig {
   int64_t online_steps = 1;
   float online_lr = 1e-3f;
   bool verbose = false;
+  // When non-empty, TrainGeneral saves the full training state here after
+  // every epoch (atomically; a crash leaves the previous epoch's state
+  // intact). A save failure is a warning, not an abort.
+  std::string checkpoint_path;
 };
 
 // Per-epoch record of the general training process; the loss curves of
-// Figs. 3/4 are these values.
+// Figs. 3/4 are these values. `seconds` is wall clock and therefore the
+// one field that is not bit-identical across a resumed run.
 struct EpochRecord {
   double joint_loss = 0.0;
   double entity_loss = 0.0;
@@ -60,7 +75,9 @@ class Trainer {
   Trainer(core::EvolutionModel* model, graph::GraphCache* cache,
           const TrainConfig& config);
 
-  // General training on the train split. Returns the per-epoch records
+  // General training on the train split, starting from the current epoch
+  // cursor (0 for a fresh trainer, the interrupted epoch after
+  // ResumeState). Returns the per-epoch records of the whole run so far
   // (loss curve + validation MRR). The best-validation parameters are
   // restored before returning.
   std::vector<EpochRecord> TrainGeneral();
@@ -71,6 +88,25 @@ class Trainer {
   // excludes the online updates.
   eval::EvalResult Evaluate(const std::vector<int64_t>& times, bool online,
                             const eval::EvalOptions& options = {});
+
+  // Writes the complete training state (model parameters, Adam moments,
+  // model RNG stream, epoch cursor, best-validation parameters, epoch
+  // records) as one atomic RETIACKPT2 artifact.
+  ckpt::Result SaveState(const std::string& path) const;
+
+  // Restores a SaveState artifact into this trainer. The trainer must
+  // wrap a model of the same architecture (parameter names and shapes are
+  // validated; mismatches return kSchemaMismatch). On success the next
+  // TrainGeneral() call continues exactly where the saved run stopped.
+  [[nodiscard]] ckpt::Result ResumeState(const std::string& path);
+
+  // Epoch the next TrainGeneral() call starts at (== epochs completed).
+  int64_t next_epoch() const { return next_epoch_; }
+
+  // Number of online fine-tuning updates applied by Evaluate so far.
+  int64_t online_updates() const { return online_updates_; }
+
+  const std::vector<EpochRecord>& records() const { return records_; }
 
  private:
   // One optimisation step on the facts at `t` (predicting t from its
@@ -87,6 +123,14 @@ class Trainer {
   TrainConfig config_;
   std::vector<tensor::Tensor> params_;
   nn::Adam optimizer_;
+
+  // Training cursor — everything TrainGeneral needs to continue mid-run.
+  int64_t next_epoch_ = 0;
+  double best_mrr_ = -1.0;
+  int64_t below_best_ = 0;
+  std::vector<std::vector<float>> best_params_;
+  std::vector<EpochRecord> records_;
+  int64_t online_updates_ = 0;
 };
 
 }  // namespace retia::train

@@ -1,0 +1,103 @@
+#include "util/fail.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "util/env.h"
+
+namespace retia::fail {
+
+namespace {
+
+std::mutex g_mu;
+Plan g_plan;                              // guarded by g_mu
+bool g_installed = false;                 // guarded by g_mu
+std::atomic<int64_t> g_writes_seen{0};
+std::atomic<int64_t> g_renames_seen{0};
+std::atomic<bool> g_armed{false};
+
+}  // namespace
+
+void InstallPlan(const Plan& plan) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_plan = plan;
+  g_installed = true;
+  g_writes_seen.store(0, std::memory_order_relaxed);
+  g_renames_seen.store(0, std::memory_order_relaxed);
+  g_armed.store(plan.fail_write_n > 0 || plan.truncate_on_close >= 0 ||
+                    plan.crash_after_rename_n > 0,
+                std::memory_order_release);
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_plan = Plan{};
+  g_installed = false;
+  g_writes_seen.store(0, std::memory_order_relaxed);
+  g_renames_seen.store(0, std::memory_order_relaxed);
+  g_armed.store(false, std::memory_order_release);
+}
+
+Plan ReadPlanFromEnv() {
+  Plan plan;
+  plan.fail_write_n = util::Env::IntOr("RETIA_FAIL_WRITE_N", 0);
+  plan.truncate_on_close = util::Env::IntOr("RETIA_FAIL_TRUNCATE", -1);
+  plan.crash_after_rename_n =
+      util::Env::IntOr("RETIA_FAIL_CRASH_AFTER_RENAME", 0);
+  return plan;
+}
+
+void InstallPlanFromEnvOnce() {
+  static const bool once = [] {
+    const Plan plan = ReadPlanFromEnv();
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_installed && (plan.fail_write_n > 0 || plan.truncate_on_close >= 0 ||
+                         plan.crash_after_rename_n > 0)) {
+      g_plan = plan;
+      g_installed = true;
+      g_armed.store(true, std::memory_order_release);
+    }
+    return true;
+  }();
+  static_cast<void>(once);
+}
+
+bool Armed() { return g_armed.load(std::memory_order_acquire); }
+
+bool ShouldFailWrite() {
+  if (!Armed()) return false;
+  const int64_t seen = g_writes_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_plan.fail_write_n > 0 && seen == g_plan.fail_write_n;
+}
+
+int64_t TruncateOnCloseBytes() {
+  if (!Armed()) return -1;
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_plan.truncate_on_close;
+}
+
+void MaybeCrashAfterRename() {
+  if (!Armed()) return;
+  const int64_t seen =
+      g_renames_seen.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool crash = false;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    crash = g_plan.crash_after_rename_n > 0 &&
+            seen == g_plan.crash_after_rename_n;
+  }
+  if (crash) {
+    // The real thing: an uncatchable, instant kill. The artifact just
+    // renamed into place must survive; nothing else is allowed to matter.
+    ::kill(::getpid(), SIGKILL);
+    // kill(SIGKILL) cannot return to user code, but keep the compiler and
+    // any exotic platform honest.
+    ::_exit(137);
+  }
+}
+
+}  // namespace retia::fail

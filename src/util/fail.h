@@ -1,0 +1,73 @@
+#ifndef RETIA_UTIL_FAIL_H_
+#define RETIA_UTIL_FAIL_H_
+
+#include <cstdint>
+
+// retia::fail — fault-injection hooks for the durable-write path.
+//
+// The ckpt artifact writer consults these hooks at every point where real
+// storage can betray a process: each write(2) of payload bytes, the close
+// after fsync (a filesystem may acknowledge a write it never persisted),
+// and the commit rename. Arming a Plan lets tests and the check.sh
+// kill-and-resume smoke prove the crash-safety guarantees end-to-end:
+// a failed or torn save must never publish a loadable partial artifact,
+// and a SIGKILL immediately after the commit rename must leave a fully
+// valid artifact behind.
+//
+// Plans come from two places:
+//   * programmatically (tests): fail::InstallPlan({...});
+//   * the environment (the check.sh smoke):
+//       RETIA_FAIL_WRITE_N=N             fail the Nth durable write (1-based)
+//       RETIA_FAIL_TRUNCATE=B            truncate the file to B bytes on close
+//       RETIA_FAIL_CRASH_AFTER_RENAME=N  SIGKILL self right after the Nth
+//                                        commit rename (1-based)
+// The env plan is read once, lazily, at the first durable write, and only
+// when no programmatic plan is already installed.
+//
+// All hooks are thread-safe (atomic counters); the layer is a no-op when
+// no plan is armed.
+namespace retia::fail {
+
+struct Plan {
+  // 1-based index of the durable write(2) call to fail; 0 = never.
+  int64_t fail_write_n = 0;
+  // When >= 0, the artifact file is truncated to this many bytes right
+  // before close, simulating a torn write the filesystem acknowledged.
+  int64_t truncate_on_close = -1;
+  // 1-based index of the commit rename after which the process SIGKILLs
+  // itself; 0 = never. This is the harshest possible crash: no destructors,
+  // no atexit, no flushing.
+  int64_t crash_after_rename_n = 0;
+};
+
+// Installs `plan` and resets the write/rename counters.
+void InstallPlan(const Plan& plan);
+
+// Clears any installed plan (counters too). Call from test teardown.
+void Clear();
+
+// Parses a Plan from the RETIA_FAIL_* environment variables (all unset ->
+// a disarmed plan). Exposed separately so the parsing is unit-testable.
+Plan ReadPlanFromEnv();
+
+// Installs ReadPlanFromEnv() once per process, unless a programmatic plan
+// is already armed. The ckpt writer calls this before every durable write.
+void InstallPlanFromEnvOnce();
+
+// True when any fault is armed.
+bool Armed();
+
+// ---- Hooks consulted by the durable writer ------------------------------
+
+// Counts one durable write; returns true when this write must fail.
+bool ShouldFailWrite();
+
+// Bytes to truncate the artifact to at close, or -1 to leave it alone.
+int64_t TruncateOnCloseBytes();
+
+// Counts one commit rename; SIGKILLs the process when the plan says so.
+void MaybeCrashAfterRename();
+
+}  // namespace retia::fail
+
+#endif  // RETIA_UTIL_FAIL_H_

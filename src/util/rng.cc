@@ -1,11 +1,27 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <sstream>
 #include <vector>
 
 #include "util/check.h"
 
 namespace retia::util {
+
+std::string Rng::SaveStateString() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::LoadStateString(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 candidate;
+  in >> candidate;
+  if (in.fail()) return false;
+  engine_ = candidate;
+  return true;
+}
 
 int64_t Rng::Zipf(int64_t n, double alpha) {
   RETIA_CHECK(n > 0);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 
 namespace retia::util {
 
@@ -44,6 +45,15 @@ class Rng {
   // Used by the synthetic dataset generators to mimic the long-tailed
   // entity/relation popularity of the real TKG benchmarks.
   int64_t Zipf(int64_t n, double alpha);
+
+  // Full engine state as text (std::mt19937_64 stream serialization),
+  // for resume-exact training checkpoints (retia::ckpt). The engine is the
+  // complete state: every distribution object is constructed per call, so
+  // no hidden distribution state survives between draws.
+  std::string SaveStateString() const;
+  // Restores a SaveStateString() snapshot; returns false (leaving the
+  // engine untouched) when the string is not a valid engine state.
+  bool LoadStateString(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

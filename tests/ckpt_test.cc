@@ -1,0 +1,596 @@
+// Tests for retia::ckpt — the RETIACKPT2 artifact container, the typed
+// section codecs, legacy v1 migration, trainer SaveState/ResumeState
+// resume-exactness, and the retia::fail fault-injection hooks. Registered
+// under the ctest label `ckpt` so `ctest -L ckpt` runs just these,
+// typically in a -DRETIA_SANITIZE=address build (scripts/check.sh).
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/ckpt.h"
+#include "core/retia.h"
+#include "graph/graph_cache.h"
+#include "nn/checkpoint.h"
+#include "nn/linear.h"
+#include "tkg/synthetic.h"
+#include "train/trainer.h"
+#include "util/fail.h"
+#include "util/rng.h"
+
+namespace retia {
+namespace {
+
+using ckpt::ArtifactReader;
+using ckpt::ArtifactWriter;
+using ckpt::ErrorCode;
+using ckpt::Result;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// One-section artifact with known byte offsets, the corruption target:
+//   [0,11)   magic "RETIACKPT2\n"
+//   [11,15)  u32 version (= 2)
+//   [15,19)  u32 section count (= 1)
+//   [19,23)  u32 name length (= 1)
+//   [23,24)  name "s"
+//   [24,32)  u64 payload length (= 11)
+//   [32,36)  u32 payload CRC
+//   [36,47)  payload "hello world"
+//   [47,51)  u32 file CRC
+std::string OneSectionArtifact() {
+  ArtifactWriter w;
+  w.AddSection("s", "hello world");
+  return w.Serialize();
+}
+
+// ---------------------------------------------------------------------------
+// Corruption matrix: every class of damage maps to the right error code.
+
+TEST(ArtifactCorruptionTest, IntactArtifactParses) {
+  ArtifactReader reader;
+  const Result r = ArtifactReader::Parse(OneSectionArtifact(), &reader);
+  ASSERT_TRUE(r.ok()) << r.ToString();
+  EXPECT_TRUE(reader.Has("s"));
+  std::string_view payload;
+  ASSERT_TRUE(reader.Section("s", &payload).ok());
+  EXPECT_EQ(payload, "hello world");
+}
+
+TEST(ArtifactCorruptionTest, FlippedMagicIsBadMagic) {
+  std::string bytes = OneSectionArtifact();
+  bytes[0] ^= 0x20;
+  ArtifactReader reader;
+  EXPECT_EQ(ArtifactReader::Parse(bytes, &reader).code(),
+            ErrorCode::kBadMagic);
+}
+
+TEST(ArtifactCorruptionTest, TruncationInsideMagicIsTruncated) {
+  ArtifactReader reader;
+  EXPECT_EQ(ArtifactReader::Parse(OneSectionArtifact().substr(0, 5),
+                                  &reader).code(),
+            ErrorCode::kTruncated);
+  EXPECT_EQ(ArtifactReader::Parse("", &reader).code(), ErrorCode::kTruncated);
+}
+
+TEST(ArtifactCorruptionTest, WrongVersionIsBadVersion) {
+  std::string bytes = OneSectionArtifact();
+  bytes[11] = 9;
+  ArtifactReader reader;
+  const Result r = ArtifactReader::Parse(bytes, &reader);
+  EXPECT_EQ(r.code(), ErrorCode::kBadVersion);
+  EXPECT_NE(r.detail().find("version 9"), std::string::npos) << r.ToString();
+}
+
+TEST(ArtifactCorruptionTest, PayloadBitFlipIsCorruptNamingTheSection) {
+  std::string bytes = OneSectionArtifact();
+  bytes[40] ^= 0x01;  // inside "hello world"
+  ArtifactReader reader;
+  const Result r = ArtifactReader::Parse(bytes, &reader);
+  EXPECT_EQ(r.code(), ErrorCode::kCorrupt);
+  EXPECT_NE(r.detail().find("section 's'"), std::string::npos)
+      << r.ToString();
+}
+
+TEST(ArtifactCorruptionTest, SectionCrcBitFlipIsCorrupt) {
+  std::string bytes = OneSectionArtifact();
+  bytes[33] ^= 0x01;  // inside the stored section CRC
+  ArtifactReader reader;
+  EXPECT_EQ(ArtifactReader::Parse(bytes, &reader).code(),
+            ErrorCode::kCorrupt);
+}
+
+TEST(ArtifactCorruptionTest, FileCrcBitFlipIsCorrupt) {
+  std::string bytes = OneSectionArtifact();
+  bytes[bytes.size() - 1] ^= 0x01;
+  ArtifactReader reader;
+  const Result r = ArtifactReader::Parse(bytes, &reader);
+  EXPECT_EQ(r.code(), ErrorCode::kCorrupt);
+  EXPECT_NE(r.detail().find("file CRC"), std::string::npos) << r.ToString();
+}
+
+TEST(ArtifactCorruptionTest, TruncationInsidePayloadIsTruncated) {
+  ArtifactReader reader;
+  const Result r =
+      ArtifactReader::Parse(OneSectionArtifact().substr(0, 45), &reader);
+  EXPECT_EQ(r.code(), ErrorCode::kTruncated);
+  EXPECT_NE(r.detail().find("'s'"), std::string::npos) << r.ToString();
+}
+
+TEST(ArtifactCorruptionTest, MissingFooterIsTruncated) {
+  const std::string bytes = OneSectionArtifact();
+  ArtifactReader reader;
+  EXPECT_EQ(ArtifactReader::Parse(bytes.substr(0, bytes.size() - 2),
+                                  &reader).code(),
+            ErrorCode::kTruncated);
+}
+
+TEST(ArtifactCorruptionTest, TrailingBytesAreCorrupt) {
+  ArtifactReader reader;
+  EXPECT_EQ(ArtifactReader::Parse(OneSectionArtifact() + "x", &reader).code(),
+            ErrorCode::kCorrupt);
+}
+
+TEST(ArtifactCorruptionTest, LegacyMagicsAreLegacyFormat) {
+  ArtifactReader reader;
+  EXPECT_EQ(ArtifactReader::Parse("RETIACKPT1\njunk", &reader).code(),
+            ErrorCode::kLegacyFormat);
+  EXPECT_EQ(ArtifactReader::Parse("RETIASIDE1\nkey\tvalue\n", &reader).code(),
+            ErrorCode::kLegacyFormat);
+}
+
+TEST(ArtifactCorruptionTest, AbsentSectionIsMissingSection) {
+  ArtifactReader reader;
+  ASSERT_TRUE(ArtifactReader::Parse(OneSectionArtifact(), &reader).ok());
+  std::string_view payload;
+  EXPECT_EQ(reader.Section("nope", &payload).code(),
+            ErrorCode::kMissingSection);
+}
+
+TEST(ArtifactCorruptionTest, EveryTruncationPointIsRejected) {
+  const std::string bytes = OneSectionArtifact();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    ArtifactReader reader;
+    const Result r = ArtifactReader::Parse(bytes.substr(0, len), &reader);
+    EXPECT_FALSE(r.ok()) << "truncation to " << len << " bytes parsed";
+    EXPECT_NE(r.code(), ErrorCode::kLegacyFormat) << "at length " << len;
+  }
+}
+
+TEST(ArtifactCorruptionTest, OpenPrefixesErrorsWithThePath) {
+  const std::string path = TempPath("corrupt_prefix.ckpt");
+  std::string bytes = OneSectionArtifact();
+  bytes[40] ^= 0x01;
+  ASSERT_TRUE(ckpt::WriteFileDurably(path, bytes).ok());
+  ArtifactReader reader;
+  const Result r = ArtifactReader::Open(path, &reader);
+  EXPECT_EQ(r.code(), ErrorCode::kCorrupt);
+  EXPECT_NE(r.detail().find(path), std::string::npos) << r.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property test over randomized module shapes.
+
+class RandomModule : public nn::Module {
+ public:
+  RandomModule(uint64_t shape_seed, uint64_t init_seed) {
+    util::Rng shapes(shape_seed);
+    util::Rng init(init_seed);
+    const int64_t num_layers = shapes.UniformInt(1, 4);
+    for (int64_t i = 0; i < num_layers; ++i) {
+      const int64_t in = shapes.UniformInt(1, 9);
+      const int64_t out = shapes.UniformInt(1, 9);
+      layers_.push_back(std::make_unique<nn::Linear>(in, out, &init));
+      RegisterModule("layer" + std::to_string(i), layers_.back().get());
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<nn::Linear>> layers_;
+};
+
+TEST(ArtifactRoundTripTest, RandomizedModuleShapesRoundTripBitExactly) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    RandomModule src(seed, /*init_seed=*/seed + 100);
+    const std::string path =
+        TempPath("roundtrip_" + std::to_string(seed) + ".ckpt");
+    ArtifactWriter writer;
+    writer.AddSection(ckpt::kSectionParams, ckpt::EncodeParams(src));
+    ASSERT_TRUE(writer.WriteFile(path).ok()) << "seed " << seed;
+
+    // Same shapes, different initialization: every value must be replaced.
+    RandomModule dst(seed, /*init_seed=*/seed + 999);
+    ArtifactReader reader;
+    ASSERT_TRUE(ArtifactReader::Open(path, &reader).ok()) << "seed " << seed;
+    std::string_view payload;
+    ASSERT_TRUE(reader.Section(ckpt::kSectionParams, &payload).ok());
+    const Result r = ckpt::DecodeParamsInto(&dst, payload);
+    ASSERT_TRUE(r.ok()) << "seed " << seed << ": " << r.ToString();
+
+    auto s = src.NamedParameters();
+    auto d = dst.NamedParameters();
+    ASSERT_EQ(s.size(), d.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(s[i].second.impl().data, d[i].second.impl().data)
+          << "seed " << seed << " parameter " << s[i].first;
+    }
+  }
+}
+
+TEST(ArtifactRoundTripTest, ShapeMismatchIsSchemaMismatchNamingParameter) {
+  RandomModule src(3, 100);
+  RandomModule other(7, 100);  // different shapes with high probability
+  const std::string payload = ckpt::EncodeParams(src);
+  const Result r = ckpt::DecodeParamsInto(&other, payload);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kSchemaMismatch);
+}
+
+// ---------------------------------------------------------------------------
+// Typed section codecs.
+
+TEST(SectionCodecTest, MetaRoundTripsAndRejectsTrailingBytes) {
+  const ckpt::Meta meta = {{"a", "1"}, {"b", "two"}, {"empty", ""}};
+  const std::string payload = ckpt::EncodeMeta(meta);
+  ckpt::Meta out;
+  ASSERT_TRUE(ckpt::DecodeMeta(payload, &out).ok());
+  EXPECT_EQ(out, meta);
+  EXPECT_EQ(ckpt::DecodeMeta(payload + "junk", &out).code(),
+            ErrorCode::kCorrupt);
+  EXPECT_EQ(ckpt::DecodeMeta(payload.substr(0, payload.size() - 1),
+                             &out).code(),
+            ErrorCode::kTruncated);
+}
+
+TEST(SectionCodecTest, RngStateRoundTripReplaysTheStream) {
+  util::Rng src(1234);
+  // Advance so the saved state is mid-stream, not the seed state.
+  for (int i = 0; i < 57; ++i) src.Uniform(0.0f, 1.0f);
+  const std::string payload = ckpt::EncodeRng(src);
+
+  util::Rng dst(999);
+  ASSERT_TRUE(ckpt::DecodeRngInto(&dst, payload).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(src.Uniform(0.0f, 1.0f), dst.Uniform(0.0f, 1.0f));
+  }
+}
+
+TEST(SectionCodecTest, GarbageRngStateIsCorrupt) {
+  ckpt::ByteWriter w;
+  w.Str("not an engine state");
+  util::Rng rng(1);
+  EXPECT_EQ(ckpt::DecodeRngInto(&rng, w.bytes()).code(), ErrorCode::kCorrupt);
+}
+
+TEST(SectionCodecTest, AdamStateValidatesShapes) {
+  util::Rng rng(5);
+  nn::Linear a(4, 3, &rng), b(7, 2, &rng);
+  nn::Adam opt_a(a.Parameters(), nn::Adam::Options{.lr = 1e-3f});
+  const std::string payload = ckpt::EncodeAdam(opt_a);
+
+  nn::Adam opt_a2(a.Parameters(), nn::Adam::Options{.lr = 1e-3f});
+  EXPECT_TRUE(ckpt::DecodeAdamInto(&opt_a2, payload).ok());
+  EXPECT_EQ(opt_a2.step_count(), opt_a.step_count());
+
+  nn::Adam opt_b(b.Parameters(), nn::Adam::Options{.lr = 1e-3f});
+  EXPECT_EQ(ckpt::DecodeAdamInto(&opt_b, payload).code(),
+            ErrorCode::kSchemaMismatch);
+}
+
+// ---------------------------------------------------------------------------
+// Model artifacts and legacy migration.
+
+tkg::SyntheticConfig SmokeDataConfig() {
+  tkg::SyntheticConfig config;
+  config.name = "ckpt-test";
+  config.num_entities = 40;
+  config.num_relations = 6;
+  config.num_timestamps = 12;
+  config.facts_per_timestamp = 10;
+  config.num_schemas = 40;
+  config.seed = 17;
+  return config;
+}
+
+core::RetiaConfig SmokeModelConfig(const tkg::TkgDataset& dataset) {
+  core::RetiaConfig config;
+  config.num_entities = dataset.num_entities();
+  config.num_relations = dataset.num_relations();
+  config.dim = 8;
+  config.history_len = 2;
+  config.conv_kernels = 2;
+  config.dropout = 0.2f;  // training consumes the model RNG
+  config.seed = 21;
+  return config;
+}
+
+TEST(ModelArtifactTest, RoundTripRebuildsConfigAndParameters) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(SmokeModelConfig(dataset));
+  const std::string path = TempPath("model_artifact.ckpt");
+  ASSERT_TRUE(ckpt::SaveModelArtifact(model, path, dataset.name()).ok());
+
+  std::unique_ptr<core::RetiaModel> loaded;
+  std::string dataset_name;
+  const Result r = ckpt::LoadModelArtifact(path, &loaded, &dataset_name);
+  ASSERT_TRUE(r.ok()) << r.ToString();
+  EXPECT_EQ(dataset_name, dataset.name());
+  EXPECT_EQ(loaded->config().dim, model.config().dim);
+  auto s = model.NamedParameters();
+  auto d = loaded->NamedParameters();
+  ASSERT_EQ(s.size(), d.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].second.impl().data, d[i].second.impl().data)
+        << s[i].first;
+  }
+}
+
+TEST(ModelArtifactTest, LegacySnapshotPairStillLoads) {
+  // A pre-redesign snapshot: v1 parameter file + v1 sidecar, as the old
+  // serve::SaveModelSnapshot wrote them.
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(SmokeModelConfig(dataset));
+  const std::string prefix = TempPath("legacy_snapshot");
+  ASSERT_TRUE(
+      ckpt::WriteLegacyCheckpoint(model, prefix + ".ckpt").ok());
+  ckpt::Sidecar sidecar = {{"format_version", "1"},
+                           {"dataset_name", dataset.name()}};
+  ckpt::AppendRetiaConfigMeta(model.config(), &sidecar);
+  ASSERT_TRUE(ckpt::WriteLegacySidecar(prefix + ".meta", sidecar).ok());
+
+  // The v2 loader reports kLegacyFormat rather than guessing...
+  std::unique_ptr<core::RetiaModel> loaded;
+  EXPECT_EQ(ckpt::LoadModelArtifact(prefix + ".ckpt", &loaded, nullptr)
+                .code(),
+            ErrorCode::kLegacyFormat);
+
+  // ...and the legacy readers migrate the pair exactly.
+  ckpt::Sidecar read_back;
+  ASSERT_TRUE(ckpt::ReadLegacySidecar(prefix + ".meta", &read_back).ok());
+  core::RetiaConfig config;
+  ASSERT_TRUE(ckpt::RetiaConfigFromMeta(read_back, &config).ok());
+  auto migrated = std::make_unique<core::RetiaModel>(config);
+  ASSERT_TRUE(
+      ckpt::ReadLegacyCheckpointInto(migrated.get(), prefix + ".ckpt").ok());
+  auto s = model.NamedParameters();
+  auto d = migrated->NamedParameters();
+  ASSERT_EQ(s.size(), d.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i].second.impl().data, d[i].second.impl().data);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trainer SaveState / ResumeState.
+
+TEST(TrainerResumeTest, InterruptedRunResumesBitIdentically) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  const std::string state_path = TempPath("trainer_state.ckpt");
+
+  // Reference: 4 epochs uninterrupted, no checkpointing at all (saving
+  // must have no effect on the trajectory).
+  train::TrainConfig tc;
+  tc.max_epochs = 4;
+  tc.patience = 99;
+  core::RetiaModel model_a(SmokeModelConfig(dataset));
+  graph::GraphCache cache_a(&dataset);
+  train::Trainer trainer_a(&model_a, &cache_a, tc);
+  const std::vector<train::EpochRecord> records_a = trainer_a.TrainGeneral();
+  ASSERT_EQ(records_a.size(), 4u);
+
+  // Interrupted: 2 epochs with per-epoch state saves, then stop (as if
+  // the process died during epoch 2).
+  train::TrainConfig tc_half = tc;
+  tc_half.max_epochs = 2;
+  tc_half.checkpoint_path = state_path;
+  core::RetiaModel model_b(SmokeModelConfig(dataset));
+  graph::GraphCache cache_b(&dataset);
+  train::Trainer trainer_b(&model_b, &cache_b, tc_half);
+  trainer_b.TrainGeneral();
+
+  // Resumed: a fresh process-equivalent — new model object, new trainer —
+  // continues from the state file to the full 4 epochs.
+  core::RetiaModel model_c(SmokeModelConfig(dataset));
+  graph::GraphCache cache_c(&dataset);
+  train::Trainer trainer_c(&model_c, &cache_c, tc);
+  const Result resumed = trainer_c.ResumeState(state_path);
+  ASSERT_TRUE(resumed.ok()) << resumed.ToString();
+  EXPECT_EQ(trainer_c.next_epoch(), 2);
+  const std::vector<train::EpochRecord> records_c = trainer_c.TrainGeneral();
+
+  // Records match exactly — losses and validation MRR are bit-identical;
+  // `seconds` is wall clock and excluded.
+  ASSERT_EQ(records_c.size(), records_a.size());
+  for (size_t i = 0; i < records_a.size(); ++i) {
+    EXPECT_EQ(records_a[i].joint_loss, records_c[i].joint_loss) << i;
+    EXPECT_EQ(records_a[i].entity_loss, records_c[i].entity_loss) << i;
+    EXPECT_EQ(records_a[i].relation_loss, records_c[i].relation_loss) << i;
+    EXPECT_EQ(records_a[i].valid_entity_mrr, records_c[i].valid_entity_mrr)
+        << i;
+  }
+
+  // Final (best-validation-restored) parameters are bit-identical.
+  auto pa = model_a.NamedParameters();
+  auto pc = model_c.NamedParameters();
+  ASSERT_EQ(pa.size(), pc.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].second.impl().data, pc[i].second.impl().data)
+        << pa[i].first;
+  }
+}
+
+TEST(TrainerResumeTest, MissingStateFileIsIoError) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(SmokeModelConfig(dataset));
+  graph::GraphCache cache(&dataset);
+  train::Trainer trainer(&model, &cache, {});
+  EXPECT_EQ(trainer.ResumeState(TempPath("no_such_state.ckpt")).code(),
+            ErrorCode::kIoError);
+}
+
+TEST(TrainerResumeTest, ModelArtifactIsRejectedAsSchemaMismatch) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(SmokeModelConfig(dataset));
+  const std::string path = TempPath("not_a_trainer_state.ckpt");
+  ASSERT_TRUE(ckpt::SaveModelArtifact(model, path, dataset.name()).ok());
+
+  graph::GraphCache cache(&dataset);
+  train::Trainer trainer(&model, &cache, {});
+  const Result r = trainer.ResumeState(path);
+  EXPECT_EQ(r.code(), ErrorCode::kSchemaMismatch);
+}
+
+TEST(TrainerResumeTest, ArchitectureMismatchLeavesTrainerUsable) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  const std::string state_path = TempPath("trainer_state_mismatch.ckpt");
+  core::RetiaModel model(SmokeModelConfig(dataset));
+  graph::GraphCache cache(&dataset);
+  train::TrainConfig tc;
+  tc.max_epochs = 1;
+  tc.patience = 99;
+  train::Trainer trainer(&model, &cache, tc);
+  trainer.TrainGeneral();
+  ASSERT_TRUE(trainer.SaveState(state_path).ok());
+
+  core::RetiaConfig other_config = SmokeModelConfig(dataset);
+  other_config.dim = 12;  // different architecture
+  core::RetiaModel other(other_config);
+  graph::GraphCache other_cache(&dataset);
+  train::Trainer other_trainer(&other, &other_cache, tc);
+  EXPECT_EQ(other_trainer.ResumeState(state_path).code(),
+            ErrorCode::kSchemaMismatch);
+  // The mismatch was detected before any state mutation.
+  EXPECT_EQ(other_trainer.next_epoch(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through retia::fail.
+
+class FailPlanTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fail::Clear(); }
+};
+
+TEST_F(FailPlanTest, FailedWritePreservesOldArtifactAndLeavesNoTmp) {
+  const std::string path = TempPath("fail_write.ckpt");
+  ArtifactWriter old_writer;
+  old_writer.AddSection("s", "old contents");
+  ASSERT_TRUE(old_writer.WriteFile(path).ok());
+
+  fail::InstallPlan({.fail_write_n = 1});
+  ArtifactWriter new_writer;
+  new_writer.AddSection("s", "new contents");
+  const Result r = new_writer.WriteFile(path);
+  EXPECT_EQ(r.code(), ErrorCode::kIoError);
+  EXPECT_NE(r.detail().find("injected"), std::string::npos) << r.ToString();
+  fail::Clear();
+
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  ArtifactReader reader;
+  ASSERT_TRUE(ArtifactReader::Open(path, &reader).ok());
+  std::string_view payload;
+  ASSERT_TRUE(reader.Section("s", &payload).ok());
+  EXPECT_EQ(payload, "old contents");
+}
+
+TEST_F(FailPlanTest, TruncatedCloseNeverPublishesALoadableArtifact) {
+  const std::string bytes = OneSectionArtifact();
+  for (size_t keep = 0; keep < bytes.size(); keep += 3) {
+    const std::string path =
+        TempPath("fail_truncate_" + std::to_string(keep) + ".ckpt");
+    fail::InstallPlan({.truncate_on_close = static_cast<int64_t>(keep)});
+    ArtifactWriter writer;
+    writer.AddSection("s", "hello world");
+    // The torn write itself "succeeds" — the filesystem lied.
+    ASSERT_TRUE(writer.WriteFile(path).ok()) << "keep=" << keep;
+    fail::Clear();
+
+    ArtifactReader reader;
+    const Result r = ArtifactReader::Open(path, &reader);
+    EXPECT_FALSE(r.ok()) << "torn file of " << keep << " bytes loaded";
+  }
+}
+
+TEST_F(FailPlanTest, SigkillAfterRenameLeavesAValidArtifact) {
+  const std::string path = TempPath("crash_after_rename.ckpt");
+  EXPECT_EXIT(
+      {
+        fail::InstallPlan({.crash_after_rename_n = 1});
+        ArtifactWriter writer;
+        writer.AddSection("s", "survived the crash");
+        static_cast<void>(writer.WriteFile(path));
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+
+  // The child died right after the commit rename; the artifact it
+  // published must be complete and valid.
+  ArtifactReader reader;
+  const Result r = ArtifactReader::Open(path, &reader);
+  ASSERT_TRUE(r.ok()) << r.ToString();
+  std::string_view payload;
+  ASSERT_TRUE(reader.Section("s", &payload).ok());
+  EXPECT_EQ(payload, "survived the crash");
+}
+
+TEST_F(FailPlanTest, PlanParsesFromEnvironment) {
+  ::setenv("RETIA_FAIL_WRITE_N", "3", 1);
+  ::setenv("RETIA_FAIL_TRUNCATE", "17", 1);
+  ::setenv("RETIA_FAIL_CRASH_AFTER_RENAME", "2", 1);
+  const fail::Plan plan = fail::ReadPlanFromEnv();
+  EXPECT_EQ(plan.fail_write_n, 3);
+  EXPECT_EQ(plan.truncate_on_close, 17);
+  EXPECT_EQ(plan.crash_after_rename_n, 2);
+
+  ::setenv("RETIA_FAIL_WRITE_N", "junk", 1);
+  ::unsetenv("RETIA_FAIL_TRUNCATE");
+  ::unsetenv("RETIA_FAIL_CRASH_AFTER_RENAME");
+  const fail::Plan fallback = fail::ReadPlanFromEnv();
+  EXPECT_EQ(fallback.fail_write_n, 0);
+  EXPECT_EQ(fallback.truncate_on_close, -1);
+  EXPECT_EQ(fallback.crash_after_rename_n, 0);
+  ::unsetenv("RETIA_FAIL_WRITE_N");
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated nn:: shims stay contract-compatible.
+
+class TwoLayer : public nn::Module {
+ public:
+  explicit TwoLayer(util::Rng* rng) : a_(4, 3, rng), b_(3, 2, rng) {
+    RegisterModule("a", &a_);
+    RegisterModule("b", &b_);
+  }
+  nn::Linear a_;
+  nn::Linear b_;
+};
+
+TEST(DeprecatedShimTest, LegacyCheckpointReadersReportInsteadOfAborting) {
+  util::Rng rng(1);
+  TwoLayer src(&rng);
+  const std::string path = TempPath("shim_legacy.ckpt");
+  ASSERT_TRUE(ckpt::WriteLegacyCheckpoint(src, path).ok());
+
+  // Result-based reader on a garbage file: an error, not a CHECK-abort.
+  const std::string garbage = TempPath("shim_garbage.ckpt");
+  ASSERT_TRUE(ckpt::WriteFileDurably(garbage, "definitely not a ckpt").ok());
+  util::Rng rng2(2);
+  TwoLayer dst(&rng2);
+  const Result r = ckpt::ReadLegacyCheckpointInto(&dst, garbage);
+  EXPECT_EQ(r.code(), ErrorCode::kBadMagic);
+
+  // And the real file loads exactly.
+  ASSERT_TRUE(ckpt::ReadLegacyCheckpointInto(&dst, path).ok());
+  EXPECT_EQ(src.a_.weight().impl().data, dst.a_.weight().impl().data);
+}
+
+}  // namespace
+}  // namespace retia

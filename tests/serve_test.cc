@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "ckpt/result.h"
 #include "core/retia.h"
 #include "eval/metrics.h"
 #include "graph/graph_cache.h"
@@ -419,11 +420,12 @@ TEST(ServeSnapshotTest, RoundTripRestoresIdenticalTopK) {
   const int64_t t = dataset.test_times().front();
 
   const std::string prefix = testing::TempDir() + "/serve_snapshot";
-  serve::SaveModelSnapshot(model, prefix, dataset.name());
+  ASSERT_TRUE(serve::SaveModelSnapshot(model, prefix, dataset.name()).ok());
 
   std::string dataset_name;
-  std::unique_ptr<core::RetiaModel> loaded =
-      serve::LoadModelSnapshot(prefix, &dataset_name);
+  std::unique_ptr<core::RetiaModel> loaded;
+  ckpt::Result r = serve::LoadModelSnapshot(prefix, &loaded, &dataset_name);
+  ASSERT_TRUE(r.ok()) << r.ToString();
   EXPECT_EQ(dataset_name, dataset.name());
   EXPECT_FALSE(loaded->training());
   EXPECT_EQ(loaded->config().dim, model.config().dim);
@@ -443,6 +445,39 @@ TEST(ServeSnapshotTest, RoundTripRestoresIdenticalTopK) {
   for (size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(expected[i], actual[i]) << "query " << i;
   }
+}
+
+TEST(ServeSnapshotTest, StaticConstraintTableRoundTrips) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaConfig config = TinyModelConfig(dataset);
+  config.use_static_constraint = true;
+  core::RetiaModel model(config);
+  std::vector<int64_t> types(dataset.num_entities());
+  for (size_t i = 0; i < types.size(); ++i) types[i] = i % 5;
+  model.SetEntityTypes(types, /*num_types=*/5);
+
+  const std::string prefix = testing::TempDir() + "/serve_snapshot_static";
+  ASSERT_TRUE(serve::SaveModelSnapshot(model, prefix, dataset.name()).ok());
+
+  std::unique_ptr<core::RetiaModel> loaded;
+  ckpt::Result r = serve::LoadModelSnapshot(prefix, &loaded);
+  ASSERT_TRUE(r.ok()) << r.ToString();
+  EXPECT_TRUE(loaded->has_entity_types());
+  EXPECT_EQ(loaded->entity_types(), types);
+  EXPECT_EQ(loaded->num_static_types(), 5);
+  // The per-type embedding registered by SetEntityTypes must be part of
+  // the round-trip, not a parameter-count mismatch.
+  EXPECT_EQ(loaded->NumParameters(), model.NumParameters());
+}
+
+TEST(ServeSnapshotTest, LoadFailureIsReportedNotFatal) {
+  std::unique_ptr<core::RetiaModel> loaded;
+  ckpt::Result r =
+      serve::LoadModelSnapshot(testing::TempDir() + "/no_such_prefix",
+                               &loaded);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ckpt::ErrorCode::kIoError);
+  EXPECT_EQ(loaded, nullptr);
 }
 
 TEST(TopKIndicesTest, DeterministicTieBreakByLowerIndex) {

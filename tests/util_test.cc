@@ -1,10 +1,13 @@
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "util/check.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -146,6 +149,78 @@ TEST(TablePrinterTest, NumFormatsAndDashesNegatives) {
   EXPECT_EQ(TablePrinter::Num(45.288), "45.29");
   EXPECT_EQ(TablePrinter::Num(45.288, 1), "45.3");
   EXPECT_EQ(TablePrinter::Num(-1.0), "-");
+}
+
+TEST(RngStateTest, SaveLoadResumesTheExactStream) {
+  Rng src(7);
+  for (int i = 0; i < 123; ++i) src.Normal(1.0f);
+  const std::string state = src.SaveStateString();
+
+  Rng dst(1);  // different seed, fully overwritten by the state load
+  ASSERT_TRUE(dst.LoadStateString(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(src.Uniform(0.0f, 1.0f), dst.Uniform(0.0f, 1.0f));
+    EXPECT_EQ(src.UniformInt(0, 1000), dst.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngStateTest, GarbageStateIsRejectedAndLeavesEngineUntouched) {
+  Rng a(3);
+  Rng b(3);
+  EXPECT_FALSE(a.LoadStateString("not an engine state"));
+  // The failed load must not have disturbed the stream.
+  EXPECT_EQ(a.Uniform(0.0f, 1.0f), b.Uniform(0.0f, 1.0f));
+}
+
+TEST(EnvTest, ParseIntAcceptsIntegersOnly) {
+  int64_t v = -1;
+  EXPECT_TRUE(Env::ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(Env::ParseInt("-7", &v));
+  EXPECT_EQ(v, -7);
+  v = 99;
+  EXPECT_FALSE(Env::ParseInt(nullptr, &v));
+  EXPECT_FALSE(Env::ParseInt("", &v));
+  EXPECT_FALSE(Env::ParseInt("4x", &v));
+  EXPECT_FALSE(Env::ParseInt("abc", &v));
+  EXPECT_EQ(v, 99);  // untouched on failure
+}
+
+TEST(EnvTest, ParseBoolAcceptsCommonSpellings) {
+  bool v = false;
+  EXPECT_TRUE(Env::ParseBool("1", &v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(Env::ParseBool("off", &v));
+  EXPECT_FALSE(v);
+  EXPECT_TRUE(Env::ParseBool("TRUE", &v));
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(Env::ParseBool("no", &v));
+  EXPECT_FALSE(v);
+  EXPECT_FALSE(Env::ParseBool("maybe", &v));
+  EXPECT_FALSE(Env::ParseBool(nullptr, &v));
+}
+
+TEST(EnvTest, TypedAccessorsFallBackOnJunk) {
+  ::setenv("RETIA_TEST_ENV_INT", "17", 1);
+  EXPECT_EQ(Env::IntOr("RETIA_TEST_ENV_INT", 5), 17);
+  ::setenv("RETIA_TEST_ENV_INT", "junk", 1);
+  EXPECT_EQ(Env::IntOr("RETIA_TEST_ENV_INT", 5), 5);
+  ::setenv("RETIA_TEST_ENV_INT", "-3", 1);
+  EXPECT_EQ(Env::PositiveIntOr("RETIA_TEST_ENV_INT", 8), 8);
+  ::unsetenv("RETIA_TEST_ENV_INT");
+  EXPECT_EQ(Env::IntOr("RETIA_TEST_ENV_INT", 5), 5);
+  EXPECT_FALSE(Env::IsSet("RETIA_TEST_ENV_INT"));
+
+  ::setenv("RETIA_TEST_ENV_STR", "hello", 1);
+  EXPECT_EQ(Env::StringOr("RETIA_TEST_ENV_STR", "d"), "hello");
+  ::unsetenv("RETIA_TEST_ENV_STR");
+  EXPECT_EQ(Env::StringOr("RETIA_TEST_ENV_STR", "d"), "d");
+
+  ::setenv("RETIA_TEST_ENV_BOOL", "yes", 1);
+  EXPECT_TRUE(Env::BoolOr("RETIA_TEST_ENV_BOOL", false));
+  ::setenv("RETIA_TEST_ENV_BOOL", "whatever", 1);
+  EXPECT_FALSE(Env::BoolOr("RETIA_TEST_ENV_BOOL", false));
+  ::unsetenv("RETIA_TEST_ENV_BOOL");
 }
 
 }  // namespace
