@@ -11,7 +11,9 @@
 
 #include "core/rgcn.h"
 #include "graph/graph_cache.h"
+#include "nn/optimizer.h"
 #include "par/thread_pool.h"
+#include "simd/simd.h"
 #include "tensor/ops.h"
 #include "tkg/synthetic.h"
 #include "util/check.h"
@@ -29,6 +31,27 @@ Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
   return t;
 }
 
+// Every benchmark labels its rows with the active kernel backend so a JSON
+// dump (scripts/bench_kernels.sh) can attribute numbers to scalar vs
+// avx2/sse2/neon without re-deriving the dispatch decision.
+void LabelBackend(benchmark::State& state) {
+  state.SetLabel(retia::simd::Kernels().name);
+}
+
+// Rate counters: google-benchmark divides kIsRate counters by elapsed
+// seconds, so feeding total flops/bytes across all iterations yields
+// FLOP/s and B/s directly (shown as G/s in the console output).
+void CountFlops(benchmark::State& state, double flops_per_iter) {
+  state.counters["flops"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void CountBytes(benchmark::State& state, double bytes_per_iter) {
+  state.SetBytesProcessed(
+      state.iterations() * static_cast<int64_t>(bytes_per_iter));
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Tensor a = RandomTensor({n, n}, 1);
@@ -38,8 +61,30 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(retia::tensor::MatMul(a, b).Data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  CountFlops(state, 2.0 * static_cast<double>(n) * n * n);
+  LabelBackend(state);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// One-hot-like A (exactly one nonzero per row): decides whether the
+// dedicated sparse GEMM path earns its keep over the dense
+// branch-free kernel. GatherRows-as-matmul is the real workload shape.
+void BM_MatMulOneHot(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = Tensor::Zeros({n, n});
+  retia::util::Rng rng(31);
+  for (int64_t i = 0; i < n; ++i)
+    a.Data()[i * n + rng.UniformInt(0, n - 1)] = 1.0f;
+  Tensor b = RandomTensor({n, n}, 32);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retia::tensor::MatMul(a, b).Data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  CountFlops(state, 2.0 * static_cast<double>(n) * n * n);
+  LabelBackend(state);
+}
+BENCHMARK(BM_MatMulOneHot)->Arg(64)->Arg(128);
 
 void BM_MatMulTransposeB(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -50,6 +95,8 @@ void BM_MatMulTransposeB(benchmark::State& state) {
     benchmark::DoNotOptimize(retia::tensor::MatMulTransposeB(a, b).Data());
   }
   state.SetItemsProcessed(state.iterations() * 256 * n * 32);
+  CountFlops(state, 2.0 * 256.0 * static_cast<double>(n) * 32.0);
+  LabelBackend(state);
 }
 BENCHMARK(BM_MatMulTransposeB)->Arg(256)->Arg(1024);
 
@@ -66,17 +113,54 @@ void BM_GatherScatter(benchmark::State& state) {
         retia::tensor::ScatterAddRows(g, idx, 500).Data());
   }
   state.SetItemsProcessed(state.iterations() * edges * 32);
+  // One gather read + one scatter read-modify-write per row of 32 floats.
+  CountBytes(state, 3.0 * static_cast<double>(edges) * 32 * sizeof(float));
+  LabelBackend(state);
 }
 BENCHMARK(BM_GatherScatter)->Arg(200)->Arg(2000);
 
 void BM_Softmax(benchmark::State& state) {
-  Tensor a = RandomTensor({128, state.range(0)}, 7);
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({128, n}, 7);
   retia::tensor::NoGradGuard guard;
   for (auto _ : state) {
     benchmark::DoNotOptimize(retia::tensor::Softmax(a).Data());
   }
+  CountBytes(state, 2.0 * 128.0 * static_cast<double>(n) * sizeof(float));
+  LabelBackend(state);
 }
 BENCHMARK(BM_Softmax)->Arg(300)->Arg(3000);
+
+// Vectorized elementwise substrate: c = a + b over a flat buffer.
+void BM_ElementwiseAdd(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({n}, 41);
+  Tensor b = RandomTensor({n}, 42);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retia::tensor::Add(a, b).Data());
+  }
+  CountBytes(state, 3.0 * static_cast<double>(n) * sizeof(float));
+  LabelBackend(state);
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+// Full Adam step (bias correction, eps, weight decay) over one flat
+// parameter, exercising the fused simd adam_update kernel.
+void BM_Adam(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor w = RandomTensor({n}, 43);
+  retia::nn::Adam adam({w}, retia::nn::Adam::Options{});
+  w.impl().grad.assign(static_cast<size_t>(n), 1e-3f);
+  for (auto _ : state) {
+    adam.Step();
+    benchmark::DoNotOptimize(w.Data());
+  }
+  // w, g, m, v read; w, m, v written.
+  CountBytes(state, 7.0 * static_cast<double>(n) * sizeof(float));
+  LabelBackend(state);
+}
+BENCHMARK(BM_Adam)->Arg(1 << 14)->Arg(1 << 18);
 
 void BM_HypergraphConstruction(benchmark::State& state) {
   retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(
@@ -175,6 +259,7 @@ void RunThreadSweep(benchmark::State& state, const std::string& name,
       static_cast<double>(iters > 0 ? iters : 1);
   state.counters["threads"] = threads;
   state.counters["bit_identical"] = 1;
+  LabelBackend(state);
   if (threads == 1) {
     SerialBaselineNs()[name] = ns;
   } else if (SerialBaselineNs().count(name) > 0) {

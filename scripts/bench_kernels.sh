@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Kernel-bench baseline: runs bench_micro_kernels twice — forced to the
+# scalar reference backend and under native dispatch (avx2/sse2/neon,
+# whatever the host supports) — and distills both google-benchmark JSON
+# dumps into BENCH_kernels.json at the repo root:
+#
+#   {
+#     "host": {...},
+#     "scalar":  { "<bench>": {ns, gflops, gbps, threads}, ... },
+#     "native":  { "<bench>": {..., backend}, ... },
+#     "speedup_native_vs_scalar": { "<bench>": x.xx, ... }
+#   }
+#
+# The committed BENCH_kernels.json is the pinned baseline the perf
+# acceptance gate reads (docs/PERFORMANCE.md): tensor.gemm at d=128 must
+# hold >= 2x single-thread native-vs-scalar, and no hot kernel may
+# regress below 1.0x without a written justification.
+#
+# Usage: scripts/bench_kernels.sh [build-dir]     (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+BIN="${BUILD}/bench/bench_micro_kernels"
+OUT="${ROOT}/BENCH_kernels.json"
+
+if [ ! -x "${BIN}" ]; then
+  echo "bench_kernels.sh: ${BIN} not built — run:" >&2
+  echo "  cmake -B ${BUILD} -S ${ROOT} && cmake --build ${BUILD} -j --target bench_micro_kernels" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/retia_bench_kernels.XXXXXX")"
+trap 'rm -rf "${TMP}"' EXIT
+
+# The thread-sweep fixtures verify bit-identity internally; the graph
+# fixtures (hypergraph construction, rgcn layers) are not kernel-bound
+# and only add minutes, so the baseline keeps to the kernel rows.
+FILTER='BM_(MatMul|MatMulOneHot|MatMulTransposeB|GatherScatter|Softmax|ElementwiseAdd|Adam|GemmThreadSweep|SoftmaxCrossEntropyThreadSweep|ScatterAddThreadSweep)'
+
+echo "bench_kernels.sh: scalar pass"
+RETIA_SIMD=scalar "${BIN}" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json \
+  --benchmark_out="${TMP}/scalar.json" \
+  --benchmark_out_format=json > /dev/null
+
+echo "bench_kernels.sh: native pass"
+"${BIN}" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_format=json \
+  --benchmark_out="${TMP}/native.json" \
+  --benchmark_out_format=json > /dev/null
+
+python3 - "${TMP}/scalar.json" "${TMP}/native.json" "${OUT}" <<'PY'
+import json
+import sys
+
+scalar_path, native_path, out_path = sys.argv[1:4]
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        row = {
+            "ns_per_iter": round(b["real_time"], 1),
+            "backend": b.get("label", ""),
+        }
+        if "flops" in b:
+            row["gflops"] = round(b["flops"] / 1e9, 2)
+        if "bytes_per_second" in b:
+            row["gbps"] = round(b["bytes_per_second"] / 1e9, 2)
+        if "threads" in b:
+            row["threads"] = int(b["threads"])
+        if "speedup_vs_1t" in b:
+            row["speedup_vs_1t"] = round(b["speedup_vs_1t"], 2)
+        rows[b["name"]] = row
+    ctx = doc.get("context", {})
+    host = {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "build_type": ctx.get("library_build_type"),
+    }
+    return host, rows
+
+
+host, scalar = load(scalar_path)
+_, native = load(native_path)
+
+speedup = {}
+for name, srow in scalar.items():
+    nrow = native.get(name)
+    if nrow and nrow["ns_per_iter"] > 0:
+        speedup[name] = round(srow["ns_per_iter"] / nrow["ns_per_iter"], 2)
+
+result = {
+    "host": host,
+    "scalar": scalar,
+    "native": native,
+    "speedup_native_vs_scalar": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+
+gate = speedup.get("BM_MatMul/128")
+backend = native.get("BM_MatMul/128", {}).get("backend", "?")
+if backend == "scalar":
+    print("bench_kernels.sh: native dispatch resolved to scalar "
+          "(no vector ISA on this host) — speedup gate skipped")
+elif gate is None:
+    sys.exit("bench_kernels.sh: BM_MatMul/128 missing from the run")
+elif gate < 2.0:
+    sys.exit(f"bench_kernels.sh: gemm d=128 native-vs-scalar speedup "
+             f"{gate}x is below the 2x acceptance gate")
+else:
+    print(f"bench_kernels.sh: gemm d=128 {backend} speedup {gate}x "
+          f"(gate: >= 2x)")
+
+slow = {n: s for n, s in speedup.items() if s < 0.95}
+if slow:
+    sys.exit(f"bench_kernels.sh: kernels regress under the native "
+             f"backend: {slow}")
+print(f"bench_kernels.sh: wrote {out_path} ({len(speedup)} kernels, "
+      f"no native regressions)")
+PY

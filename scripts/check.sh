@@ -20,6 +20,18 @@
 #    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
 #    from the surviving artifact, and requires the resumed parameters to
 #    be byte-identical (cmp) to the uninterrupted run.
+# 5. SIMD backend matrix: builds the full tree in Release into build-simd/
+#    and runs the tier-1 ctest suite twice — once under the natively
+#    dispatched backend (avx2/sse2/neon, whatever the host supports) and
+#    once forced to the scalar reference via RETIA_SIMD=scalar. Both runs
+#    must be green: the scalar run proves the legacy-bit-exact fallback
+#    still carries the whole pipeline, the native run proves the vector
+#    kernels hold every invariant the tests pin.
+# 6. UBSan smoke over the vector kernels: builds simd_test and
+#    tensor_property_test with -fsanitize=undefined (no-recover) into
+#    build-ubsan/ and runs them. The exp bit tricks (int add on the
+#    exponent field, shift-by-23, bitcasts) and the unaligned vector
+#    loads are exactly the code UBSan exists for.
 #
 # Usage: scripts/check.sh [build-dir]        (default: <repo>/build-tsan)
 # Also registered as the ctest test `tsan_smoke` when the tree is
@@ -114,3 +126,41 @@ fi
 
 cmp "${SMOKE_DIR}/params_straight.bin" "${SMOKE_DIR}/params_resumed.bin"
 echo "check.sh: resumed parameters byte-identical to the uninterrupted run"
+
+# ---------------------------------------------------------------------------
+# SIMD backend matrix: the tier-1 suite under the native backend and again
+# forced to the scalar reference. One Release tree, two ctest passes — the
+# dispatch decision is runtime (RETIA_SIMD), not compile-time.
+BUILD_SIMD="${ROOT}/build-simd"
+cmake -B "${BUILD_SIMD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRETIA_SMOKE_TSAN=OFF
+
+cmake --build "${BUILD_SIMD}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_SIMD}" --output-on-failure -j "${JOBS}"
+echo "check.sh: tier-1 suite green under the native simd backend"
+
+RETIA_SIMD=scalar \
+  ctest --test-dir "${BUILD_SIMD}" --output-on-failure -j "${JOBS}"
+echo "check.sh: tier-1 suite green under RETIA_SIMD=scalar"
+
+# ---------------------------------------------------------------------------
+# UBSan smoke over the vector kernels. -fno-sanitize-recover=all (set by
+# the RETIA_SANITIZE=undefined branch in CMakeLists.txt) makes the first
+# report fatal, so a green run means zero findings.
+BUILD_UBSAN="${ROOT}/build-ubsan"
+cmake -B "${BUILD_UBSAN}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DRETIA_SANITIZE=undefined \
+  -DRETIA_SMOKE_TSAN=OFF
+
+cmake --build "${BUILD_UBSAN}" -j "${JOBS}" \
+  --target simd_test tensor_property_test
+
+UBSAN_OPTIONS="print_stacktrace=1${UBSAN_OPTIONS:+:${UBSAN_OPTIONS}}" \
+  ctest --test-dir "${BUILD_UBSAN}" -L simd --output-on-failure
+UBSAN_OPTIONS="print_stacktrace=1${UBSAN_OPTIONS:+:${UBSAN_OPTIONS}}" \
+  "${BUILD_UBSAN}/tests/tensor_property_test"
+
+echo "check.sh: simd kernels clean under UndefinedBehaviorSanitizer"

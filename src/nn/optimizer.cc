@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "par/parallel_for.h"
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace retia::nn {
@@ -40,19 +41,14 @@ void Adam::Step() {
     const float* grad = impl.grad.data();
     float* m = m_[i].data();
     float* v = v_[i].data();
-    // Element-parallel: every element's update is independent and uses the
-    // identical serial arithmetic, so sharding cannot change the result.
+    // Element-parallel: every element's update is independent, so sharding
+    // cannot change the result. The scalar backend's adam_update kernel is
+    // the historical serial arithmetic verbatim.
     par::ParallelFor(n, kElementGrain, [&](int64_t j0, int64_t j1) {
-      for (int64_t j = j0; j < j1; ++j) {
-        float g = grad[j];
-        if (options_.weight_decay != 0.0f)
-          g += options_.weight_decay * data[j];
-        m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
-        v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
-        const float mhat = m[j] / bc1;
-        const float vhat = v[j] / bc2;
-        data[j] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
-      }
+      simd::Kernels().adam_update(data + j0, grad + j0, m + j0, v + j0,
+                                  j1 - j0, options_.lr, options_.beta1,
+                                  options_.beta2, options_.eps,
+                                  options_.weight_decay, bc1, bc2);
     });
   }
 }
@@ -89,10 +85,8 @@ float ClipGradNorm(std::vector<tensor::Tensor>& params, float max_norm) {
     total = par::DeterministicReduce<double>(
         n, kElementGrain, total,
         [&](int64_t begin, int64_t end) {
-          double partial = 0.0;
-          for (int64_t j = begin; j < end; ++j)
-            partial += static_cast<double>(grad[j]) * grad[j];
-          return partial;
+          return simd::Kernels().sum_squares_f64(grad.data() + begin,
+                                                 end - begin);
         },
         [](double acc, double partial) { return acc + partial; });
   }
@@ -104,7 +98,8 @@ float ClipGradNorm(std::vector<tensor::Tensor>& params, float max_norm) {
       std::vector<float>& grad = p.impl().grad;
       par::ParallelFor(static_cast<int64_t>(grad.size()), kElementGrain,
                        [&](int64_t j0, int64_t j1) {
-                         for (int64_t j = j0; j < j1; ++j) grad[j] *= scale;
+                         simd::Kernels().scale(grad.data() + j0, scale,
+                                               grad.data() + j0, j1 - j0);
                        });
     }
   }

@@ -44,4 +44,25 @@ void ParallelFor(int64_t n, int64_t grain,
       pool);
 }
 
+void ParallelForTiled(int64_t n, int64_t tile, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& body,
+                      ThreadPool* pool) {
+  RETIA_CHECK(tile >= 1);
+  if (n <= 0) return;
+  // Shard the ceil(n / tile) tile-rows, then scale ranges back to rows;
+  // every boundary lands on a tile multiple except the clamped final end.
+  const int64_t tiles = (n + tile - 1) / tile;
+  const int64_t grain_tiles = (grain + tile - 1) / tile;
+  const int64_t shards = NumShards(tiles, grain_tiles);
+  ParallelShards(
+      shards,
+      [&](int64_t shard) {
+        const Range range = ShardRange(tiles, shards, shard);
+        const int64_t begin = range.begin * tile;
+        const int64_t end = range.end * tile < n ? range.end * tile : n;
+        if (begin < end) body(begin, end);
+      },
+      pool);
+}
+
 }  // namespace retia::par

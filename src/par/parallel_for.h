@@ -51,6 +51,17 @@ void ParallelFor(int64_t n, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body,
                  ThreadPool* pool = nullptr);
 
+// Like ParallelFor, but every range boundary except the final `n` falls on
+// a multiple of `tile`. For register-blocked kernels that process `tile`
+// rows per step (simd's 4-row GEMM micro-kernels), this keeps shard
+// boundaries off the slow 1-row remainder path. Shards are still a pure
+// function of (n, tile, grain) — tile-aligned sharding is a performance
+// knob only, valid for the same disjoint-output bodies as ParallelFor,
+// whose results by contract do not depend on where ranges split.
+void ParallelForTiled(int64_t n, int64_t tile, int64_t grain,
+                      const std::function<void(int64_t, int64_t)>& body,
+                      ThreadPool* pool = nullptr);
+
 // Deterministic reduction: evaluates partial(begin, end) on every fixed
 // shard of [0, n) in parallel, then folds the per-shard partials IN SHARD
 // ORDER on the calling thread:

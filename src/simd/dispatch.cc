@@ -1,0 +1,143 @@
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "simd/simd.h"
+#include "simd/tables.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace retia::simd {
+namespace {
+
+bool NameEquals(const char* a, const char* b) {
+  return std::strcmp(a, b) == 0;
+}
+
+// Resolves RETIA_SIMD against the CPU once, on first use. Malformed or
+// unsupported values warn to stderr and fall back to auto-detection, like
+// the other RETIA_* knobs (util::Env never aborts on junk).
+const KernelTable* ResolveDefaultTable() {
+  Backend backend = BestSupportedBackend();
+  const char* value = util::Env::Raw("RETIA_SIMD");
+  if (value != nullptr && value[0] != '\0') {
+    Backend requested;
+    if (!ParseBackend(value, &requested)) {
+      std::fprintf(stderr,
+                   "[retia] warning: RETIA_SIMD='%s' is not one of "
+                   "off|scalar|native|sse2|avx2|neon; using '%s'\n",
+                   value, BackendName(backend));
+    } else if (!BackendSupported(requested)) {
+      std::fprintf(stderr,
+                   "[retia] warning: RETIA_SIMD='%s' is not supported by "
+                   "this build/CPU; using '%s'\n",
+                   value, BackendName(backend));
+    } else {
+      backend = requested;
+    }
+  }
+  return TableFor(backend);
+}
+
+const KernelTable* DefaultTable() {
+  static const KernelTable* table = ResolveDefaultTable();
+  return table;
+}
+
+// ScopedBackend override; null means "use the resolved default". Atomic
+// so TSan-clean when render/worker threads read it while a test in the
+// main thread owns the only ScopedBackend (swaps while kernels run are
+// documented as unsupported in simd.h).
+std::atomic<const KernelTable*> g_override{nullptr};
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kNeon:
+      return "neon";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable* TableFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return GetScalarTable();
+#if defined(__x86_64__) || defined(_M_X64)
+    case Backend::kSse2:
+      // Part of the x86-64 baseline.
+      return GetSse2Table();
+    case Backend::kAvx2:
+      return (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+                 ? GetAvx2Table()
+                 : nullptr;
+#endif
+#if defined(__aarch64__)
+    case Backend::kNeon:
+      // Advanced SIMD is part of the aarch64 baseline.
+      return GetNeonTable();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+bool BackendSupported(Backend backend) { return TableFor(backend) != nullptr; }
+
+Backend BestSupportedBackend() {
+  for (Backend b : {Backend::kAvx2, Backend::kNeon, Backend::kSse2}) {
+    if (BackendSupported(b)) return b;
+  }
+  return Backend::kScalar;
+}
+
+bool ParseBackend(const char* value, Backend* out) {
+  if (value == nullptr || value[0] == '\0') return false;
+  if (NameEquals(value, "off") || NameEquals(value, "scalar")) {
+    *out = Backend::kScalar;
+    return true;
+  }
+  if (NameEquals(value, "native")) {
+    *out = BestSupportedBackend();
+    return true;
+  }
+  for (Backend b : {Backend::kSse2, Backend::kNeon, Backend::kAvx2}) {
+    if (NameEquals(value, BackendName(b))) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+const KernelTable& Kernels() {
+  const KernelTable* override = g_override.load(std::memory_order_acquire);
+  return override != nullptr ? *override : *DefaultTable();
+}
+
+Backend ActiveBackend() {
+  Backend backend = Backend::kScalar;
+  ParseBackend(Kernels().name, &backend);
+  return backend;
+}
+
+ScopedBackend::ScopedBackend(Backend backend) {
+  const KernelTable* table = TableFor(backend);
+  RETIA_CHECK_MSG(table != nullptr, "ScopedBackend: backend '"
+                                        << BackendName(backend)
+                                        << "' not supported on this CPU");
+  previous_ = g_override.exchange(table, std::memory_order_acq_rel);
+}
+
+ScopedBackend::~ScopedBackend() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace retia::simd

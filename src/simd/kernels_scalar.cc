@@ -1,0 +1,191 @@
+// Scalar reference backend. These are the pre-SIMD serial kernels, kept
+// bit-exact: RETIA_SIMD=scalar must reproduce the historical results of
+// the plain loops in src/tensor and src/nn for finite inputs, so every
+// loop below preserves the original per-element operation order and
+// float/double mixing (float products accumulated into double, float
+// accumulators for the NT dot, std::exp on float vs double arguments).
+
+#include <cmath>
+
+#include "simd/tables.h"
+
+namespace retia::simd {
+namespace {
+
+void AddK(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void SubK(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] - b[i];
+}
+
+void MulK(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+void ScaleK(const float* a, float s, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] * s;
+}
+
+void AddScalarK(const float* a, float c, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + c;
+}
+
+void AxpyK(float alpha, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AccumulateK(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+float ReduceMaxK(const float* x, int64_t n) {
+  float mx = x[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  return mx;
+}
+
+double DotF64K(const float* a, const float* b, int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double SumSquaresF64K(const float* x, int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * x[i];
+  return acc;
+}
+
+void ExpStoreSumK(const float* x, float shift, float* y, double* sum,
+                  int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    y[i] = std::exp(x[i] - shift);
+    acc += y[i];
+  }
+  *sum = acc;
+}
+
+double ExpSumK(const float* x, float shift, int64_t n) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += std::exp(x[i] - shift);
+  return acc;
+}
+
+void ExpShiftStoreK(const float* x, double shift, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i)
+    y[i] = static_cast<float>(std::exp(x[i] - shift));
+}
+
+// Dense ikj GEMM (the historical kernel minus its `av == 0` skip; adding
+// exact-zero products cannot change a finite accumulation, so this stays
+// bit-exact — the skip lives on in GemmNNSparseK).
+void GemmNNK(const float* a, const float* b, const float* /*bp_unused*/,
+             float* out, int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] = 0.0f;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// The historical zero-skipping kernel, for one-hot-like A. Accumulates
+// into a zero-initialized out.
+void GemmNNSparseK(const float* a, const float* b, float* out, int64_t i0,
+                   int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmNTK(const float* a, const float* b, float* out, int64_t i0,
+             int64_t i1, int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] = acc;
+    }
+  }
+}
+
+// `i` stays the outer loop so every out[p,j] accumulates its m
+// contributions in the serial order (see ops_matmul.cc history).
+void GemmTNK(const float* a, const float* g, float* out, int64_t m, int64_t p0,
+             int64_t p1, int64_t k, int64_t n) {
+  for (int64_t p = p0; p < p1; ++p) {
+    float* orow = out + p * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] = 0.0f;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* grow = g + i * n;
+    for (int64_t p = p0; p < p1; ++p) {
+      const float av = arow[p];
+      float* orow = out + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * grow[j];
+    }
+  }
+}
+
+void AdamK(float* w, const float* g, float* m, float* v, int64_t n, float lr,
+           float beta1, float beta2, float eps, float weight_decay, float bc1,
+           float bc2) {
+  for (int64_t j = 0; j < n; ++j) {
+    float gj = g[j];
+    if (weight_decay != 0.0f) gj += weight_decay * w[j];
+    m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
+    v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
+    const float mhat = m[j] / bc1;
+    const float vhat = v[j] / bc2;
+    w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+const KernelTable kScalarTable = {
+    /*name=*/"scalar",
+    /*vector_width=*/1,
+    /*gemm_strip=*/1,
+    /*needs_packed_b=*/false,
+    AddK,
+    SubK,
+    MulK,
+    ScaleK,
+    AddScalarK,
+    AxpyK,
+    AccumulateK,
+    ReduceMaxK,
+    DotF64K,
+    SumSquaresF64K,
+    ExpStoreSumK,
+    ExpSumK,
+    ExpShiftStoreK,
+    GemmNNK,
+    GemmNNSparseK,
+    GemmNTK,
+    GemmTNK,
+    AdamK,
+};
+
+}  // namespace
+
+const KernelTable* GetScalarTable() { return &kScalarTable; }
+
+}  // namespace retia::simd

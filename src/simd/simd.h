@@ -1,0 +1,165 @@
+#ifndef RETIA_SIMD_SIMD_H_
+#define RETIA_SIMD_SIMD_H_
+
+#include <cstdint>
+
+namespace retia::simd {
+
+// Portable fixed-width vectorization layer for the hot-path kernels.
+//
+// Every kernel exists in one scalar reference implementation plus SIMD
+// backends (SSE2/AVX2 on x86-64, NEON on aarch64) selected at runtime by
+// CPU detection, overridable with RETIA_SIMD (see ParseBackend). The
+// scalar backend reproduces the pre-SIMD serial kernels bit-exactly; the
+// SIMD backends obey the determinism contract below.
+//
+// DETERMINISM CONTRACT (extends par/parallel_for.h):
+//  * For a fixed build and backend, every kernel is a pure function of its
+//    inputs: results are bit-identical across thread counts and across
+//    which shard runs where. Reductions fold their vector lanes in a fixed
+//    lane-tree order (pairwise within 128-bit halves, then across halves,
+//    then the scalar tail in index order), never in arrival order.
+//  * Bit-exact across ALL backends: elementwise add/sub/mul/scale/axpy/
+//    accumulate (one correctly-rounded op per element) and reduce_max
+//    (max is order-insensitive for non-NaN data).
+//  * Tolerance-bound against the scalar reference (documented in
+//    docs/PERFORMANCE.md, enforced by tests/simd_test.cc and the
+//    tensor_property_test backend sweep): the GEMM kernels (FMA keeps the
+//    double-rounded products of the scalar path from being reproduced),
+//    the f64 lane-tree reductions (dot_f64, sum_squares_f64), the
+//    polynomial vector exp used by the softmax family, and adam_update.
+struct KernelTable {
+  const char* name;     // "scalar", "sse2", "avx2", "neon"
+  int vector_width;     // floats per vector register (1 for scalar)
+  int gemm_strip;       // GEMM column-strip width (2 * vector_width)
+  bool needs_packed_b;  // GemmNN packs B into strip panels for this table
+
+  // ---- Elementwise (y may alias a and/or b) -------------------------------
+  void (*add)(const float* a, const float* b, float* y, int64_t n);
+  void (*sub)(const float* a, const float* b, float* y, int64_t n);
+  void (*mul)(const float* a, const float* b, float* y, int64_t n);
+  // y = s * a.
+  void (*scale)(const float* a, float s, float* y, int64_t n);
+  // y = a + c.
+  void (*add_scalar)(const float* a, float c, float* y, int64_t n);
+  // y += alpha * x.
+  void (*axpy)(float alpha, const float* x, float* y, int64_t n);
+  // y += x.
+  void (*accumulate)(const float* x, float* y, int64_t n);
+
+  // ---- Reductions (fixed lane-tree fold order) ----------------------------
+  // Max element; n must be >= 1.
+  float (*reduce_max)(const float* x, int64_t n);
+  // sum_i double(a[i] * b[i]): float product, double accumulation.
+  double (*dot_f64)(const float* a, const float* b, int64_t n);
+  // sum_i double(x[i]) * double(x[i]).
+  double (*sum_squares_f64)(const float* x, int64_t n);
+
+  // ---- Softmax building blocks -------------------------------------------
+  // y[i] = exp(x[i] - shift); *sum = lane-tree double sum of the y values.
+  void (*exp_store_sum)(const float* x, float shift, float* y, double* sum,
+                        int64_t n);
+  // Like exp_store_sum without materializing y.
+  double (*exp_sum)(const float* x, float shift, int64_t n);
+  // y[i] = float(exp(x[i] - shift)) with the shift applied at the
+  // backend's precision (double in the scalar reference).
+  void (*exp_shift_store)(const float* x, double shift, float* y, int64_t n);
+
+  // ---- GEMM micro-kernels -------------------------------------------------
+  // All operate on a row range of the OUTPUT and fully overwrite it
+  // (compute-and-store; no dependence on prior output contents), except
+  // gemm_nn_sparse which accumulates into a zero-initialized output. Every
+  // output element always receives its k (resp. m) contributions in
+  // increasing index order, so results never depend on sharding.
+  //
+  // NN: out[i,j] = sum_p A[i,p] B[p,j] for i in [i0,i1). `bp` is the
+  // packed-panel form of B produced by PackB when needs_packed_b is set
+  // (otherwise null and the kernel reads the row-major `b` directly).
+  void (*gemm_nn)(const float* a, const float* b, const float* bp, float* out,
+                  int64_t i0, int64_t i1, int64_t k, int64_t n);
+  // NN over a mostly-zero A: skips zero A elements (exact no-ops under
+  // both plain and fused multiply-add), accumulating into a
+  // zero-initialized out. Bit-identical to gemm_nn for finite inputs.
+  void (*gemm_nn_sparse)(const float* a, const float* b, float* out,
+                         int64_t i0, int64_t i1, int64_t k, int64_t n);
+  // NT: out[i,j] = sum_p A[i,p] B[j,p] for i in [i0,i1); B is [n,k].
+  void (*gemm_nt)(const float* a, const float* b, float* out, int64_t i0,
+                  int64_t i1, int64_t k, int64_t n);
+  // TN: out[p,j] = sum_i A[i,p] G[i,j] for p in [p0,p1); A is [m,k],
+  // G is [m,n], out is [k,n].
+  void (*gemm_tn)(const float* a, const float* g, float* out, int64_t m,
+                  int64_t p0, int64_t p1, int64_t k, int64_t n);
+
+  // ---- Optimizer ----------------------------------------------------------
+  // One Adam step over w[0..n): m = b1*m + (1-b1)*g'; v = b2*v + (1-b2)*g'^2;
+  // w -= lr * (m/bc1) / (sqrt(v/bc2) + eps), g' = g + weight_decay * w.
+  void (*adam_update)(float* w, const float* g, float* m, float* v, int64_t n,
+                      float lr, float beta1, float beta2, float eps,
+                      float weight_decay, float bc1, float bc2);
+};
+
+// Backends in preference order (higher enum value wins when supported).
+enum class Backend { kScalar = 0, kSse2 = 1, kNeon = 2, kAvx2 = 3 };
+
+// Stable lower-case name ("scalar", "sse2", "neon", "avx2").
+const char* BackendName(Backend backend);
+
+// Best backend for the running CPU (compile-time ISA availability plus
+// runtime CPU detection; kScalar is always available).
+Backend BestSupportedBackend();
+
+// True when `backend` is compiled into this binary and the CPU can run it.
+bool BackendSupported(Backend backend);
+
+// Parses a RETIA_SIMD value: off|scalar -> kScalar, native -> best
+// supported, or an explicit backend name. Returns false (leaving *out
+// untouched) for null/empty/unknown values.
+bool ParseBackend(const char* value, Backend* out);
+
+// The active backend: RETIA_SIMD override when set and supported (an
+// unsupported or malformed value warns once and falls back), otherwise
+// BestSupportedBackend(). Resolved once per process.
+Backend ActiveBackend();
+
+// Kernel table of the active backend.
+const KernelTable& Kernels();
+
+// Kernel table for an explicit backend, or null when unsupported.
+const KernelTable* TableFor(Backend backend);
+
+// Test hook: forces `backend` until destruction (CHECK-fails when
+// unsupported). Swap only while no kernels run concurrently — installs a
+// process-wide table, so worker threads mid-kernel would mix backends
+// (individual kernels stay correct; bit-reproducibility claims would not).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  const KernelTable* previous_;
+};
+
+// ---- Whole-matrix GEMM drivers --------------------------------------------
+// Shard the output rows over par::DefaultPool() (fixed problem-size-derived
+// shards, see par/parallel_for.h), pack B when the active backend wants
+// packed panels, and route one-hot-like A matrices (density <= 1/8,
+// decided by an O(mk) scan) to the zero-skipping sparse kernel. All three
+// fully overwrite `out` except the sparse path, which requires `out`
+// zero-initialized — callers pass freshly allocated buffers.
+
+// out[m,n] = A[m,k] * B[k,n].
+void GemmNN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n);
+// out[m,n] = A[m,k] * B[n,k]^T.
+void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n);
+// out[k,n] = A[m,k]^T * G[m,n].
+void GemmTN(const float* a, const float* g, float* out, int64_t m, int64_t k,
+            int64_t n);
+
+}  // namespace retia::simd
+
+#endif  // RETIA_SIMD_SIMD_H_

@@ -1,0 +1,26 @@
+#ifndef RETIA_SIMD_TABLES_H_
+#define RETIA_SIMD_TABLES_H_
+
+#include "simd/simd.h"
+
+// Internal: per-backend table accessors, each defined in its own
+// translation unit so the SIMD ones can be compiled with their ISA flags.
+// dispatch.cc only calls an accessor after confirming the CPU supports the
+// ISA (the accessors themselves must therefore stay trivial).
+
+namespace retia::simd {
+
+const KernelTable* GetScalarTable();
+
+#if defined(__x86_64__) || defined(_M_X64)
+const KernelTable* GetSse2Table();
+const KernelTable* GetAvx2Table();
+#endif
+
+#if defined(__aarch64__)
+const KernelTable* GetNeonTable();
+#endif
+
+}  // namespace retia::simd
+
+#endif  // RETIA_SIMD_TABLES_H_

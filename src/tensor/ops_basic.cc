@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "simd/simd.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
@@ -18,9 +19,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const int64_t n = a.NumElements();
   std::vector<float> out(n);
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] + pb[i];
+  simd::Kernels().add(a.Data(), b.Data(), out.data(), n);
   return MakeOpResult(a.Shape(), std::move(out), {a, b},
                       [a, b](TensorImpl& self) mutable {
                         const int64_t n = self.NumElements();
@@ -35,9 +34,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const int64_t n = a.NumElements();
   std::vector<float> out(n);
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] - pb[i];
+  simd::Kernels().sub(a.Data(), b.Data(), out.data(), n);
   return MakeOpResult(a.Shape(), std::move(out), {a, b},
                       [a, b](TensorImpl& self) mutable {
                         const int64_t n = self.NumElements();
@@ -45,7 +42,9 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                           a.impl().AccumulateGrad(self.grad.data(), n);
                         if (b.RequiresGrad()) {
                           std::vector<float> gb(n);
-                          for (int64_t i = 0; i < n; ++i) gb[i] = -self.grad[i];
+                          // -g == -1.0f * g exactly (sign flip).
+                          simd::Kernels().scale(self.grad.data(), -1.0f,
+                                                gb.data(), n);
                           b.impl().AccumulateGrad(gb.data(), n);
                         }
                       });
@@ -55,23 +54,19 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b);
   const int64_t n = a.NumElements();
   std::vector<float> out(n);
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] * pb[i];
+  simd::Kernels().mul(a.Data(), b.Data(), out.data(), n);
   return MakeOpResult(a.Shape(), std::move(out), {a, b},
                       [a, b](TensorImpl& self) mutable {
                         const int64_t n = self.NumElements();
                         std::vector<float> g(n);
                         if (a.RequiresGrad()) {
-                          const float* pb = b.Data();
-                          for (int64_t i = 0; i < n; ++i)
-                            g[i] = self.grad[i] * pb[i];
+                          simd::Kernels().mul(self.grad.data(), b.Data(),
+                                              g.data(), n);
                           a.impl().AccumulateGrad(g.data(), n);
                         }
                         if (b.RequiresGrad()) {
-                          const float* pa = a.Data();
-                          for (int64_t i = 0; i < n; ++i)
-                            g[i] = self.grad[i] * pa[i];
+                          simd::Kernels().mul(self.grad.data(), a.Data(),
+                                              g.data(), n);
                           b.impl().AccumulateGrad(g.data(), n);
                         }
                       });
@@ -87,7 +82,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   const float* pa = a.Data();
   const float* pb = bias.Data();
   for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) out[i * n + j] = pa[i * n + j] + pb[j];
+    simd::Kernels().add(pa + i * n, pb, out.data() + i * n, n);
   return MakeOpResult(
       a.Shape(), std::move(out), {a, bias},
       [a, bias, m, n](TensorImpl& self) mutable {
@@ -96,7 +91,7 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
         if (bias.RequiresGrad()) {
           std::vector<float> gb(n, 0.0f);
           for (int64_t i = 0; i < m; ++i)
-            for (int64_t j = 0; j < n; ++j) gb[j] += self.grad[i * n + j];
+            simd::Kernels().accumulate(self.grad.data() + i * n, gb.data(), n);
           bias.impl().AccumulateGrad(gb.data(), n);
         }
       });
@@ -105,14 +100,13 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
 Tensor Scale(const Tensor& a, float s) {
   const int64_t n = a.NumElements();
   std::vector<float> out(n);
-  const float* pa = a.Data();
-  for (int64_t i = 0; i < n; ++i) out[i] = pa[i] * s;
+  simd::Kernels().scale(a.Data(), s, out.data(), n);
   return MakeOpResult(a.Shape(), std::move(out), {a},
                       [a, s](TensorImpl& self) mutable {
                         if (!a.RequiresGrad()) return;
                         const int64_t n = self.NumElements();
                         std::vector<float> g(n);
-                        for (int64_t i = 0; i < n; ++i) g[i] = self.grad[i] * s;
+                        simd::Kernels().scale(self.grad.data(), s, g.data(), n);
                         a.impl().AccumulateGrad(g.data(), n);
                       });
 }

@@ -4,6 +4,7 @@
 
 #include "obs/obs.h"
 #include "par/parallel_for.h"
+#include "simd/simd.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
@@ -27,9 +28,7 @@ void ScatterAddRowsKernel(const float* src, const int64_t* idx, int64_t k,
     for (int64_t e = 0; e < k; ++e) {
       const int64_t d = idx[e];
       if (d < owned.begin || d >= owned.end) continue;
-      float* dst = out + d * n;
-      const float* row = src + e * n;
-      for (int64_t j = 0; j < n; ++j) dst[j] += row[j];
+      simd::Kernels().accumulate(src + e * n, out + d * n, n);
     }
   });
 }
@@ -107,15 +106,16 @@ Tensor ScaleRows(const Tensor& a, const std::vector<float>& s) {
   std::vector<float> out(m * n);
   const float* pa = a.Data();
   for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) out[i * n + j] = pa[i * n + j] * s[i];
+    simd::Kernels().scale(pa + i * n, s[i], out.data() + i * n, n);
   auto s_copy = std::make_shared<std::vector<float>>(s);
   return MakeOpResult({m, n}, std::move(out), {a},
                       [a, s_copy, m, n](TensorImpl& self) mutable {
                         if (!a.RequiresGrad()) return;
                         std::vector<float> g(m * n);
                         for (int64_t i = 0; i < m; ++i)
-                          for (int64_t j = 0; j < n; ++j)
-                            g[i * n + j] = self.grad[i * n + j] * (*s_copy)[i];
+                          simd::Kernels().scale(self.grad.data() + i * n,
+                                                (*s_copy)[i],
+                                                g.data() + i * n, n);
                         a.impl().AccumulateGrad(g.data(), m * n);
                       });
 }
@@ -131,7 +131,7 @@ Tensor MulColBroadcast(const Tensor& a, const Tensor& s) {
   const float* pa = a.Data();
   const float* ps = s.Data();
   for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) out[i * n + j] = pa[i * n + j] * ps[i];
+    simd::Kernels().scale(pa + i * n, ps[i], out.data() + i * n, n);
   return MakeOpResult(
       a.Shape(), std::move(out), {a, s},
       [a, s, m, n](TensorImpl& self) mutable {
@@ -139,8 +139,8 @@ Tensor MulColBroadcast(const Tensor& a, const Tensor& s) {
           std::vector<float> ga(m * n);
           const float* ps = s.Data();
           for (int64_t i = 0; i < m; ++i)
-            for (int64_t j = 0; j < n; ++j)
-              ga[i * n + j] = self.grad[i * n + j] * ps[i];
+            simd::Kernels().scale(self.grad.data() + i * n, ps[i],
+                                  ga.data() + i * n, n);
           a.impl().AccumulateGrad(ga.data(), m * n);
         }
         if (s.RequiresGrad()) {

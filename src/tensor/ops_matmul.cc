@@ -1,73 +1,19 @@
 #include "obs/obs.h"
-#include "par/parallel_for.h"
+#include "simd/simd.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
 
-namespace {
-
-// All three GEMM kernels are row-blocked over par::DefaultPool(): each
-// fixed shard owns a contiguous range of OUTPUT rows, so writes are
-// disjoint and every output element is accumulated in exactly the order
-// the serial loop used — results are bit-identical to the serial kernels
-// for every thread count (see par/parallel_for.h).
-
-// out[m,n] += A[m,k] * B[k,n]; plain ikj loop per row block, cache-friendly
-// for the small dense matrices this library works with (embedding dims of
-// 32-256).
-void GemmAccum(const float* a, const float* b, float* out, int64_t m,
-               int64_t k, int64_t n) {
-  par::ParallelFor(m, par::GrainRows(k * n), [&](int64_t row0, int64_t row1) {
-    for (int64_t i = row0; i < row1; ++i) {
-      const float* arow = a + i * k;
-      float* orow = out + i * n;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-// out[m,n] += A[m,k] * B^T where B is [n,k].
-void GemmTransposeBAccum(const float* a, const float* b, float* out, int64_t m,
-                         int64_t k, int64_t n) {
-  par::ParallelFor(m, par::GrainRows(k * n), [&](int64_t row0, int64_t row1) {
-    for (int64_t i = row0; i < row1; ++i) {
-      const float* arow = a + i * k;
-      float* orow = out + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        orow[j] += acc;
-      }
-    }
-  });
-}
-
-// out[k,n] += A^T * G where A is [m,k], G is [m,n]. Sharded over the k
-// output rows; `i` stays the outer loop inside each shard so every
-// out[p,j] accumulates its m contributions in the serial order.
-void GemmTransposeAAccum(const float* a, const float* g, float* out, int64_t m,
-                         int64_t k, int64_t n) {
-  par::ParallelFor(k, par::GrainRows(m * n), [&](int64_t p0, int64_t p1) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      const float* grow = g + i * n;
-      for (int64_t p = p0; p < p1; ++p) {
-        const float av = arow[p];
-        if (av == 0.0f) continue;
-        float* orow = out + p * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * grow[j];
-      }
-    }
-  });
-}
-
-}  // namespace
+// All four GEMM shapes route through the simd::Gemm* drivers: row-blocked
+// register-tiled micro-kernels from the active SIMD backend, sharded over
+// par::DefaultPool() with tile-aligned fixed shards. Each shard owns a
+// contiguous range of OUTPUT rows and every output element accumulates its
+// contributions in a fixed index order, so results are bit-identical for
+// every thread count (see simd/simd.h for the backend determinism
+// contract). The kernels fully overwrite their row range — the
+// std::vector zero fill below is the allocator's only touch of the buffer
+// — except the one-hot-like fast path inside GemmNN, which accumulates
+// into it.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   RETIA_OBS_TIMED_SCOPE("tensor.gemm.us");
@@ -77,20 +23,20 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.Dim(0);
   const int64_t k = a.Dim(1);
   const int64_t n = b.Dim(1);
-  std::vector<float> out(m * n, 0.0f);
-  GemmAccum(a.Data(), b.Data(), out.data(), m, k, n);
+  std::vector<float> out(m * n);
+  simd::GemmNN(a.Data(), b.Data(), out.data(), m, k, n);
   return MakeOpResult(
       {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl& self) mutable {
         // dA = dC * B^T ; dB = A^T * dC.
         RETIA_OBS_TIMED_SCOPE("tensor.gemm_bwd.us");
         if (a.RequiresGrad()) {
-          std::vector<float> ga(m * k, 0.0f);
-          GemmTransposeBAccum(self.grad.data(), b.Data(), ga.data(), m, n, k);
+          std::vector<float> ga(m * k);
+          simd::GemmNT(self.grad.data(), b.Data(), ga.data(), m, n, k);
           a.impl().AccumulateGrad(ga.data(), m * k);
         }
         if (b.RequiresGrad()) {
-          std::vector<float> gb(k * n, 0.0f);
-          GemmTransposeAAccum(a.Data(), self.grad.data(), gb.data(), m, k, n);
+          std::vector<float> gb(k * n);
+          simd::GemmTN(a.Data(), self.grad.data(), gb.data(), m, k, n);
           b.impl().AccumulateGrad(gb.data(), k * n);
         }
       });
@@ -104,36 +50,21 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.Dim(0);
   const int64_t k = a.Dim(1);
   const int64_t n = b.Dim(0);
-  std::vector<float> out(m * n, 0.0f);
-  GemmTransposeBAccum(a.Data(), b.Data(), out.data(), m, k, n);
+  std::vector<float> out(m * n);
+  simd::GemmNT(a.Data(), b.Data(), out.data(), m, k, n);
   return MakeOpResult(
       {m, n}, std::move(out), {a, b}, [a, b, m, k, n](TensorImpl& self) mutable {
         // C = A B^T: dA = dC * B ; dB = dC^T * A.
         RETIA_OBS_TIMED_SCOPE("tensor.gemm_bwd.us");
         if (a.RequiresGrad()) {
-          std::vector<float> ga(m * k, 0.0f);
-          GemmAccum(self.grad.data(), b.Data(), ga.data(), m, n, k);
+          std::vector<float> ga(m * k);
+          simd::GemmNN(self.grad.data(), b.Data(), ga.data(), m, n, k);
           a.impl().AccumulateGrad(ga.data(), m * k);
         }
         if (b.RequiresGrad()) {
-          // dB[j,p] = sum_i dC[i,j] A[i,p]  == (dC^T A). Sharded over the
-          // n rows of dB; `i` stays outer per shard for serial-order sums.
-          std::vector<float> gb(n * k, 0.0f);
-          const float* g = self.grad.data();
-          const float* pa = a.Data();
-          par::ParallelFor(
-              n, par::GrainRows(m * k), [&](int64_t j0, int64_t j1) {
-                for (int64_t i = 0; i < m; ++i) {
-                  const float* grow = g + i * n;
-                  const float* arow = pa + i * k;
-                  for (int64_t j = j0; j < j1; ++j) {
-                    const float gv = grow[j];
-                    if (gv == 0.0f) continue;
-                    float* brow = gb.data() + j * k;
-                    for (int64_t p = 0; p < k; ++p) brow[p] += gv * arow[p];
-                  }
-                }
-              });
+          // dB[j,p] = sum_i dC[i,j] A[i,p] == dC^T * A.
+          std::vector<float> gb(n * k);
+          simd::GemmTN(self.grad.data(), a.Data(), gb.data(), m, n, k);
           b.impl().AccumulateGrad(gb.data(), n * k);
         }
       });

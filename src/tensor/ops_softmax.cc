@@ -3,15 +3,19 @@
 
 #include "obs/obs.h"
 #include "par/parallel_for.h"
+#include "simd/simd.h"
 #include "tensor/ops.h"
 
 namespace retia::tensor {
 
 // The batched softmax / cross-entropy kernels are row-parallel over
-// par::DefaultPool(): every row is written by exactly one fixed shard with
-// the serial per-row arithmetic, and the scalar loss is folded serially in
-// row order from per-row terms — so outputs, losses, and gradients are
-// bit-identical to the serial kernels for every thread count.
+// par::DefaultPool(): every row is written by exactly one fixed shard, and
+// the scalar loss is folded serially in row order from per-row terms — so
+// outputs, losses, and gradients are bit-identical for every thread count.
+// Per-row arithmetic goes through the simd kernel table; the scalar
+// backend reproduces the historical serial loops bit-exactly, the SIMD
+// backends use a polynomial exp and lane-tree sums within the documented
+// tolerance (simd/simd.h).
 
 Tensor Softmax(const Tensor& a) {
   RETIA_OBS_TIMED_SCOPE("tensor.softmax.us");
@@ -21,17 +25,15 @@ Tensor Softmax(const Tensor& a) {
   std::vector<float> out(m * n);
   const float* pa = a.Data();
   par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+    const simd::KernelTable& t = simd::Kernels();
     for (int64_t i = row0; i < row1; ++i) {
       const float* row = pa + i * n;
-      float mx = row[0];
-      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      float* orow = out.data() + i * n;
+      const float mx = t.reduce_max(row, n);
       double denom = 0.0;
-      for (int64_t j = 0; j < n; ++j) {
-        out[i * n + j] = std::exp(row[j] - mx);
-        denom += out[i * n + j];
-      }
+      t.exp_store_sum(row, mx, orow, &denom, n);
       const float inv = static_cast<float>(1.0 / denom);
-      for (int64_t j = 0; j < n; ++j) out[i * n + j] *= inv;
+      t.scale(orow, inv, orow, n);
     }
   });
   return MakeOpResult(
@@ -40,11 +42,11 @@ Tensor Softmax(const Tensor& a) {
         // dx = y * (dy - sum_j dy_j y_j) per row.
         std::vector<float> g(m * n);
         par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+          const simd::KernelTable& t = simd::Kernels();
           for (int64_t i = row0; i < row1; ++i) {
             const float* y = self.data.data() + i * n;
             const float* dy = self.grad.data() + i * n;
-            double dot = 0.0;
-            for (int64_t j = 0; j < n; ++j) dot += dy[j] * y[j];
+            const double dot = t.dot_f64(dy, y, n);
             for (int64_t j = 0; j < n; ++j)
               g[i * n + j] = y[j] * (dy[j] - static_cast<float>(dot));
           }
@@ -61,14 +63,14 @@ Tensor LogSoftmax(const Tensor& a) {
   std::vector<float> out(m * n);
   const float* pa = a.Data();
   par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+    const simd::KernelTable& t = simd::Kernels();
     for (int64_t i = row0; i < row1; ++i) {
       const float* row = pa + i * n;
-      float mx = row[0];
-      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-      double denom = 0.0;
-      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+      const float mx = t.reduce_max(row, n);
+      const double denom = t.exp_sum(row, mx, n);
       const float lse = mx + static_cast<float>(std::log(denom));
-      for (int64_t j = 0; j < n; ++j) out[i * n + j] = row[j] - lse;
+      // row[j] + (-lse) == row[j] - lse exactly.
+      t.add_scalar(row, -lse, out.data() + i * n, n);
     }
   });
   return MakeOpResult(
@@ -134,17 +136,15 @@ Tensor CrossEntropyLogits(const Tensor& logits,
   auto probs = std::make_shared<std::vector<float>>(m * n);
   std::vector<double> row_loss(m);
   par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+    const simd::KernelTable& t = simd::Kernels();
     for (int64_t i = row0; i < row1; ++i) {
       const float* row = pl + i * n;
-      float mx = row[0];
-      for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-      double denom = 0.0;
-      for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+      const float mx = t.reduce_max(row, n);
+      const double denom = t.exp_sum(row, mx, n);
       const double lse = mx + std::log(denom);
       RETIA_CHECK_LT(targets[i], n);
       row_loss[i] = lse - row[targets[i]];
-      for (int64_t j = 0; j < n; ++j)
-        (*probs)[i * n + j] = static_cast<float>(std::exp(row[j] - lse));
+      t.exp_shift_store(row, lse, probs->data() + i * n, n);
     }
   });
   double loss = 0.0;
@@ -159,9 +159,9 @@ Tensor CrossEntropyLogits(const Tensor& logits,
         std::vector<float> g(m * n);
         const float scale = self.grad[0] / static_cast<float>(m);
         par::ParallelFor(m, par::GrainRows(n), [&](int64_t row0, int64_t row1) {
+          const simd::KernelTable& t = simd::Kernels();
           for (int64_t i = row0; i < row1; ++i) {
-            for (int64_t j = 0; j < n; ++j)
-              g[i * n + j] = scale * (*probs)[i * n + j];
+            t.scale(probs->data() + i * n, scale, g.data() + i * n, n);
             g[i * n + (*tgt)[i]] -= scale;
           }
         });

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "simd/simd.h"
+
 namespace retia::tensor {
 
 namespace {
@@ -17,7 +19,7 @@ void TensorImpl::EnsureGrad() {
 void TensorImpl::AccumulateGrad(const float* g, int64_t n) {
   RETIA_CHECK_EQ(static_cast<size_t>(n), data.size());
   EnsureGrad();
-  for (int64_t i = 0; i < n; ++i) grad[i] += g[i];
+  simd::Kernels().accumulate(g, grad.data(), n);
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape, bool requires_grad) {

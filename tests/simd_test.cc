@@ -1,0 +1,443 @@
+#include "simd/simd.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "par/thread_pool.h"
+
+namespace retia::simd {
+namespace {
+
+std::vector<Backend> SupportedBackends() {
+  std::vector<Backend> backends;
+  for (Backend b :
+       {Backend::kScalar, Backend::kSse2, Backend::kNeon, Backend::kAvx2}) {
+    if (BackendSupported(b)) backends.push_back(b);
+  }
+  return backends;
+}
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  std::vector<float> v(static_cast<size_t>(n));
+  uint64_t state = seed * 2654435761u + 1;
+  for (float& x : v) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    x = static_cast<float>(static_cast<uint32_t>(state >> 33)) /
+            4294967295.0f * 4.0f -
+        2.0f;
+  }
+  return v;
+}
+
+void ExpectBitEqual(const std::vector<float>& got,
+                    const std::vector<float>& want, const char* what,
+                    Backend backend) {
+  ASSERT_EQ(got.size(), want.size());
+  EXPECT_EQ(
+      std::memcmp(got.data(), want.data(), got.size() * sizeof(float)), 0)
+      << what << " not bit-identical on backend " << BackendName(backend);
+}
+
+// Sizes straddling every vector width: sub-vector, exact multiples, and
+// odd tails.
+const int64_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 100, 257};
+
+// ---- Dispatch --------------------------------------------------------------
+
+TEST(DispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(BackendSupported(Backend::kScalar));
+  ASSERT_NE(TableFor(Backend::kScalar), nullptr);
+  EXPECT_STREQ(TableFor(Backend::kScalar)->name, "scalar");
+  EXPECT_EQ(TableFor(Backend::kScalar)->vector_width, 1);
+}
+
+TEST(DispatchTest, BestSupportedIsSupported) {
+  EXPECT_TRUE(BackendSupported(BestSupportedBackend()));
+}
+
+TEST(DispatchTest, ParseBackend) {
+  Backend b = Backend::kAvx2;
+  EXPECT_TRUE(ParseBackend("off", &b));
+  EXPECT_EQ(b, Backend::kScalar);
+  EXPECT_TRUE(ParseBackend("scalar", &b));
+  EXPECT_EQ(b, Backend::kScalar);
+  EXPECT_TRUE(ParseBackend("native", &b));
+  EXPECT_EQ(b, BestSupportedBackend());
+  EXPECT_TRUE(ParseBackend("sse2", &b));
+  EXPECT_EQ(b, Backend::kSse2);
+  EXPECT_TRUE(ParseBackend("avx2", &b));
+  EXPECT_EQ(b, Backend::kAvx2);
+  EXPECT_TRUE(ParseBackend("neon", &b));
+  EXPECT_EQ(b, Backend::kNeon);
+
+  b = Backend::kSse2;
+  EXPECT_FALSE(ParseBackend(nullptr, &b));
+  EXPECT_FALSE(ParseBackend("", &b));
+  EXPECT_FALSE(ParseBackend("AVX2", &b));
+  EXPECT_FALSE(ParseBackend("avx512", &b));
+  EXPECT_EQ(b, Backend::kSse2) << "failed parse must leave *out untouched";
+}
+
+TEST(DispatchTest, BackendNameRoundTrips) {
+  for (Backend b : SupportedBackends()) {
+    Backend parsed = Backend::kScalar;
+    EXPECT_TRUE(ParseBackend(BackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
+    EXPECT_STREQ(TableFor(b)->name, BackendName(b));
+  }
+}
+
+TEST(DispatchTest, ScopedBackendOverridesAndRestores) {
+  const Backend before = ActiveBackend();
+  {
+    ScopedBackend guard(Backend::kScalar);
+    EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+    EXPECT_STREQ(Kernels().name, "scalar");
+  }
+  EXPECT_EQ(ActiveBackend(), before);
+}
+
+TEST(DispatchTest, ScopedBackendNests) {
+  const Backend best = BestSupportedBackend();
+  ScopedBackend outer(Backend::kScalar);
+  {
+    ScopedBackend inner(best);
+    EXPECT_EQ(ActiveBackend(), best);
+  }
+  EXPECT_EQ(ActiveBackend(), Backend::kScalar);
+}
+
+TEST(DispatchTest, TableShapesAreConsistent) {
+  for (Backend b : SupportedBackends()) {
+    const KernelTable* t = TableFor(b);
+    ASSERT_NE(t, nullptr);
+    EXPECT_GE(t->vector_width, 1);
+    EXPECT_EQ(t->gemm_strip, b == Backend::kScalar ? 1 : 2 * t->vector_width);
+  }
+}
+
+// ---- Cross-backend bit-exact kernels ---------------------------------------
+
+TEST(BitExactTest, ElementwiseMatchesScalarBitForBit) {
+  const KernelTable* ref = TableFor(Backend::kScalar);
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : kSizes) {
+      const std::vector<float> a = RandVec(n, 7 * n + 1);
+      const std::vector<float> b = RandVec(n, 13 * n + 5);
+      std::vector<float> want(n), got(n);
+
+      ref->add(a.data(), b.data(), want.data(), n);
+      t->add(a.data(), b.data(), got.data(), n);
+      ExpectBitEqual(got, want, "add", backend);
+
+      ref->sub(a.data(), b.data(), want.data(), n);
+      t->sub(a.data(), b.data(), got.data(), n);
+      ExpectBitEqual(got, want, "sub", backend);
+
+      ref->mul(a.data(), b.data(), want.data(), n);
+      t->mul(a.data(), b.data(), got.data(), n);
+      ExpectBitEqual(got, want, "mul", backend);
+
+      ref->scale(a.data(), 0.73f, want.data(), n);
+      t->scale(a.data(), 0.73f, got.data(), n);
+      ExpectBitEqual(got, want, "scale", backend);
+
+      ref->add_scalar(a.data(), -1.375f, want.data(), n);
+      t->add_scalar(a.data(), -1.375f, got.data(), n);
+      ExpectBitEqual(got, want, "add_scalar", backend);
+
+      want = b;
+      got = b;
+      ref->axpy(0.31f, a.data(), want.data(), n);
+      t->axpy(0.31f, a.data(), got.data(), n);
+      ExpectBitEqual(got, want, "axpy", backend);
+
+      want = b;
+      got = b;
+      ref->accumulate(a.data(), want.data(), n);
+      t->accumulate(a.data(), got.data(), n);
+      ExpectBitEqual(got, want, "accumulate", backend);
+
+      const float mref = ref->reduce_max(a.data(), n);
+      const float mgot = t->reduce_max(a.data(), n);
+      EXPECT_EQ(std::memcmp(&mref, &mgot, sizeof(float)), 0)
+          << "reduce_max on " << BackendName(backend) << " n=" << n;
+    }
+  }
+}
+
+TEST(BitExactTest, ElementwiseAllowsAliasedOutput) {
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    const int64_t n = 33;
+    const std::vector<float> a = RandVec(n, 3);
+    std::vector<float> want(n);
+    t->scale(a.data(), 0.5f, want.data(), n);
+    std::vector<float> in_place = a;
+    t->scale(in_place.data(), 0.5f, in_place.data(), n);
+    ExpectBitEqual(in_place, want, "aliased scale", backend);
+  }
+}
+
+// ---- Tolerance-bound kernels ----------------------------------------------
+
+TEST(ToleranceTest, ExpKernelsNearScalar) {
+  const KernelTable* ref = TableFor(Backend::kScalar);
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : kSizes) {
+      std::vector<float> x = RandVec(n, 17 * n + 3);
+      for (int64_t i = 0; i < n; ++i) x[i] *= 20.0f;  // exercise wide range
+      const float shift = ref->reduce_max(x.data(), n);
+
+      std::vector<float> want(n), got(n);
+      double want_sum = 0.0, got_sum = 0.0;
+      ref->exp_store_sum(x.data(), shift, want.data(), &want_sum, n);
+      t->exp_store_sum(x.data(), shift, got.data(), &got_sum, n);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], want[i], 2e-6f * std::abs(want[i]) + 1e-12f)
+            << BackendName(backend) << " exp_store_sum[" << i << "] n=" << n;
+      }
+      EXPECT_NEAR(got_sum, want_sum, 2e-6 * want_sum + 1e-12)
+          << BackendName(backend) << " sum n=" << n;
+
+      EXPECT_NEAR(t->exp_sum(x.data(), shift, n),
+                  ref->exp_sum(x.data(), shift, n), 2e-6 * want_sum + 1e-12)
+          << BackendName(backend) << " exp_sum n=" << n;
+
+      const double lse = shift + std::log(want_sum);
+      ref->exp_shift_store(x.data(), lse, want.data(), n);
+      t->exp_shift_store(x.data(), lse, got.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], want[i], 2e-6f * std::abs(want[i]) + 1e-7f)
+            << BackendName(backend) << " exp_shift_store[" << i << "]";
+      }
+    }
+  }
+}
+
+TEST(ToleranceTest, F64ReductionsNearScalar) {
+  const KernelTable* ref = TableFor(Backend::kScalar);
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : kSizes) {
+      const std::vector<float> a = RandVec(n, 5 * n);
+      const std::vector<float> b = RandVec(n, 11 * n);
+      const double dref = ref->dot_f64(a.data(), b.data(), n);
+      EXPECT_NEAR(t->dot_f64(a.data(), b.data(), n), dref,
+                  1e-9 * (std::abs(dref) + n))
+          << BackendName(backend) << " dot_f64 n=" << n;
+      const double sref = ref->sum_squares_f64(a.data(), n);
+      EXPECT_NEAR(t->sum_squares_f64(a.data(), n), sref, 1e-9 * (sref + n))
+          << BackendName(backend) << " sum_squares n=" << n;
+    }
+  }
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+const GemmShape kGemmShapes[] = {{1, 1, 1},   {2, 3, 2},   {3, 5, 7},
+                                 {4, 8, 16},  {5, 16, 17}, {17, 33, 9},
+                                 {16, 64, 32}, {33, 17, 50}, {64, 128, 64}};
+
+TEST(ToleranceTest, GemmDriversNearScalar) {
+  for (Backend backend : SupportedBackends()) {
+    for (const GemmShape& s : kGemmShapes) {
+      const std::vector<float> a = RandVec(s.m * s.k, s.m * 31 + s.k);
+      const std::vector<float> b_nn = RandVec(s.k * s.n, s.n * 17 + 1);
+      const std::vector<float> b_nt = RandVec(s.n * s.k, s.n * 19 + 2);
+      const std::vector<float> g_tn = RandVec(s.m * s.n, s.m * 23 + 3);
+
+      auto run = [&](Backend use) {
+        ScopedBackend guard(use);
+        std::vector<std::vector<float>> out;
+        out.emplace_back(s.m * s.n);
+        GemmNN(a.data(), b_nn.data(), out.back().data(), s.m, s.k, s.n);
+        out.emplace_back(s.m * s.n);
+        GemmNT(a.data(), b_nt.data(), out.back().data(), s.m, s.k, s.n);
+        out.emplace_back(s.k * s.n);
+        GemmTN(a.data(), g_tn.data(), out.back().data(), s.m, s.k, s.n);
+        return out;
+      };
+      const auto want = run(Backend::kScalar);
+      const auto got = run(backend);
+      const char* names[] = {"NN", "NT", "TN"};
+      for (int v = 0; v < 3; ++v) {
+        ASSERT_EQ(got[v].size(), want[v].size());
+        for (size_t i = 0; i < want[v].size(); ++i) {
+          // FMA vs separate rounding over up to max(m,k) accumulation steps.
+          EXPECT_NEAR(got[v][i], want[v][i],
+                      2e-6f * (std::abs(want[v][i]) + 8.0f))
+              << BackendName(backend) << " Gemm" << names[v] << " m=" << s.m
+              << " k=" << s.k << " n=" << s.n << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+// Packs B exactly as simd::GemmNN's PackB does (layout documented on
+// KernelTable::gemm_nn), so the dense kernel can be invoked directly.
+std::vector<float> PackPanels(const std::vector<float>& b, int64_t k,
+                              int64_t n, int64_t strip) {
+  const int64_t nstrips = n / strip;
+  std::vector<float> packed(static_cast<size_t>(nstrips * k * strip));
+  for (int64_t s = 0; s < nstrips; ++s)
+    for (int64_t p = 0; p < k; ++p)
+      for (int64_t c = 0; c < strip; ++c)
+        packed[(s * k + p) * strip + c] = b[p * n + s * strip + c];
+  return packed;
+}
+
+// The sparse zero-skipping kernel must agree bit-for-bit with the dense
+// kernel of the SAME backend: skipped products are exactly zero, and
+// adding an exact zero never changes a finite accumulator.
+TEST(SparseGemmTest, SparseMatchesDenseBitForBit) {
+  const int64_t m = 23, k = 40;
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : {8, 17, 32, 50}) {
+      std::vector<float> a(m * k, 0.0f);
+      uint64_t state = 12345;
+      for (int64_t i = 0; i < m; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        a[i * k + static_cast<int64_t>((state >> 33) % k)] =
+            static_cast<float>(static_cast<uint32_t>(state)) / 1e9f - 2.0f;
+      }
+      const std::vector<float> b = RandVec(k * n, n + 77);
+      const std::vector<float> packed =
+          PackPanels(b, k, n, t->gemm_strip);
+
+      std::vector<float> dense(m * n, 0.0f);
+      t->gemm_nn(a.data(), b.data(),
+                 t->needs_packed_b ? packed.data() : b.data(), dense.data(),
+                 0, m, k, n);
+      std::vector<float> sparse(m * n, 0.0f);
+      t->gemm_nn_sparse(a.data(), b.data(), sparse.data(), 0, m, k, n);
+      ExpectBitEqual(sparse, dense, "sparse vs dense gemm", backend);
+    }
+  }
+}
+
+// ---- Sharding / thread invariance ------------------------------------------
+
+// Splitting the row range at any point must reproduce the unsplit result
+// bit-for-bit (this is what makes tile-aligned sharding a pure perf knob).
+TEST(DeterminismTest, RowSplitsAreBitInvariant) {
+  const int64_t m = 13, k = 37, n = 29;
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    const std::vector<float> a = RandVec(m * k, 2);
+    const std::vector<float> b = RandVec(k * n, 3);
+    const std::vector<float> packed = PackPanels(b, k, n, t->gemm_strip);
+    const float* bp = t->needs_packed_b ? packed.data() : b.data();
+
+    std::vector<float> whole(m * n);
+    t->gemm_nn(a.data(), b.data(), bp, whole.data(), 0, m, k, n);
+    for (int64_t split : {1, 4, 7, 12}) {
+      std::vector<float> parts(m * n);
+      t->gemm_nn(a.data(), b.data(), bp, parts.data(), 0, split, k, n);
+      t->gemm_nn(a.data(), b.data(), bp, parts.data(), split, m, k, n);
+      ExpectBitEqual(parts, whole, "gemm_nn row split", backend);
+    }
+
+    std::vector<float> whole_nt(m * n);
+    const std::vector<float> bt = RandVec(n * k, 4);
+    t->gemm_nt(a.data(), bt.data(), whole_nt.data(), 0, m, k, n);
+    for (int64_t split : {1, 4, 7, 12}) {
+      std::vector<float> parts(m * n);
+      t->gemm_nt(a.data(), bt.data(), parts.data(), 0, split, k, n);
+      t->gemm_nt(a.data(), bt.data(), parts.data(), split, m, k, n);
+      ExpectBitEqual(parts, whole_nt, "gemm_nt row split", backend);
+    }
+
+    const std::vector<float> g = RandVec(m * n, 5);
+    std::vector<float> whole_tn(k * n);
+    t->gemm_tn(a.data(), g.data(), whole_tn.data(), m, 0, k, k, n);
+    for (int64_t split : {1, 4, 7, 12, 30}) {
+      std::vector<float> parts(k * n);
+      t->gemm_tn(a.data(), g.data(), parts.data(), m, 0, split, k, n);
+      t->gemm_tn(a.data(), g.data(), parts.data(), m, split, k, k, n);
+      ExpectBitEqual(parts, whole_tn, "gemm_tn row split", backend);
+    }
+  }
+}
+
+TEST(DeterminismTest, GemmDriversThreadCountInvariant) {
+  const int64_t m = 200, k = 96, n = 64;
+  const std::vector<float> a = RandVec(m * k, 31);
+  const std::vector<float> b = RandVec(k * n, 32);
+  for (Backend backend : SupportedBackends()) {
+    ScopedBackend guard(backend);
+    auto run = [&](int threads) {
+      par::ThreadPool pool(threads);
+      par::ScopedDefaultPool pool_guard(&pool);
+      std::vector<float> out(m * n);
+      GemmNN(a.data(), b.data(), out.data(), m, k, n);
+      return out;
+    };
+    const std::vector<float> reference = run(1);
+    for (int threads : {2, 8}) {
+      ExpectBitEqual(run(threads), reference, "GemmNN across thread counts",
+                     backend);
+    }
+  }
+}
+
+// The one-hot fast path keeps full-matrix results identical to the dense
+// route through the public driver.
+TEST(SparseGemmTest, DriverOneHotMatchesDense) {
+  const int64_t m = 64, k = 100, n = 48;
+  std::vector<float> onehot(m * k, 0.0f);
+  for (int64_t i = 0; i < m; ++i) onehot[i * k + (i * 13) % k] = 1.5f;
+  const std::vector<float> b = RandVec(k * n, 9);
+  for (Backend backend : SupportedBackends()) {
+    ScopedBackend guard(backend);
+    const KernelTable* t = TableFor(backend);
+    std::vector<float> via_driver(m * n);  // routed to the sparse kernel
+    GemmNN(onehot.data(), b.data(), via_driver.data(), m, k, n);
+    const std::vector<float> packed = PackPanels(b, k, n, t->gemm_strip);
+    std::vector<float> dense(m * n, 0.0f);
+    t->gemm_nn(onehot.data(), b.data(),
+               t->needs_packed_b ? packed.data() : b.data(), dense.data(), 0,
+               m, k, n);
+    ExpectBitEqual(via_driver, dense, "one-hot driver vs dense kernel",
+                   backend);
+  }
+}
+
+TEST(AdamTest, AdamNearScalarAndExactTails) {
+  const KernelTable* ref = TableFor(Backend::kScalar);
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : kSizes) {
+      auto run = [&](const KernelTable* table) {
+        std::vector<float> w = RandVec(n, n + 1);
+        const std::vector<float> g = RandVec(n, n + 2);
+        std::vector<float> m(n, 0.0f), v(n, 0.0f);
+        for (int step = 1; step <= 3; ++step) {
+          const float bc1 = 1.0f - std::pow(0.9f, static_cast<float>(step));
+          const float bc2 = 1.0f - std::pow(0.999f, static_cast<float>(step));
+          table->adam_update(w.data(), g.data(), m.data(), v.data(), n, 0.01f,
+                             0.9f, 0.999f, 1e-8f, 0.001f, bc1, bc2);
+        }
+        return w;
+      };
+      const std::vector<float> want = run(ref);
+      const std::vector<float> got = run(t);
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], want[i], 1e-5f * (std::abs(want[i]) + 1.0f))
+            << BackendName(backend) << " adam n=" << n << " elem " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retia::simd

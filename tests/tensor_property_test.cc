@@ -7,6 +7,7 @@
 
 #include "grad_check.h"
 #include "par/thread_pool.h"
+#include "simd/simd.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -188,6 +189,86 @@ TEST_P(ParallelSerialEquivalence, MatMulAndSoftmaxMatchSerialExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FiftyRandomShapes, ParallelSerialEquivalence,
+                         ::testing::Range<uint64_t>(0, 50));
+
+// ---------------------------------------------------------------------------
+// SIMD-vs-scalar equivalence over the same 50-shape property set: for
+// every supported backend, the full matmul + softmax-cross-entropy
+// forward/backward pipeline must (a) stay within the documented tolerance
+// of the scalar reference, and (b) be bit-identical between 1-thread and
+// 8-thread pools under that backend.
+
+class BackendEquivalenceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendEquivalenceSweep, PipelineNearScalarAndThreadInvariant) {
+  util::Rng rng(GetParam() * 7919 + 1);
+  const int64_t m = 1 + rng.UniformInt(0, 90);
+  const int64_t k = 1 + rng.UniformInt(0, 60);
+  const int64_t n = 1 + rng.UniformInt(0, 90);
+  Tensor a = TestTensor({m, k}, GetParam() * 5 + 1);
+  Tensor b = TestTensor({n, k}, GetParam() * 5 + 2);
+  std::vector<int64_t> targets;
+  for (int64_t i = 0; i < m; ++i) targets.push_back(i % n);
+
+  struct Capture {
+    std::vector<float> logits, soft, loss, ga, gb;
+  };
+  auto run = [&](simd::Backend backend, int threads) {
+    simd::ScopedBackend backend_guard(backend);
+    par::ThreadPool pool(threads);
+    par::ScopedDefaultPool guard(&pool);
+    Tensor logits = MatMulTransposeB(a, b);
+    Tensor loss = CrossEntropyLogits(logits, targets);
+    a.ZeroGrad();
+    b.ZeroGrad();
+    loss.Backward();
+    Capture c;
+    c.logits = logits.impl().data;
+    c.soft = Softmax(logits).impl().data;
+    c.loss = loss.impl().data;
+    c.ga = a.impl().grad;
+    c.gb = b.impl().grad;
+    return c;
+  };
+  const Capture reference = run(simd::Backend::kScalar, 1);
+  auto expect_near = [&](const std::vector<float>& got,
+                         const std::vector<float>& want, const char* what,
+                         simd::Backend backend) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-4f * (std::abs(want[i]) + 1.0f))
+          << what << "[" << i << "] on " << simd::BackendName(backend)
+          << " m=" << m << " k=" << k << " n=" << n;
+    }
+  };
+  auto expect_bytes = [](const std::vector<float>& got,
+                         const std::vector<float>& want, const char* what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    EXPECT_EQ(
+        std::memcmp(got.data(), want.data(), got.size() * sizeof(float)), 0)
+        << what;
+  };
+  for (simd::Backend backend :
+       {simd::Backend::kScalar, simd::Backend::kSse2, simd::Backend::kNeon,
+        simd::Backend::kAvx2}) {
+    if (!simd::BackendSupported(backend)) continue;
+    const Capture serial = run(backend, 1);
+    expect_near(serial.logits, reference.logits, "logits", backend);
+    expect_near(serial.soft, reference.soft, "softmax", backend);
+    expect_near(serial.loss, reference.loss, "loss", backend);
+    expect_near(serial.ga, reference.ga, "grad a", backend);
+    expect_near(serial.gb, reference.gb, "grad b", backend);
+
+    const Capture parallel = run(backend, 8);
+    expect_bytes(parallel.logits, serial.logits, "logits across threads");
+    expect_bytes(parallel.soft, serial.soft, "softmax across threads");
+    expect_bytes(parallel.loss, serial.loss, "loss across threads");
+    expect_bytes(parallel.ga, serial.ga, "grad a across threads");
+    expect_bytes(parallel.gb, serial.gb, "grad b across threads");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftyRandomShapes, BackendEquivalenceSweep,
                          ::testing::Range<uint64_t>(0, 50));
 
 // ---------------------------------------------------------------------------
