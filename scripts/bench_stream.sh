@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Streaming staleness baseline: runs bench_stream (ingest -> per-window
+# fine-tune -> zero-downtime publish over a synthetic event stream) and
+# pins its JSON report as BENCH_stream.json at the repo root:
+#
+#   {
+#     "staleness_us": {"p50": ..., "p95": ..., "max": ...},   per-fact
+#         arrival -> publish latency (the window the fact waited in plus
+#         its window's fine-tune + publish cost),
+#     "finetune_publish_ms_per_window": ...,
+#     "topk_effect": {"rank_before": R, "rank_after": R', ...}  the
+#         acceptance experiment: a fact ingested in the final window must
+#         measurably improve its own (s, r, t) query's rank after one
+#         fine-tune window (bench_stream exits non-zero otherwise).
+#   }
+#
+# The committed BENCH_stream.json is the pinned baseline for
+# docs/STREAMING.md's staleness model. Absolute numbers are
+# machine-dependent; the structural facts (rank_after < rank_before,
+# publishes == windows) are what the pin guards.
+#
+# Usage: scripts/bench_stream.sh [build-dir]     (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+BIN="${BUILD}/bench/bench_stream"
+OUT="${ROOT}/BENCH_stream.json"
+
+if [ ! -x "${BIN}" ]; then
+  echo "bench_stream.sh: ${BIN} not built — run:" >&2
+  echo "  cmake -B ${BUILD} -S ${ROOT} && cmake --build ${BUILD} -j --target bench_stream" >&2
+  exit 1
+fi
+
+echo "bench_stream.sh: streaming staleness pass"
+"${BIN}" > "${OUT}"
+echo "bench_stream.sh: wrote ${OUT}"

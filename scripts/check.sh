@@ -5,21 +5,25 @@
 #    call site must be catalogued in docs/OBSERVABILITY.md (grep-based,
 #    runs before any compile so it fails fast).
 # 2. TSan smoke: builds the concurrency-sensitive test binaries (par_test,
-#    serve_test, obs_test, obs_disabled_test) in Release with
-#    -fsanitize=thread into build-tsan/ and runs the par/serve/obs-labelled
-#    ctest suites under halt_on_error. Zero TSan reports is a hard
-#    requirement: the par::ThreadPool sharding, the ServeEngine drain
-#    ticks, and the obs hot paths (relaxed-atomic metrics, per-thread
-#    trace rings) must be data-race-free, not just bit-identical.
-# 3. ASan ckpt suite: builds ckpt_test and the ckpt_smoke example with
-#    -fsanitize=address into build-asan/ and runs the ckpt-labelled ctest
-#    suite. The artifact parser is fed corrupt and truncated bytes on
-#    purpose, so it runs under ASan to prove the bounds checks hold.
-# 4. Kill-and-resume smoke: trains the synthetic ckpt_smoke dataset to
-#    completion, repeats the run with per-epoch state saves and a
+#    serve_test, stream_test, obs_test, obs_disabled_test) in Release with
+#    -fsanitize=thread into build-tsan/ and runs the
+#    par/serve/obs/stream-labelled ctest suites under halt_on_error. Zero
+#    TSan reports is a hard requirement: the par::ThreadPool sharding, the
+#    ServeEngine drain ticks and snapshot hot-swap epoch pinning, and the
+#    obs hot paths (relaxed-atomic metrics, per-thread trace rings) must
+#    be data-race-free, not just bit-identical.
+# 3. ASan ckpt+stream suites: builds ckpt_test, stream_test, and the
+#    ckpt_smoke / stream_demo examples with -fsanitize=address into
+#    build-asan/ and runs the ckpt- and stream-labelled ctest suites. The
+#    artifact parser is fed corrupt and truncated bytes on purpose, so it
+#    runs under ASan to prove the bounds checks hold.
+# 4. Kill-and-resume smokes: (a) trains the synthetic ckpt_smoke dataset
+#    to completion, repeats the run with per-epoch state saves and a
 #    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
 #    from the surviving artifact, and requires the resumed parameters to
-#    be byte-identical (cmp) to the uninterrupted run.
+#    be byte-identical (cmp) to the uninterrupted run; (b) the same drill
+#    against the streaming pipeline (stream_demo), with the SIGKILL landing
+#    between a window's fine-tune checkpoint and its snapshot publish.
 # 5. SIMD backend matrix: builds the full tree in Release into build-simd/
 #    and runs the tier-1 ctest suite twice — once under the natively
 #    dispatched backend (avx2/sse2/neon, whatever the host supports) and
@@ -76,13 +80,13 @@ cmake -B "${BUILD}" -S "${ROOT}" \
 # Only the concurrency suites: building the whole tree under TSan is slow
 # and the other suites exercise no cross-thread behaviour.
 cmake --build "${BUILD}" -j "${JOBS}" \
-  --target par_test serve_test obs_test obs_disabled_test
+  --target par_test serve_test stream_test obs_test obs_disabled_test
 
 # halt_on_error: the first race fails the run instead of scrolling past.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
-  ctest --test-dir "${BUILD}" -L "par|serve|obs" --output-on-failure
+  ctest --test-dir "${BUILD}" -L "par|serve|obs|stream" --output-on-failure
 
-echo "check.sh: par|serve|obs suites clean under ThreadSanitizer"
+echo "check.sh: par|serve|obs|stream suites clean under ThreadSanitizer"
 
 # ---------------------------------------------------------------------------
 # ASan ckpt suite. The corruption-matrix tests deliberately hand the
@@ -93,12 +97,13 @@ cmake -B "${BUILD_ASAN}" -S "${ROOT}" \
   -DRETIA_SANITIZE=address \
   -DRETIA_SMOKE_TSAN=OFF
 
-cmake --build "${BUILD_ASAN}" -j "${JOBS}" --target ckpt_test ckpt_smoke
+cmake --build "${BUILD_ASAN}" -j "${JOBS}" \
+  --target ckpt_test stream_test ckpt_smoke stream_demo
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:${ASAN_OPTIONS}}" \
-  ctest --test-dir "${BUILD_ASAN}" -L ckpt --output-on-failure
+  ctest --test-dir "${BUILD_ASAN}" -L "ckpt|stream" --output-on-failure
 
-echo "check.sh: ckpt suite clean under AddressSanitizer"
+echo "check.sh: ckpt and stream suites clean under AddressSanitizer"
 
 # ---------------------------------------------------------------------------
 # Kill-and-resume smoke, on the ASan binary so the crash path is
@@ -126,6 +131,34 @@ fi
 
 cmp "${SMOKE_DIR}/params_straight.bin" "${SMOKE_DIR}/params_resumed.bin"
 echo "check.sh: resumed parameters byte-identical to the uninterrupted run"
+
+# ---------------------------------------------------------------------------
+# Streaming kill-and-resume smoke, same protocol against the online
+# pipeline. With a snapshot prefix configured, each fine-tune window
+# performs two atomic renames — the trainer checkpoint, then the serve
+# snapshot — so RETIA_FAIL_CRASH_AFTER_RENAME=5 SIGKILLs the crashy run
+# exactly between window 3's fine-tune checkpoint and its publish: the
+# hardest crash point, where training state and serving state disagree.
+# `resume` restores the checkpoint, republishes, replays the stream, and
+# its parameter dump must be byte-identical to the uninterrupted run.
+STREAM_DIR="$(mktemp -d "${TMPDIR:-/tmp}/retia_stream_smoke.XXXXXX")"
+trap 'rm -rf "${SMOKE_DIR}" "${STREAM_DIR}"' EXIT
+STREAM_BIN="${BUILD_ASAN}/examples/stream_demo"
+
+"${STREAM_BIN}" straight "${STREAM_DIR}"
+
+rc=0
+RETIA_FAIL_CRASH_AFTER_RENAME=5 "${STREAM_BIN}" crashy "${STREAM_DIR}" || rc=$?
+if [ "${rc}" -ne 137 ]; then
+  echo "check.sh: expected the crashy stream run to die with SIGKILL" \
+       "(rc 137), got rc ${rc}" >&2
+  exit 1
+fi
+
+"${STREAM_BIN}" resume "${STREAM_DIR}"
+
+cmp "${STREAM_DIR}/params_straight.bin" "${STREAM_DIR}/params_resumed.bin"
+echo "check.sh: resumed stream parameters byte-identical to the uninterrupted run"
 
 # ---------------------------------------------------------------------------
 # SIMD backend matrix: the tier-1 suite under the native backend and again

@@ -1,7 +1,6 @@
 #include "graph/graph_cache.h"
 
 #include <algorithm>
-#include <set>
 
 #include "util/check.h"
 
@@ -9,12 +8,6 @@ namespace retia::graph {
 
 GraphCache::GraphCache(const tkg::TkgDataset* dataset) : dataset_(dataset) {
   RETIA_CHECK(dataset != nullptr);
-  std::set<int64_t> times;
-  for (const auto* split :
-       {&dataset->train(), &dataset->valid(), &dataset->test()}) {
-    for (const tkg::Quadruple& q : *split) times.insert(q.time);
-  }
-  all_times_.assign(times.begin(), times.end());
 }
 
 const Subgraph& GraphCache::subgraph(int64_t t) {
@@ -39,9 +32,12 @@ const HyperSubgraph& GraphCache::hypergraph(int64_t t) {
 }
 
 std::vector<int64_t> GraphCache::HistoryBefore(int64_t t, int64_t k) const {
-  auto end = std::lower_bound(all_times_.begin(), all_times_.end(), t);
+  // Read the dataset's times live so frontier buckets appended by
+  // retia::stream enter the history window without a cache rebuild.
+  const std::vector<int64_t>& all_times = dataset_->all_times();
+  auto end = std::lower_bound(all_times.begin(), all_times.end(), t);
   auto begin = end;
-  for (int64_t i = 0; i < k && begin != all_times_.begin(); ++i) --begin;
+  for (int64_t i = 0; i < k && begin != all_times.begin(); ++i) --begin;
   return {begin, end};
 }
 

@@ -14,6 +14,14 @@ namespace retia::graph {
 // Lazily-built cache of per-timestamp subgraphs and twin hyperrelation
 // subgraphs for a dataset. Training revisits the same timestamps every
 // epoch, so graph construction (including Algorithm 1) is paid once.
+//
+// Streaming: the cache reads the dataset's fact-bearing timestamps live
+// (TkgDataset::all_times()), so buckets appended at the frontier become
+// visible to HistoryBefore / subgraph without a rebuild. Because the
+// append path only ever adds whole new timestamps, previously built
+// subgraphs stay valid; only a vocabulary growth (GrowVocab) invalidates
+// them — callers rebuild the cache after growing (stream::OnlineTrainer
+// does).
 class GraphCache {
  public:
   explicit GraphCache(const tkg::TkgDataset* dataset);
@@ -33,7 +41,6 @@ class GraphCache {
 
  private:
   const tkg::TkgDataset* dataset_;
-  std::vector<int64_t> all_times_;  // sorted fact-bearing timestamps
   std::map<int64_t, std::unique_ptr<Subgraph>> subgraphs_;
   std::map<int64_t, std::unique_ptr<HyperSubgraph>> hypergraphs_;
 };

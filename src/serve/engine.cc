@@ -58,21 +58,55 @@ ServeEngine::ServeEngine(core::RetiaModel* model,
           }(),
           config) {}
 
+ServeEngine::ServeEngine(EngineSnapshot snapshot, const ServeConfig& config)
+    : ServeEngine(MakeStore(std::move(snapshot)), config) {}
+
 ServeEngine::ServeEngine(std::shared_ptr<FrozenStateStore> store,
                          const ServeConfig& config)
-    : ServeEngine(
-          [store](int64_t t,
-                  const std::vector<std::pair<int64_t, int64_t>>& queries) {
-            return store->model->ScoreObjectsFrozen(*store->StatesFor(t),
-                                                    queries);
-          },
-          [store](int64_t t,
-                  const std::vector<std::pair<int64_t, int64_t>>& queries) {
-            return store->model->ScoreRelationsFrozen(*store->StatesFor(t),
-                                                      queries);
-          },
-          config) {
+    : ServeEngine(eval::ObjectScoreFn(), eval::RelationScoreFn(), config) {
   state_store_ = std::move(store);
+}
+
+std::shared_ptr<ServeEngine::FrozenStateStore> ServeEngine::MakeStore(
+    EngineSnapshot snapshot) {
+  RETIA_CHECK(snapshot.model != nullptr);
+  RETIA_CHECK(snapshot.graph_cache != nullptr);
+  snapshot.model->SetTraining(false);
+  auto store = std::make_shared<FrozenStateStore>();
+  store->model = snapshot.model.get();
+  store->graph_cache = snapshot.graph_cache.get();
+  store->owned_model = std::move(snapshot.model);
+  store->owned_dataset = std::move(snapshot.dataset);
+  store->owned_cache = std::move(snapshot.graph_cache);
+  return store;
+}
+
+std::shared_ptr<ServeEngine::FrozenStateStore> ServeEngine::PinStore() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return state_store_;
+}
+
+void ServeEngine::SwapSnapshot(EngineSnapshot snapshot) {
+  RETIA_CHECK_MSG(PinStore() != nullptr,
+                  "SwapSnapshot on a generic (score-fn) engine");
+  std::shared_ptr<FrozenStateStore> store = MakeStore(std::move(snapshot));
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    // The old store is not freed here: any in-flight batch still holds its
+    // pin and finishes against the old snapshot (old-or-new, never torn).
+    state_store_.swap(store);
+  }
+  // Cached predictions were decoded by the previous snapshot; drop them so
+  // a key is never answered by a mix of epochs. Concurrent Get/Put calls
+  // are safe (the cache locks internally) — a racing Put of an old-epoch
+  // prediction can at worst re-insert one entry that the next swap clears.
+  if (cache_ != nullptr) cache_->Clear();
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+  RETIA_OBS_COUNTER_ADD("serve.snapshot_swaps", 1);
+}
+
+int64_t ServeEngine::snapshot_swaps() const {
+  return snapshot_swaps_.load(std::memory_order_relaxed);
 }
 
 ServeEngine::~ServeEngine() {
@@ -96,12 +130,16 @@ TopKResult ServeEngine::TopKRelation(int64_t s, int64_t o, int64_t t,
 }
 
 void ServeEngine::Warmup(int64_t t) {
-  if (state_store_ != nullptr) state_store_->StatesFor(t);
+  if (std::shared_ptr<FrozenStateStore> store = PinStore(); store != nullptr) {
+    store->StatesFor(t);
+  }
 }
 
 ServeStats ServeEngine::Stats() const {
-  return stats_.Snapshot(cache_ != nullptr ? cache_->Counters()
-                                           : CacheCounters{});
+  ServeStats stats = stats_.Snapshot(cache_ != nullptr ? cache_->Counters()
+                                                       : CacheCounters{});
+  stats.snapshot_swaps = snapshot_swaps();
+  return stats;
 }
 
 void ServeEngine::ResetStats() { stats_.Reset(); }
@@ -194,9 +232,21 @@ void ServeEngine::ProcessBatch(std::vector<Request> batch) {
                           static_cast<int64_t>(wait_ms * 1000.0));
   }
   util::Timer compute_timer;
-  const tensor::Tensor scores = kind == QueryKind::kEntity
-                                    ? object_fn_(t, queries)
-                                    : relation_fn_(t, queries);
+  // Pin the snapshot epoch for the whole batched decode: a concurrent
+  // SwapSnapshot cannot free the model or states under this batch, and
+  // every row of the batch is answered by one consistent snapshot.
+  const std::shared_ptr<FrozenStateStore> store = PinStore();
+  tensor::Tensor scores;
+  if (store != nullptr) {
+    scores = kind == QueryKind::kEntity
+                 ? store->model->ScoreObjectsFrozen(*store->StatesFor(t),
+                                                    queries)
+                 : store->model->ScoreRelationsFrozen(*store->StatesFor(t),
+                                                      queries);
+  } else {
+    scores = kind == QueryKind::kEntity ? object_fn_(t, queries)
+                                        : relation_fn_(t, queries);
+  }
   RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(batch.size()));
   const int64_t n = scores.Dim(1);
   const double compute_ms = compute_timer.Millis();

@@ -8,9 +8,13 @@
 // Ownership / threading contract: the engine owns no threads — drain
 // ticks run as tasks on the shared par::DefaultPool() (or config.pool,
 // which must outlive the engine). TopK()/TopKRelation() are safe to call
-// from any number of client threads concurrently; the borrowed model and
-// GraphCache must outlive the engine and stay frozen while it runs. The
-// destructor blocks until every outstanding request is answered.
+// from any number of client threads concurrently; a borrowed model and
+// GraphCache must outlive the engine and stay frozen while it runs (an
+// EngineSnapshot-constructed or SwapSnapshot-installed snapshot is owned
+// by the engine instead). SwapSnapshot() replaces the served snapshot
+// with zero downtime: in-flight batches finish on the epoch they pinned,
+// everything later decodes against the new one. The destructor blocks
+// until every outstanding request is answered.
 // Request/cache counters, batch-size and queue-wait/compute histograms
 // are exported as `serve.*` metrics (docs/OBSERVABILITY.md) and merged
 // into Stats().ToJson().
@@ -22,6 +26,7 @@
 //   serve::TopKResult top = engine.TopK(subject, relation, t, /*k=*/10);
 //   std::cout << engine.Stats().ToJson() << "\n";
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -67,6 +72,18 @@ struct TopKResult {
   bool cache_hit = false;
 };
 
+// A self-contained frozen snapshot handed to SwapSnapshot(): the engine
+// takes ownership of all three pieces, so the publisher (retia::stream's
+// pipeline) can keep mutating its live model/dataset while the engine
+// serves the copy. `dataset` may be null when `graph_cache` borrows a
+// dataset that outlives the engine; when set, `graph_cache` must be built
+// over it.
+struct EngineSnapshot {
+  std::unique_ptr<core::RetiaModel> model;
+  std::unique_ptr<tkg::TkgDataset> dataset;
+  std::unique_ptr<graph::GraphCache> graph_cache;
+};
+
 // Concurrent batched inference engine over a frozen extrapolation model.
 //
 // Architecture: callers block in TopK()/TopKRelation(). A cache-enabled
@@ -104,9 +121,14 @@ class ServeEngine {
   // const ScoreObjectsFrozen / ScoreRelationsFrozen entry points against
   // states evolved from `graph_cache`'s history (memoized per timestamp).
   // The model is put in eval mode; model and graph_cache must outlive the
-  // engine and must not be mutated while it is running.
+  // engine and must not be mutated while it is running (until the first
+  // SwapSnapshot(), after which they are no longer referenced).
   ServeEngine(core::RetiaModel* model, graph::GraphCache* graph_cache,
               const ServeConfig& config);
+
+  // Engine that owns its snapshot from the start (the streaming pipeline's
+  // construction path). Requires snapshot.model and snapshot.graph_cache.
+  ServeEngine(EngineSnapshot snapshot, const ServeConfig& config);
 
   // Blocks until every outstanding request has been answered and every
   // scheduled drain tick has finished, then detaches from the pool.
@@ -128,6 +150,21 @@ class ServeEngine {
   // engines; a no-op for the generic constructor.
   void Warmup(int64_t t);
 
+  // Zero-downtime snapshot replacement for model-backed engines. The new
+  // snapshot is installed atomically: in-flight batches keep decoding
+  // against the snapshot they pinned at batch start (a shared_ptr epoch —
+  // the old model/cache stay alive until the last pinned batch finishes),
+  // queued and future requests decode against the new one, and no request
+  // is ever dropped or answered from a half-installed snapshot
+  // (old-or-new, never torn). The prediction cache is cleared so no stale
+  // prediction survives the swap. Safe to call from any thread, including
+  // concurrently with TopK/TopKRelation; CHECK-fails on a generic
+  // (score-fn) engine, which has no snapshot to replace.
+  void SwapSnapshot(EngineSnapshot snapshot);
+
+  // Number of SwapSnapshot() installations so far (0 until the first swap).
+  int64_t snapshot_swaps() const;
+
   ServeStats Stats() const;
   void ResetStats();
   const ServeConfig& config() const { return config_; }
@@ -140,10 +177,19 @@ class ServeEngine {
     std::promise<TopKResult> promise;
   };
 
-  // Memoized per-timestamp evolution for the model-backed constructor.
+  // Memoized per-timestamp evolution for the model-backed constructors.
+  // One store is one immutable snapshot epoch: batches pin it with a
+  // shared_ptr for the duration of their decode, and SwapSnapshot replaces
+  // the engine's current store wholesale, so a store's model/cache/states
+  // never change after installation. The `owned_*` members keep a
+  // swapped-in snapshot alive exactly as long as its store; they stay null
+  // for the borrowing constructor.
   struct FrozenStateStore {
     core::RetiaModel* model = nullptr;
     graph::GraphCache* graph_cache = nullptr;
+    std::unique_ptr<core::RetiaModel> owned_model;
+    std::unique_ptr<tkg::TkgDataset> owned_dataset;
+    std::unique_ptr<graph::GraphCache> owned_cache;
     std::mutex mu;
     std::map<int64_t,
              std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>>
@@ -153,11 +199,18 @@ class ServeEngine {
     StatesFor(int64_t t);
   };
 
-  // Binds both score fns to one shared state store (a single store means a
+  // Installs `store` as the initial snapshot epoch (a single store means a
   // single evolution per timestamp and a single lock around the non
   // thread-safe GraphCache).
   ServeEngine(std::shared_ptr<FrozenStateStore> store,
               const ServeConfig& config);
+
+  static std::shared_ptr<FrozenStateStore> MakeStore(EngineSnapshot snapshot);
+
+  // The current snapshot epoch (null for generic engines). Callers hold
+  // the returned shared_ptr across their whole decode so a concurrent swap
+  // cannot free the model under them.
+  std::shared_ptr<FrozenStateStore> PinStore() const;
 
   TopKResult Submit(const CacheKey& key, int64_t k);
   // One scheduled tick: becomes an active drainer if the concurrency cap
@@ -166,9 +219,14 @@ class ServeEngine {
   void ProcessBatch(std::vector<Request> batch);
 
   ServeConfig config_;
-  eval::ObjectScoreFn object_fn_;
+  eval::ObjectScoreFn object_fn_;    // null for model-backed engines
   eval::RelationScoreFn relation_fn_;
-  std::shared_ptr<FrozenStateStore> state_store_;  // null for generic engines
+  // Current snapshot epoch; null for generic engines. Guarded by
+  // store_mu_: readers copy the shared_ptr under the lock (the pin),
+  // SwapSnapshot replaces it under the same lock.
+  std::shared_ptr<FrozenStateStore> state_store_;
+  mutable std::mutex store_mu_;
+  std::atomic<int64_t> snapshot_swaps_{0};
 
   std::unique_ptr<PredictionCache> cache_;  // null when disabled
   StatsRecorder stats_;

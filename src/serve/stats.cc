@@ -48,7 +48,8 @@ std::string ServeStats::ToJson() const {
       << ",\"misses\":" << cache.misses
       << ",\"evictions\":" << cache.evictions
       << ",\"entries\":" << cache.entries
-      << ",\"hit_rate\":" << FormatDouble(cache_hit_rate) << "}}";
+      << ",\"hit_rate\":" << FormatDouble(cache_hit_rate) << "}"
+      << ",\"snapshot_swaps\":" << snapshot_swaps << "}";
   return out.str();
 }
 

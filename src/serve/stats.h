@@ -38,6 +38,11 @@ struct ServeStats {
   CacheCounters cache;  // hits/misses/evictions since engine construction
   double cache_hit_rate = 0.0;
 
+  // SwapSnapshot() installations since engine construction (not reset by
+  // ResetStats: like the cache counters, it describes the engine, not the
+  // observation window).
+  int64_t snapshot_swaps = 0;
+
   // Single-line JSON rendering of every field above.
   std::string ToJson() const;
 };

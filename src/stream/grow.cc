@@ -1,0 +1,71 @@
+#include "stream/grow.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/model_io.h"
+#include "util/check.h"
+
+namespace retia::stream {
+
+std::unique_ptr<core::RetiaModel> CloneModel(const core::RetiaModel& model) {
+  auto clone = std::make_unique<core::RetiaModel>(model.config());
+  if (model.has_entity_types()) {
+    clone->SetEntityTypes(model.entity_types(), model.num_static_types());
+  }
+  const ckpt::Result copied =
+      ckpt::DecodeParamsInto(clone.get(), ckpt::EncodeParams(model));
+  RETIA_CHECK_MSG(copied.ok(),
+                  "CloneModel parameter copy failed: " << copied.ToString());
+  clone->SetTraining(false);
+  return clone;
+}
+
+std::unique_ptr<core::RetiaModel> GrowEntityVocab(
+    const core::RetiaModel& model, int64_t new_num_entities) {
+  core::RetiaConfig config = model.config();
+  RETIA_CHECK_LE(config.num_entities, new_num_entities);
+  RETIA_CHECK_MSG(config.use_eam,
+                  "entity-vocab growth needs the trainable entity channel "
+                  "(config.use_eam); ablated models must reject unseen "
+                  "entities");
+  RETIA_CHECK_MSG(!model.has_entity_types(),
+                  "static-constraint models hold a per-entity type table "
+                  "and cannot grow online; use UnseenPolicy::kReject");
+  const int64_t old_n = config.num_entities;
+  config.num_entities = new_num_entities;
+  auto grown = std::make_unique<core::RetiaModel>(config);
+
+  std::map<std::string, tensor::Tensor> old_params;
+  for (auto& [name, t] : model.NamedParameters()) old_params.emplace(name, t);
+
+  for (auto& [name, dst] : grown->NamedParameters()) {
+    auto it = old_params.find(name);
+    RETIA_CHECK_MSG(it != old_params.end(),
+                    "grown model parameter '" << name
+                                              << "' missing in the source");
+    const tensor::Tensor& src = it->second;
+    std::vector<float>& dst_data = dst.impl().data;
+    const std::vector<float>& src_data = src.impl().data;
+    if (name == "entity_init.table") {
+      // [N, d] row-major: the old rows carry over, the new tail keeps the
+      // grown model's fresh Xavier init.
+      RETIA_CHECK_EQ(src.Dim(0), old_n);
+      RETIA_CHECK_EQ(dst.Dim(0), new_num_entities);
+      RETIA_CHECK_EQ(src.Dim(1), dst.Dim(1));
+      std::copy(src_data.begin(), src_data.end(), dst_data.begin());
+    } else {
+      // Every other parameter is entity-count independent.
+      RETIA_CHECK_MSG(src_data.size() == dst_data.size(),
+                      "parameter '" << name << "' changed shape on growth");
+      dst_data = src_data;
+    }
+  }
+  grown->SetTraining(model.training());
+  return grown;
+}
+
+}  // namespace retia::stream

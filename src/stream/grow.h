@@ -1,0 +1,39 @@
+#ifndef RETIA_STREAM_GROW_H_
+#define RETIA_STREAM_GROW_H_
+
+// Model lifecycle helpers for the streaming path: deep-copying a live
+// RetiaModel into a frozen publishable snapshot, and growing its entity
+// vocabulary when the ingest policy admits unseen entities.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/retia.h"
+
+namespace retia::stream {
+
+// Deep copy: a new RetiaModel with the same config and bit-identical
+// parameters (round-tripped through ckpt::EncodeParams, the same encoding
+// checkpoints use), returned in eval mode and ready for the frozen serving
+// entry points. The static-constraint entity-type table is copied too.
+// The clone's RNG is freshly seeded — irrelevant for serving, which is
+// rng-free.
+std::unique_ptr<core::RetiaModel> CloneModel(const core::RetiaModel& model);
+
+// Grows the entity vocabulary to `new_num_entities` (>= the current count)
+// by rebuilding the model with a larger E_0 table: rows [0, old_n) are
+// copied bit-exactly from `model`, rows [old_n, new_num_entities) keep the
+// grown model's own Xavier-uniform initialization (drawn from its seeded
+// RNG — the documented unseen-entity init, docs/STREAMING.md). Every
+// entity-count-independent parameter is copied bit-exactly.
+//
+// Preconditions (CHECK-enforced): the model must use the trainable entity
+// channel (config.use_eam) and must not carry a static-constraint type
+// table — both hold frozen per-entity state that cannot be grown
+// meaningfully online; such models must reject unseen entities instead.
+std::unique_ptr<core::RetiaModel> GrowEntityVocab(
+    const core::RetiaModel& model, int64_t new_num_entities);
+
+}  // namespace retia::stream
+
+#endif  // RETIA_STREAM_GROW_H_

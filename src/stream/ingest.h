@@ -1,0 +1,122 @@
+#ifndef RETIA_STREAM_INGEST_H_
+#define RETIA_STREAM_INGEST_H_
+
+// retia::stream::StreamIngest — the validated append path from raw event
+// streams into a live TkgDataset.
+//
+// Events arrive as (s, r, o, t) quadruples in arrival order, which is not
+// necessarily timestamp order within the open frontier. The ingester
+// buffers them in per-timestep buckets; a bucket is *sealed* — appended to
+// the dataset as one immutable frontier timestep — once a strictly newer
+// watermark is announced (SealBefore) or the stream is flushed. After
+// sealing, facts for that timestep are late and rejected: a published
+// subgraph never changes, which is what keeps downstream GraphCache
+// entries and serving snapshots consistent.
+//
+// Unseen ids: relations outside the vocabulary are always rejected (the
+// relation schema is fixed online; see docs/STREAMING.md). Entities
+// outside the vocabulary follow the configured UnseenPolicy — reject, or
+// grow the dataset vocabulary (the model side grows via
+// stream::GrowEntityVocab at the next fine-tune window).
+//
+// Threading: not thread-safe; one ingesting thread (the pipeline driver)
+// owns it. Instrumented as `stream.ingest.*` (docs/OBSERVABILITY.md).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tkg/dataset.h"
+
+namespace retia::stream {
+
+// What to do with a fact whose subject/object lies outside the live
+// dataset's entity vocabulary.
+enum class UnseenPolicy {
+  kReject,        // drop the fact, count it as rejected
+  kGrowEntities,  // grow the vocabulary (model grows at the next window)
+};
+
+enum class IngestStatus {
+  kAccepted,
+  kRejectedInvalid,         // negative id or negative timestamp
+  kRejectedLate,            // timestep already sealed
+  kRejectedUnseenEntity,    // policy kReject (or growth cap hit)
+  kRejectedUnseenRelation,  // relation ids never grow online
+};
+
+struct IngestConfig {
+  UnseenPolicy unseen_policy = UnseenPolicy::kReject;
+  // Hard cap on vocabulary growth under kGrowEntities; facts that would
+  // push past it are rejected as unseen.
+  int64_t max_entities = 1 << 20;
+};
+
+struct IngestCounters {
+  int64_t offered = 0;
+  int64_t accepted = 0;
+  int64_t rejected_invalid = 0;
+  int64_t rejected_late = 0;
+  int64_t rejected_unseen_entity = 0;
+  int64_t rejected_unseen_relation = 0;
+  int64_t grown_entities = 0;  // vocabulary slots added
+  int64_t sealed_buckets = 0;
+  int64_t sealed_facts = 0;
+};
+
+// One sealed timestep: the facts appended to the dataset at `time`, plus
+// each fact's arrival clock (obs::NowNs at Offer) so the pipeline can
+// report end-to-end staleness per fact.
+struct SealedBucket {
+  int64_t time = 0;
+  std::vector<tkg::Quadruple> facts;
+  std::vector<int64_t> arrival_ns;
+};
+
+class StreamIngest {
+ public:
+  // `live` is the dataset the sealed buckets are appended to; it must
+  // outlive the ingester. The seal floor starts at the dataset's current
+  // frontier (max_time()), so streamed facts must be strictly newer than
+  // everything the dataset was built with.
+  explicit StreamIngest(tkg::TkgDataset* live, const IngestConfig& config = {});
+
+  // Validates and buffers one event. Accepted facts sit in the open bucket
+  // for their timestep until sealed.
+  IngestStatus Offer(const tkg::Quadruple& q);
+
+  // Offers a batch in order; returns the number accepted.
+  int64_t OfferBatch(const std::vector<tkg::Quadruple>& quads);
+
+  // Seals every buffered bucket with time < t (ascending) and appends each
+  // to the live dataset. `t` becomes the new seal floor even when no
+  // bucket matched: facts older than any announced watermark are late.
+  std::vector<SealedBucket> SealBefore(int64_t t);
+
+  // Seals everything still buffered (end of stream / shutdown).
+  std::vector<SealedBucket> Flush();
+
+  // Newest sealed (appended) timestep, or the dataset's construction-time
+  // frontier when nothing has been sealed yet.
+  int64_t frontier() const { return frontier_; }
+
+  // Facts buffered in open (unsealed) buckets.
+  int64_t pending() const;
+
+  const IngestCounters& counters() const { return counters_; }
+
+ private:
+  IngestStatus Validate(const tkg::Quadruple& q);
+  void Seal(int64_t t, SealedBucket bucket, std::vector<SealedBucket>* out);
+
+  tkg::TkgDataset* live_;
+  IngestConfig config_;
+  int64_t floor_;     // facts must arrive at time > floor_
+  int64_t frontier_;  // newest appended timestep
+  std::map<int64_t, SealedBucket> open_;
+  IngestCounters counters_;
+};
+
+}  // namespace retia::stream
+
+#endif  // RETIA_STREAM_INGEST_H_

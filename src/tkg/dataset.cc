@@ -42,6 +42,36 @@ TkgDataset::TkgDataset(std::string name, int64_t num_entities,
   train_times_ = DistinctTimes(train_);
   valid_times_ = DistinctTimes(valid_);
   test_times_ = DistinctTimes(test_);
+  for (const auto& [t, facts] : by_time_) all_times_.push_back(t);
+}
+
+void TkgDataset::AppendBucket(int64_t t, const std::vector<Quadruple>& facts) {
+  RETIA_CHECK_MSG(t > max_time(),
+                  "AppendBucket(" << t << ") is not past the frontier "
+                                  << max_time()
+                                  << "; buckets seal strictly in time order");
+  RETIA_CHECK(!facts.empty());
+  std::vector<Quadruple>& bucket = by_time_[t];
+  for (Quadruple q : facts) {
+    RETIA_CHECK_EQ(q.time, t);
+    RETIA_CHECK_LE(0, q.subject);
+    RETIA_CHECK_LT(q.subject, num_entities_);
+    RETIA_CHECK_LE(0, q.object);
+    RETIA_CHECK_LT(q.object, num_entities_);
+    RETIA_CHECK_LE(0, q.relation);
+    RETIA_CHECK_LT(q.relation, num_relations_);
+    bucket.push_back(q);
+    streamed_.push_back(q);
+  }
+  streamed_times_.push_back(t);
+  all_times_.push_back(t);  // t > max_time() keeps the vector sorted
+}
+
+void TkgDataset::GrowVocab(int64_t num_entities, int64_t num_relations) {
+  RETIA_CHECK_LE(num_entities_, num_entities);
+  RETIA_CHECK_LE(num_relations_, num_relations);
+  num_entities_ = num_entities;
+  num_relations_ = num_relations;
 }
 
 const std::vector<Quadruple>& TkgDataset::FactsAt(int64_t t) const {

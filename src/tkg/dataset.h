@@ -51,15 +51,47 @@ class TkgDataset {
   const std::vector<Quadruple>& valid() const { return valid_; }
   const std::vector<Quadruple>& test() const { return test_; }
 
-  // All facts at timestamp `t`, across every split. Empty vector when the
-  // timestamp has no facts. Used to build evaluation histories under the
-  // raw protocol (all previously *observed* facts are available as history).
+  // All facts at timestamp `t`, across every split (streamed buckets
+  // included). Empty vector when the timestamp has no facts. Used to build
+  // evaluation histories under the raw protocol (all previously *observed*
+  // facts are available as history).
   const std::vector<Quadruple>& FactsAt(int64_t t) const;
 
   // Sorted list of timestamps that carry at least one fact, per split.
   const std::vector<int64_t>& train_times() const { return train_times_; }
   const std::vector<int64_t>& valid_times() const { return valid_times_; }
   const std::vector<int64_t>& test_times() const { return test_times_; }
+
+  // ---- Streaming append path (src/stream) --------------------------------
+  //
+  // A live dataset is grown at the frontier only: retia::stream seals one
+  // timestep bucket at a time and appends it here, so every timestamp is
+  // appended exactly once and historical subgraphs never change after the
+  // fact (lazily-built GraphCache entries stay valid). Appends are NOT
+  // thread-safe; the stream pipeline serializes them against readers by
+  // only publishing immutable snapshot copies to the serving tier.
+
+  // Appends one sealed bucket of facts, all at timestamp `t`, which must be
+  // strictly greater than every existing timestamp (max_time()). Facts must
+  // respect the current vocabulary bounds.
+  void AppendBucket(int64_t t, const std::vector<Quadruple>& facts);
+
+  // Raises the entity/relation vocabulary bounds (never shrinks). Existing
+  // facts keep their ids; the caller is responsible for growing any model
+  // that scores against this dataset (see stream::GrowEntityVocab).
+  void GrowVocab(int64_t num_entities, int64_t num_relations);
+
+  // Facts appended through AppendBucket, in append order.
+  const std::vector<Quadruple>& streamed() const { return streamed_; }
+  const std::vector<int64_t>& streamed_times() const { return streamed_times_; }
+
+  // Sorted fact-bearing timestamps across every split and streamed bucket.
+  const std::vector<int64_t>& all_times() const { return all_times_; }
+
+  // Newest fact-bearing timestamp, or -1 for an empty dataset.
+  int64_t max_time() const {
+    return all_times_.empty() ? -1 : all_times_.back();
+  }
 
   // Number of distinct timestamps across all splits.
   int64_t num_timestamps() const { return static_cast<int64_t>(by_time_.size()); }
@@ -74,10 +106,13 @@ class TkgDataset {
   std::vector<Quadruple> train_;
   std::vector<Quadruple> valid_;
   std::vector<Quadruple> test_;
+  std::vector<Quadruple> streamed_;
   std::map<int64_t, std::vector<Quadruple>> by_time_;
   std::vector<int64_t> train_times_;
   std::vector<int64_t> valid_times_;
   std::vector<int64_t> test_times_;
+  std::vector<int64_t> streamed_times_;
+  std::vector<int64_t> all_times_;
   std::vector<Quadruple> empty_;
 };
 

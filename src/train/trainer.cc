@@ -187,7 +187,10 @@ std::vector<EpochRecord> Trainer::TrainGeneral() {
   return records_;
 }
 
-ckpt::Result Trainer::SaveState(const std::string& path) const {
+ckpt::Result Trainer::SaveState(
+    const std::string& path,
+    const std::vector<std::pair<std::string, std::string>>& extra_sections)
+    const {
   ckpt::ArtifactWriter writer;
   ckpt::Meta meta = {{"artifact", kTrainerArtifactKind}};
   writer.AddSection(ckpt::kSectionMeta, ckpt::EncodeMeta(meta));
@@ -204,6 +207,9 @@ ckpt::Result Trainer::SaveState(const std::string& path) const {
                       EncodeParamVectors(best_params_));
   }
   writer.AddSection(ckpt::kSectionRecords, EncodeRecords(records_));
+  for (const auto& [name, payload] : extra_sections) {
+    writer.AddSection(name, payload);
+  }
   return writer.WriteFile(path);
 }
 
@@ -302,6 +308,23 @@ ckpt::Result Trainer::ResumeState(const std::string& path) {
   best_params_ = std::move(best_params);
   records_ = std::move(records);
   return ckpt::Result::Ok();
+}
+
+int64_t Trainer::FineTuneOnTimes(const std::vector<int64_t>& times) {
+  RETIA_OBS_TIMED_SCOPE("train.finetune.us");
+  const float general_lr = optimizer_.lr();
+  optimizer_.set_lr(config_.online_lr);
+  int64_t applied = 0;
+  for (int64_t t : times) {
+    for (int64_t step = 0; step < config_.online_steps; ++step) {
+      if (StepOnTimestamp(t, nullptr)) {
+        ++applied;
+        ++online_updates_;
+      }
+    }
+  }
+  optimizer_.set_lr(general_lr);
+  return applied;
 }
 
 eval::EvalResult Trainer::Evaluate(const std::vector<int64_t>& times,

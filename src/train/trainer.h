@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ckpt/result.h"
@@ -89,10 +90,25 @@ class Trainer {
   eval::EvalResult Evaluate(const std::vector<int64_t>& times, bool online,
                             const eval::EvalOptions& options = {});
 
+  // Incremental fine-tuning entry for the streaming path (retia::stream):
+  // applies config.online_steps gradient steps at config.online_lr on each
+  // timestamp of `times` (ascending), without evaluating anything. Exactly
+  // the update rule Evaluate(online=true) applies after each evaluated
+  // timestamp. Returns the number of gradient steps actually applied
+  // (timestamps without facts or history are skipped).
+  int64_t FineTuneOnTimes(const std::vector<int64_t>& times);
+
   // Writes the complete training state (model parameters, Adam moments,
   // model RNG stream, epoch cursor, best-validation parameters, epoch
-  // records) as one atomic RETIACKPT2 artifact.
-  ckpt::Result SaveState(const std::string& path) const;
+  // records) as one atomic RETIACKPT2 artifact. `extra_sections` lets a
+  // caller ride its own cursor along in the same atomic artifact (the
+  // stream pipeline stores its ingest cursor this way); names must not
+  // collide with the standard `ckpt::kSection*` names. ResumeState ignores
+  // unknown sections, so callers read them back through ckpt::ArtifactReader.
+  ckpt::Result SaveState(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& extra_sections =
+          {}) const;
 
   // Restores a SaveState artifact into this trainer. The trainer must
   // wrap a model of the same architecture (parameter names and shapes are

@@ -70,12 +70,32 @@ bool Env::BoolOr(const char* name, bool fallback) {
   return parsed;
 }
 
+double Env::FloatOr(const char* name, double fallback) {
+  const char* v = Raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  double parsed = 0.0;
+  if (!ParseFloat(v, &parsed)) {
+    WarnBadValue(name, v, "a number");
+    return fallback;
+  }
+  return parsed;
+}
+
 bool Env::ParseInt(const char* value, int64_t* out) {
   if (value == nullptr || *value == '\0') return false;
   char* end = nullptr;
   const long long parsed = std::strtoll(value, &end, 10);
   if (end == value || *end != '\0') return false;
   *out = static_cast<int64_t>(parsed);
+  return true;
+}
+
+bool Env::ParseFloat(const char* value, double* out) {
+  if (value == nullptr || *value == '\0') return false;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return false;
+  *out = parsed;
   return true;
 }
 

@@ -33,11 +33,16 @@ class Env {
   // Boolean value: 1/true/yes/on and 0/false/no/off (case-insensitive).
   static bool BoolOr(const char* name, bool fallback);
 
+  // Floating-point value (e.g. RETIA_STREAM_LR); warns and returns
+  // `fallback` on junk.
+  static double FloatOr(const char* name, double fallback);
+
   // Pure parsing helpers (unit-testable without touching the process
   // environment). Return false when `value` is null, empty, or malformed;
   // `*out` is untouched on failure.
   static bool ParseInt(const char* value, int64_t* out);
   static bool ParseBool(const char* value, bool* out);
+  static bool ParseFloat(const char* value, double* out);
 };
 
 }  // namespace retia::util
