@@ -9,9 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/retia.h"
 #include "core/rgcn.h"
 #include "graph/graph_cache.h"
 #include "nn/optimizer.h"
+#include "par/task_graph.h"
 #include "par/thread_pool.h"
 #include "simd/simd.h"
 #include "tensor/ops.h"
@@ -227,8 +229,10 @@ std::map<std::string, double>& SerialBaselineNs() {
   return baselines;
 }
 
-// Runs `kernel` under a `threads`-sized default pool: verifies bit-identity
-// against 1 thread, then times it and records the speedup counter.
+// Runs `kernel` under a `threads`-sized default pool (and a matching
+// inter-op budget, for fixtures that schedule a par::TaskGraph): verifies
+// bit-identity against 1 thread, then times it and records the speedup
+// counter.
 void RunThreadSweep(benchmark::State& state, const std::string& name,
                     const std::function<Tensor()>& kernel) {
   const int threads = static_cast<int>(state.range(0));
@@ -237,10 +241,12 @@ void RunThreadSweep(benchmark::State& state, const std::string& name,
   {
     retia::par::ThreadPool pool(1);
     retia::par::ScopedDefaultPool scoped(&pool);
+    retia::par::ScopedInteropThreads interop(1);
     reference = kernel().impl().data;
   }
   retia::par::ThreadPool pool(threads);
   retia::par::ScopedDefaultPool scoped(&pool);
+  retia::par::ScopedInteropThreads interop(threads);
   const std::vector<float> check = kernel().impl().data;
   RETIA_CHECK_EQ(check.size(), reference.size());
   RETIA_CHECK_MSG(std::memcmp(check.data(), reference.data(),
@@ -295,6 +301,35 @@ void BM_ScatterAddThreadSweep(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_ScatterAddThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Inter-op fixture: one full eval-mode RETIA Evolve over an 8-step history
+// against a FRESH GraphCache per call, so every iteration pays the
+// per-timestep subgraph/hypergraph construction and twin-interact
+// aggregation that the par::TaskGraph overlaps with the recurrent chain
+// (DESIGN.md §12). This row (plus the privatized scatter-add above) is
+// what the thread-sweep acceptance gate in scripts/bench_kernels.sh reads;
+// the bit-identity cross-check doubles as the determinism contract.
+void BM_InterOpTimestepSweep(benchmark::State& state) {
+  static const retia::tkg::TkgDataset* ds = new retia::tkg::TkgDataset(
+      retia::tkg::GenerateSynthetic(retia::tkg::SyntheticConfig::Icews14Like()));
+  static retia::core::RetiaModel* model = [] {
+    retia::core::RetiaConfig config;
+    config.num_entities = ds->num_entities();
+    config.num_relations = ds->num_relations();
+    config.dim = 32;
+    config.history_len = 8;
+    auto* m = new retia::core::RetiaModel(config);
+    m->SetTraining(false);
+    return m;
+  }();
+  std::vector<int64_t> history;
+  for (int64_t t = 0; t < 8; ++t) history.push_back(t);
+  RunThreadSweep(state, "interop_evolve", [&] {
+    retia::graph::GraphCache cache(ds);
+    return model->Evolve(cache, history).back().entities;
+  });
+}
+BENCHMARK(BM_InterOpTimestepSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -5,16 +5,29 @@
 # dumps into BENCH_kernels.json at the repo root:
 #
 #   {
-#     "host": {...},
+#     "host": {...},                      # incl. num_cpus_effective (nproc)
 #     "scalar":  { "<bench>": {ns, gflops, gbps, threads}, ... },
 #     "native":  { "<bench>": {..., backend}, ... },
-#     "speedup_native_vs_scalar": { "<bench>": x.xx, ... }
+#     "speedup_native_vs_scalar": { "<bench>": x.xx, ... },
+#     "thread_sweep": { effective_cpus, gate_enforced, reason,
+#                       "speedups_at_4t": { "<bench>/4": x.xx, ... } }
 #   }
 #
 # The committed BENCH_kernels.json is the pinned baseline the perf
-# acceptance gate reads (docs/PERFORMANCE.md): tensor.gemm at d=128 must
-# hold >= 2x single-thread native-vs-scalar, and no hot kernel may
-# regress below 1.0x without a written justification.
+# acceptance gates read (docs/PERFORMANCE.md): tensor.gemm at d=128 must
+# hold >= 2x single-thread native-vs-scalar, no hot kernel may regress
+# below 1.0x without a written justification, and the inter-op benches
+# (BM_InterOpTimestepSweep, BM_ScatterAddThreadSweep) must show > 1x
+# speedup at 4 threads.
+#
+# The thread-sweep gate is only meaningful when the host actually has the
+# cores: google-benchmark's context.num_cpus can disagree with the cgroup
+# quota, so the script records `nproc` as num_cpus_effective and REFUSES
+# to enforce — or overwrite a previously enforced — thread-sweep gate when
+# the effective count is below 4 (a 4-thread sweep on a 1-core host
+# measures oversubscription, not scaling). Bit-identity across thread
+# counts is still verified on every host: the sweep fixtures abort on any
+# mismatch regardless of core count.
 #
 # Usage: scripts/bench_kernels.sh [build-dir]     (default: <repo>/build)
 set -euo pipefail
@@ -36,7 +49,7 @@ trap 'rm -rf "${TMP}"' EXIT
 # The thread-sweep fixtures verify bit-identity internally; the graph
 # fixtures (hypergraph construction, rgcn layers) are not kernel-bound
 # and only add minutes, so the baseline keeps to the kernel rows.
-FILTER='BM_(MatMul|MatMulOneHot|MatMulTransposeB|GatherScatter|Softmax|ElementwiseAdd|Adam|GemmThreadSweep|SoftmaxCrossEntropyThreadSweep|ScatterAddThreadSweep)'
+FILTER='BM_(MatMul|MatMulOneHot|MatMulTransposeB|GatherScatter|Softmax|ElementwiseAdd|Adam|GemmThreadSweep|SoftmaxCrossEntropyThreadSweep|ScatterAddThreadSweep|InterOpTimestepSweep)'
 
 echo "bench_kernels.sh: scalar pass"
 RETIA_SIMD=scalar "${BIN}" \
@@ -52,11 +65,16 @@ echo "bench_kernels.sh: native pass"
   --benchmark_out="${TMP}/native.json" \
   --benchmark_out_format=json > /dev/null
 
-python3 - "${TMP}/scalar.json" "${TMP}/native.json" "${OUT}" <<'PY'
+EFFECTIVE_CPUS="$(nproc)"
+
+python3 - "${TMP}/scalar.json" "${TMP}/native.json" "${OUT}" \
+    "${EFFECTIVE_CPUS}" <<'PY'
 import json
+import os
 import sys
 
 scalar_path, native_path, out_path = sys.argv[1:4]
+effective_cpus = int(sys.argv[4])
 
 
 def load(path):
@@ -90,6 +108,7 @@ def load(path):
 
 host, scalar = load(scalar_path)
 _, native = load(native_path)
+host["num_cpus_effective"] = effective_cpus
 
 speedup = {}
 for name, srow in scalar.items():
@@ -97,11 +116,68 @@ for name, srow in scalar.items():
     if nrow and nrow["ns_per_iter"] > 0:
         speedup[name] = round(srow["ns_per_iter"] / nrow["ns_per_iter"], 2)
 
+# --- Inter-op thread-sweep gate -------------------------------------------
+# > 1x at 4 threads on the inter-op benches, enforced only on hosts that
+# actually have >= 4 effective cores. On smaller hosts the measured
+# "speedup" is oversubscription noise, so the gate is recorded as not
+# enforced — and a previously enforced gate pinned on a multi-core host is
+# preserved verbatim rather than clobbered by meaningless numbers.
+INTEROP_BENCHES = ["BM_InterOpTimestepSweep/4", "BM_ScatterAddThreadSweep/4"]
+sweep_speedups = {}
+for name in INTEROP_BENCHES:
+    row = native.get(name, {})
+    if "speedup_vs_1t" in row:
+        sweep_speedups[name] = row["speedup_vs_1t"]
+
+thread_sweep = {
+    "effective_cpus": effective_cpus,
+    "speedups_at_4t": sweep_speedups,
+}
+if effective_cpus >= 4:
+    thread_sweep["gate_enforced"] = True
+    thread_sweep["reason"] = (
+        f"host has {effective_cpus} effective CPUs; > 1x at 4 threads "
+        "enforced on the inter-op benches")
+    missing = [n for n in INTEROP_BENCHES if n not in sweep_speedups]
+    if missing:
+        sys.exit(f"bench_kernels.sh: inter-op benches missing from the "
+                 f"native run: {missing}")
+    slow_sweep = {n: s for n, s in sweep_speedups.items() if s <= 1.0}
+    if slow_sweep:
+        sys.exit(f"bench_kernels.sh: inter-op benches below the > 1x "
+                 f"4-thread gate: {slow_sweep}")
+    print(f"bench_kernels.sh: inter-op 4-thread speedups {sweep_speedups} "
+          f"(gate: > 1x)")
+else:
+    thread_sweep["gate_enforced"] = False
+    thread_sweep["reason"] = (
+        f"host reports {effective_cpus} effective CPU(s) (nproc); a "
+        "4-thread sweep here measures oversubscription, not scaling — "
+        "gate not enforced (bit-identity still verified in-process)")
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as f:
+                previous = json.load(f).get("thread_sweep", {})
+        except (OSError, ValueError):
+            previous = {}
+        if previous.get("gate_enforced"):
+            print("bench_kernels.sh: single-core host — preserving the "
+                  "previously enforced thread-sweep gate "
+                  f"(pinned at {previous.get('effective_cpus')} CPUs)")
+            thread_sweep = previous
+        else:
+            print("bench_kernels.sh: single-core host — thread-sweep gate "
+                  "recorded as not enforced")
+    else:
+        print("bench_kernels.sh: single-core host — thread-sweep gate "
+              "recorded as not enforced")
+
 result = {
     "host": host,
     "scalar": scalar,
     "native": native,
     "speedup_native_vs_scalar": speedup,
+    "thread_sweep": thread_sweep,
 }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)

@@ -5,18 +5,28 @@
 #    call site must be catalogued in docs/OBSERVABILITY.md (grep-based,
 #    runs before any compile so it fails fast).
 # 2. TSan smoke: builds the concurrency-sensitive test binaries (par_test,
-#    serve_test, stream_test, obs_test, obs_disabled_test) in Release with
-#    -fsanitize=thread into build-tsan/ and runs the
-#    par/serve/obs/stream-labelled ctest suites under halt_on_error. Zero
-#    TSan reports is a hard requirement: the par::ThreadPool sharding, the
-#    ServeEngine drain ticks and snapshot hot-swap epoch pinning, and the
-#    obs hot paths (relaxed-atomic metrics, per-thread trace rings) must
-#    be data-race-free, not just bit-identical.
-# 3. ASan ckpt+stream suites: builds ckpt_test, stream_test, and the
-#    ckpt_smoke / stream_demo examples with -fsanitize=address into
-#    build-asan/ and runs the ckpt- and stream-labelled ctest suites. The
-#    artifact parser is fed corrupt and truncated bytes on purpose, so it
-#    runs under ASan to prove the bounds checks hold.
+#    par_task_graph_test, serve_test, stream_test, obs_test,
+#    obs_disabled_test) in Release with -fsanitize=thread into build-tsan/
+#    and runs the par/serve/obs/stream-labelled ctest suites under
+#    halt_on_error. Zero TSan reports is a hard requirement: the
+#    par::ThreadPool sharding, the TaskGraph inter-op scheduler (randomized
+#    DAGs, nested submission, concurrent failures), the ServeEngine drain
+#    ticks, per-timestamp once-semantics state entries and snapshot
+#    hot-swap epoch pinning, and the obs hot paths (relaxed-atomic metrics,
+#    per-thread trace rings) must be data-race-free, not just
+#    bit-identical.
+# 3. ASan ckpt+stream+par suites: builds ckpt_test, stream_test, par_test,
+#    par_task_graph_test, and the ckpt_smoke / stream_demo examples with
+#    -fsanitize=address into build-asan/ and runs the ckpt-, stream-, and
+#    par-labelled ctest suites. The artifact parser is fed corrupt and
+#    truncated bytes on purpose, and the task-graph stress tests throw
+#    through runner teardown, so both run under ASan to prove the bounds
+#    checks and lifetimes hold.
+# 3b. Bench-gate cross-check: validates the committed BENCH_kernels.json
+#    thread-sweep block against its own host record — a multi-core pin
+#    must have the gate enforced with > 1x 4-thread speedups on the
+#    inter-op benches; a single-core pin must say so instead of
+#    pretending (scripts/bench_kernels.sh writes the block).
 # 4. Kill-and-resume smokes: (a) trains the synthetic ckpt_smoke dataset
 #    to completion, repeats the run with per-epoch state saves and a
 #    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
@@ -80,7 +90,8 @@ cmake -B "${BUILD}" -S "${ROOT}" \
 # Only the concurrency suites: building the whole tree under TSan is slow
 # and the other suites exercise no cross-thread behaviour.
 cmake --build "${BUILD}" -j "${JOBS}" \
-  --target par_test serve_test stream_test obs_test obs_disabled_test
+  --target par_test par_task_graph_test serve_test stream_test obs_test \
+           obs_disabled_test
 
 # halt_on_error: the first race fails the run instead of scrolling past.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
@@ -98,12 +109,61 @@ cmake -B "${BUILD_ASAN}" -S "${ROOT}" \
   -DRETIA_SMOKE_TSAN=OFF
 
 cmake --build "${BUILD_ASAN}" -j "${JOBS}" \
-  --target ckpt_test stream_test ckpt_smoke stream_demo
+  --target ckpt_test stream_test par_test par_task_graph_test ckpt_smoke \
+           stream_demo
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:${ASAN_OPTIONS}}" \
-  ctest --test-dir "${BUILD_ASAN}" -L "ckpt|stream" --output-on-failure
+  ctest --test-dir "${BUILD_ASAN}" -L "ckpt|stream|par" --output-on-failure
 
-echo "check.sh: ckpt and stream suites clean under AddressSanitizer"
+echo "check.sh: ckpt, stream, and par suites clean under AddressSanitizer"
+
+# ---------------------------------------------------------------------------
+# Bench-gate cross-check: the committed thread-sweep gate must be
+# internally consistent with the host it was pinned on.
+python3 - "${ROOT}/BENCH_kernels.json" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+host = doc.get("host", {})
+sweep = doc.get("thread_sweep")
+if sweep is None:
+    sys.exit(f"check.sh: {path} has no thread_sweep block — re-pin with "
+             "scripts/bench_kernels.sh")
+if "num_cpus_effective" not in host:
+    sys.exit(f"check.sh: {path} host block lacks num_cpus_effective")
+
+cpus = sweep.get("effective_cpus")
+enforced = sweep.get("gate_enforced")
+speedups = sweep.get("speedups_at_4t", {})
+REQUIRED = ["BM_InterOpTimestepSweep/4", "BM_ScatterAddThreadSweep/4"]
+
+if cpus is None or enforced is None or not sweep.get("reason"):
+    sys.exit("check.sh: thread_sweep block is missing effective_cpus, "
+             "gate_enforced, or reason")
+if cpus >= 4:
+    if not enforced:
+        sys.exit(f"check.sh: pinned on a {cpus}-CPU host but the "
+                 "thread-sweep gate is not enforced — re-pin")
+    missing = [n for n in REQUIRED if n not in speedups]
+    if missing:
+        sys.exit(f"check.sh: enforced gate lacks inter-op rows: {missing}")
+    slow = {n: s for n, s in speedups.items() if s <= 1.0}
+    if slow:
+        sys.exit(f"check.sh: enforced gate pinned with <= 1x 4-thread "
+                 f"speedups: {slow}")
+    print(f"check.sh: thread-sweep gate enforced ({cpus} CPUs, "
+          f"{speedups})")
+else:
+    if enforced:
+        sys.exit(f"check.sh: gate claims enforcement on a {cpus}-CPU "
+                 "host — bench_kernels.sh would never pin that")
+    print(f"check.sh: thread-sweep gate correctly recorded as not "
+          f"enforced ({cpus} effective CPU(s))")
+PY
 
 # ---------------------------------------------------------------------------
 # Kill-and-resume smoke, on the ASan binary so the crash path is

@@ -55,6 +55,11 @@ class EvolutionModel : public nn::Module {
   // Length k of the history window the model was configured for.
   virtual int64_t history_len() const = 0;
 
+  // Whether Evolve consumes twin hyperrelation subgraphs in addition to
+  // the per-timestamp subgraphs. Pipelines use this to prefetch the right
+  // snapshot flavour (GraphCache::Prefetch) ahead of the recurrent chain.
+  virtual bool uses_hypergraphs() const { return false; }
+
   // The RNG stream the model consumes during training (dropout etc.), or
   // nullptr for RNG-free models. train::Trainer persists and restores it
   // through retia::ckpt so a resumed run replays the exact dropout masks

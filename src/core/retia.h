@@ -112,6 +112,10 @@ class RetiaModel : public EvolutionModel {
 
   int64_t history_len() const override { return config_.history_len; }
 
+  bool uses_hypergraphs() const override {
+    return config_.use_ram && config_.relation_mode == RelationMode::kMpLstmAgg;
+  }
+
   // Installs the static typing information consumed by the static-graph
   // constraint: types[e] in [0, num_types) for every entity. Requires
   // config.use_static_constraint.
@@ -139,12 +143,25 @@ class RetiaModel : public EvolutionModel {
       const std::vector<std::pair<int64_t, int64_t>>& queries,
       util::Rng* rng) const;
 
+  // Index plan of one mean pooling (gather src rows, scale by 1/degree,
+  // scatter-add into dst rows of a [dst_rows, d] output). A plan depends
+  // on graph structure only — no embeddings, no RNG — so the inter-op
+  // pipeline builds the plans of future timesteps while the recurrent
+  // chain is still evolving earlier ones (DESIGN.md §12).
+  struct PoolPlan {
+    std::vector<int64_t> src_idx;
+    std::vector<int64_t> dst_idx;
+    std::vector<float> weights;
+    int64_t dst_rows = 0;
+  };
+
   // TIM Eq. 7: mean pooling of adjacent entity embeddings per relation.
-  tensor::Tensor MeanPoolEntities(const tensor::Tensor& entities,
-                                  const graph::Subgraph& g) const;
+  static PoolPlan EntityPoolPlan(const graph::Subgraph& g, int64_t rel_aug);
   // TIM Eq. 9: hyper mean pooling of adjacent relation embeddings.
-  tensor::Tensor HyperMeanPoolRelations(const tensor::Tensor& relations,
-                                        const graph::HyperSubgraph& hg) const;
+  static PoolPlan HyperPoolPlan(const graph::HyperSubgraph& hg);
+  // Executes a plan against an embedding table; empty plans yield zeros.
+  tensor::Tensor ApplyPoolPlan(const tensor::Tensor& table,
+                               const PoolPlan& plan) const;
 
   RetiaConfig config_;
   util::Rng rng_;

@@ -1,6 +1,7 @@
 #include "graph/graph_cache.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -11,24 +12,58 @@ GraphCache::GraphCache(const tkg::TkgDataset* dataset) : dataset_(dataset) {
 }
 
 const Subgraph& GraphCache::subgraph(int64_t t) {
-  auto it = subgraphs_.find(t);
-  if (it == subgraphs_.end()) {
-    it = subgraphs_
-             .emplace(t, std::make_unique<Subgraph>(
-                             dataset_->FactsAt(t), dataset_->num_entities(),
-                             dataset_->num_relations()))
-             .first;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subgraphs_.find(t);
+    if (it != subgraphs_.end()) return *it->second;
   }
+  // Build outside the lock so concurrent timestamps construct in parallel.
+  // Construction is pure, so a losing racer built an identical object and
+  // simply drops it (emplace keeps the first insert).
+  auto built = std::make_unique<Subgraph>(dataset_->FactsAt(t),
+                                          dataset_->num_entities(),
+                                          dataset_->num_relations());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = subgraphs_.emplace(t, std::move(built));
   return *it->second;
 }
 
 const HyperSubgraph& GraphCache::hypergraph(int64_t t) {
-  auto it = hypergraphs_.find(t);
-  if (it == hypergraphs_.end()) {
-    it = hypergraphs_.emplace(t, std::make_unique<HyperSubgraph>(subgraph(t)))
-             .first;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hypergraphs_.find(t);
+    if (it != hypergraphs_.end()) return *it->second;
   }
+  const Subgraph& g = subgraph(t);
+  auto built = std::make_unique<HyperSubgraph>(g);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = hypergraphs_.emplace(t, std::move(built));
   return *it->second;
+}
+
+void GraphCache::Prefetch(const std::vector<int64_t>& times, bool hypergraphs,
+                          par::ThreadPool* pool) {
+  if (times.empty()) return;
+  if (times.size() == 1) {
+    // One timestamp needs no graph machinery.
+    if (hypergraphs) {
+      hypergraph(times[0]);
+    } else {
+      subgraph(times[0]);
+    }
+    return;
+  }
+  par::TaskGraph graph;
+  for (int64_t t : times) {
+    graph.Add([this, t, hypergraphs] {
+      if (hypergraphs) {
+        hypergraph(t);
+      } else {
+        subgraph(t);
+      }
+    });
+  }
+  graph.Run(pool);
 }
 
 std::vector<int64_t> GraphCache::HistoryBefore(int64_t t, int64_t k) const {

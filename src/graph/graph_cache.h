@@ -3,10 +3,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/hypergraph.h"
 #include "graph/subgraph.h"
+#include "par/task_graph.h"
 #include "tkg/dataset.h"
 
 namespace retia::graph {
@@ -14,6 +16,14 @@ namespace retia::graph {
 // Lazily-built cache of per-timestamp subgraphs and twin hyperrelation
 // subgraphs for a dataset. Training revisits the same timestamps every
 // epoch, so graph construction (including Algorithm 1) is paid once.
+//
+// Threading: subgraph(), hypergraph(), and Prefetch() are safe to call
+// concurrently from any number of threads (the inter-op pipelines build
+// history snapshots in parallel). Construction is pure and deterministic,
+// so when two threads race on the same timestamp both build identical
+// objects and the first insert wins; returned references stay valid for
+// the cache's lifetime (entries are never evicted). Lookups take one
+// mutex; construction itself runs outside the lock.
 //
 // Streaming: the cache reads the dataset's fact-bearing timestamps live
 // (TkgDataset::all_times()), so buckets appended at the frontier become
@@ -29,11 +39,21 @@ class GraphCache {
   const tkg::TkgDataset& dataset() const { return *dataset_; }
 
   // Subgraph at timestamp `t` (possibly empty if the timestamp has no
-  // facts; an empty Subgraph is still valid).
+  // facts; an empty Subgraph is still valid). Thread-safe.
   const Subgraph& subgraph(int64_t t);
 
   // Twin hyperrelation subgraph of timestamp `t` (Algorithm 1).
+  // Thread-safe.
   const HyperSubgraph& hypergraph(int64_t t);
+
+  // Builds (and caches) the snapshots of every timestamp in `times`
+  // concurrently — one inter-op task per timestamp on `pool`
+  // (par::DefaultPool() when null). With `hypergraphs` set the twin
+  // hyperrelation subgraphs are built too (they subsume the subgraphs).
+  // Purely a warm-up: subgraph()/hypergraph() return the same objects
+  // whether or not Prefetch ran.
+  void Prefetch(const std::vector<int64_t>& times, bool hypergraphs,
+                par::ThreadPool* pool = nullptr);
 
   // The latest `k` fact-bearing timestamps strictly before `t`, ascending.
   // Fewer than `k` are returned near the start of the dataset.
@@ -41,6 +61,7 @@ class GraphCache {
 
  private:
   const tkg::TkgDataset* dataset_;
+  mutable std::mutex mu_;  // guards the two maps (not the built objects)
   std::map<int64_t, std::unique_ptr<Subgraph>> subgraphs_;
   std::map<int64_t, std::unique_ptr<HyperSubgraph>> hypergraphs_;
 };

@@ -11,19 +11,45 @@ namespace retia::serve {
 
 std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
 ServeEngine::FrozenStateStore::StatesFor(int64_t t) {
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = states.find(t);
-  if (it != states.end()) return it->second;
-  // Evolution (and the GraphCache's lazy subgraph construction) is not
-  // thread-safe, so it runs under the store lock — once per timestamp;
-  // afterwards workers only read the pinned states.
-  tensor::NoGradGuard guard;
-  auto evolved =
-      std::make_shared<const std::vector<core::EvolutionModel::StepState>>(
-          model->Evolve(*graph_cache,
-                        graph_cache->HistoryBefore(t, model->history_len())));
-  states.emplace(t, evolved);
-  return evolved;
+  std::shared_ptr<Entry> entry;
+  bool creator = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = states.try_emplace(t);
+    if (inserted) it->second = std::make_shared<Entry>();
+    creator = inserted;
+    entry = it->second;
+  }
+  if (creator) {
+    // The creator evolves OUTSIDE the store lock: batches for other
+    // serving timestamps insert and evolve their own entries concurrently
+    // (GraphCache and the inter-op TaskGraph inside Evolve are
+    // concurrent-safe; the frozen model is read-only in eval mode).
+    std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
+        evolved;
+    std::exception_ptr error;
+    try {
+      tensor::NoGradGuard guard;
+      evolved = std::make_shared<
+          const std::vector<core::EvolutionModel::StepState>>(model->Evolve(
+          *graph_cache, graph_cache->HistoryBefore(t, model->history_len())));
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->states = std::move(evolved);
+      entry->error = error;
+      entry->ready = true;
+    }
+    entry->cv.notify_all();
+    if (error != nullptr) std::rethrow_exception(error);
+    return entry->states;
+  }
+  std::unique_lock<std::mutex> lock(entry->mu);
+  entry->cv.wait(lock, [&entry] { return entry->ready; });
+  if (entry->error != nullptr) std::rethrow_exception(entry->error);
+  return entry->states;
 }
 
 ServeEngine::ServeEngine(eval::ObjectScoreFn object_fn,

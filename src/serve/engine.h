@@ -30,6 +30,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <future>
 #include <map>
 #include <memory>
@@ -95,8 +96,10 @@ struct EngineSnapshot {
 // (timestamp, kind), up to max_batch — until the queue is empty. Each
 // batch is answered with ONE [B, num_candidates] decode through the same
 // eval::ObjectScoreFn / eval::RelationScoreFn-shaped path the evaluator
-// uses. Evolved StepStates are memoized per timestamp behind a lock, so
-// each serving timestamp pays its history evolution once.
+// uses. Evolved StepStates are memoized per timestamp with once-semantics:
+// the first batch for a timestamp evolves it (outside any store-wide lock,
+// so distinct timestamps evolve concurrently), and every later batch for
+// that timestamp shares the published states.
 //
 // The engine spawns no threads of its own: decode ticks share
 // par::DefaultPool() (or config.pool) with the intra-op tensor kernels.
@@ -184,24 +187,39 @@ class ServeEngine {
   // never change after installation. The `owned_*` members keep a
   // swapped-in snapshot alive exactly as long as its store; they stay null
   // for the borrowing constructor.
+  //
+  // Per-timestamp evolution has once-semantics: the first caller of a
+  // timestamp becomes its creator and evolves OUTSIDE the store lock
+  // (GraphCache and the inter-op TaskGraph inside Evolve are
+  // concurrent-safe), so batched queries for different serving timestamps
+  // run their encoder work in parallel instead of serializing behind one
+  // store-wide lock. Later callers of the same timestamp block on the
+  // entry until the creator publishes — each timestamp pays its history
+  // evolution exactly once, shared by every batch that needs it.
   struct FrozenStateStore {
+    struct Entry {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool ready = false;
+      std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
+          states;
+      std::exception_ptr error;
+    };
+
     core::RetiaModel* model = nullptr;
     graph::GraphCache* graph_cache = nullptr;
     std::unique_ptr<core::RetiaModel> owned_model;
     std::unique_ptr<tkg::TkgDataset> owned_dataset;
     std::unique_ptr<graph::GraphCache> owned_cache;
-    std::mutex mu;
-    std::map<int64_t,
-             std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>>
-        states;
+    std::mutex mu;  // guards the map only, never held across an Evolve
+    std::map<int64_t, std::shared_ptr<Entry>> states;
 
     std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
     StatesFor(int64_t t);
   };
 
   // Installs `store` as the initial snapshot epoch (a single store means a
-  // single evolution per timestamp and a single lock around the non
-  // thread-safe GraphCache).
+  // single evolution per timestamp, shared by every batch that pins it).
   ServeEngine(std::shared_ptr<FrozenStateStore> store,
               const ServeConfig& config);
 

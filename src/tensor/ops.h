@@ -66,9 +66,29 @@ Tensor MatMulTransposeB(const Tensor& a, const Tensor& b);
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx);
 
 // Dense [rows, n] result where result[idx[e]] += src[e] for every e. This is
-// the message-passing aggregation primitive (sum over in-edges).
+// the message-passing aggregation primitive (sum over in-edges). Dispatches
+// between two deterministic kernels on problem size alone (ScatterAlgo
+// below), so the result is bit-identical for every thread count.
 Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
                       int64_t rows);
+
+// Scatter-add kernel selector. kAuto (what ScatterAddRows uses) picks per
+// problem size — a pure function of (k, n, rows), never the thread count:
+//  - kOwnerComputes: fixed shards own contiguous destination-row ranges and
+//    scan the whole index list. Exactly the serial accumulation order, but
+//    the duplicated index scan caps its scaling.
+//  - kPrivatized: fixed source-row shards accumulate into private
+//    destination buffers, merged by a fixed binary tree in shard order.
+//    Scales with duplicate-heavy indices; same values up to float addition
+//    order (the tree association differs from the serial left fold), still
+//    bit-identical across thread counts because shards and tree shape
+//    depend on the problem size only.
+enum class ScatterAlgo { kAuto, kOwnerComputes, kPrivatized };
+
+// ScatterAddRows with a forced kernel; tests and benches use it to compare
+// the two algorithms. The backward pass (a gather) is algorithm-independent.
+Tensor ScatterAddRowsWith(ScatterAlgo algo, const Tensor& src,
+                          const std::vector<int64_t>& idx, int64_t rows);
 
 // Per-row constant scaling: c[i,:] = s[i] * a[i,:]. `s` carries no gradient
 // (used for 1/c_{o,r} degree normalisation, Eq. 1/4).

@@ -19,8 +19,9 @@ namespace {
 // result is bit-identical for every thread count. The duplicate-index
 // case (several sources hitting one destination, the message-passing
 // aggregation pattern) is therefore race-free by construction.
-void ScatterAddRowsKernel(const float* src, const int64_t* idx, int64_t k,
-                          int64_t n, int64_t rows, float* out) {
+void ScatterAddRowsOwnerComputes(const float* src, const int64_t* idx,
+                                 int64_t k, int64_t n, int64_t rows,
+                                 float* out) {
   const int64_t shards =
       std::min(par::NumShards(k * n, par::kTargetShardWork), rows);
   par::ParallelShards(shards, [&](int64_t shard) {
@@ -31,6 +32,94 @@ void ScatterAddRowsKernel(const float* src, const int64_t* idx, int64_t k,
       simd::Kernels().accumulate(src + e * n, out + d * n, n);
     }
   });
+}
+
+// Privatization cap: one private buffer per shard, so shards are bounded
+// both by memory (kMaxScatterPrivateElems per buffer) and by merge cost.
+constexpr int64_t kMaxScatterPrivateShards = 16;
+constexpr int64_t kMaxScatterPrivateElems = int64_t{1} << 18;
+
+// Shard count the privatized kernel uses — a pure function of the problem
+// size (k, n, rows); 1 means "use owner-computes". Privatization pays when
+// the index list is duplicate-heavy (k >> rows): owner-computes then
+// re-scans the k indices once per shard while every shard only owns a
+// sliver of the accumulate work, which is why its thread sweep is flat.
+int64_t PrivatizedScatterShards(int64_t k, int64_t n, int64_t rows) {
+  const int64_t shards = std::min(
+      par::NumShards(k * n, par::kTargetShardWork), kMaxScatterPrivateShards);
+  if (shards <= 1) return 1;
+  if (rows * n > kMaxScatterPrivateElems) return 1;  // buffers too large
+  if (k < 4 * rows) return 1;  // sparse: the zero+merge overhead dominates
+  return shards;
+}
+
+// Privatized scatter-add: fixed shards of the SOURCE rows accumulate their
+// contributions (in index order) into private zeroed [rows, n] buffers,
+// then a fixed binary tree merges the buffers pairwise in shard order and
+// the root is added into `out`. Shard boundaries, the tree shape, and
+// every accumulation order are functions of (k, n, rows) alone, so the
+// result is bit-identical for every thread count — but NOT bit-identical
+// to owner-computes: float addition is not associative, and the tree
+// association differs from the serial left fold (documented numerics
+// change; tensor_property_test pins the two kernels together within
+// accumulation tolerance).
+void ScatterAddRowsPrivatized(const float* src, const int64_t* idx, int64_t k,
+                              int64_t n, int64_t rows, int64_t shards,
+                              float* out) {
+  const int64_t buf_elems = rows * n;
+  if (shards <= 1) {
+    // One shard degenerates to the serial index-order accumulation.
+    for (int64_t e = 0; e < k; ++e) {
+      simd::Kernels().accumulate(src + e * n, out + idx[e] * n, n);
+    }
+    return;
+  }
+  std::unique_ptr<float[]> bufs(new float[shards * buf_elems]);
+  par::ParallelShards(shards, [&](int64_t shard) {
+    float* buf = bufs.get() + shard * buf_elems;
+    std::fill(buf, buf + buf_elems, 0.0f);
+    const par::Range r = par::ShardRange(k, shards, shard);
+    for (int64_t e = r.begin; e < r.end; ++e) {
+      simd::Kernels().accumulate(src + e * n, buf + idx[e] * n, n);
+    }
+  });
+  for (int64_t stride = 1; stride < shards; stride *= 2) {
+    // Level merge: buf[i] += buf[i + stride] for i = 0, 2*stride, ... —
+    // disjoint pairs, so the level parallelizes; the pairing is fixed.
+    const int64_t pairs = (shards - stride + 2 * stride - 1) / (2 * stride);
+    par::ParallelShards(pairs, [&](int64_t p) {
+      const int64_t i = p * 2 * stride;
+      simd::Kernels().accumulate(bufs.get() + (i + stride) * buf_elems,
+                                 bufs.get() + i * buf_elems, buf_elems);
+    });
+  }
+  simd::Kernels().accumulate(bufs.get(), out, buf_elems);
+}
+
+void ScatterAddRowsKernel(ScatterAlgo algo, const float* src,
+                          const int64_t* idx, int64_t k, int64_t n,
+                          int64_t rows, float* out) {
+  switch (algo) {
+    case ScatterAlgo::kOwnerComputes:
+      ScatterAddRowsOwnerComputes(src, idx, k, n, rows, out);
+      return;
+    case ScatterAlgo::kPrivatized:
+      ScatterAddRowsPrivatized(
+          src, idx, k, n, rows,
+          std::min(par::NumShards(k * n, par::kTargetShardWork),
+                   kMaxScatterPrivateShards),
+          out);
+      return;
+    case ScatterAlgo::kAuto: {
+      const int64_t shards = PrivatizedScatterShards(k, n, rows);
+      if (shards > 1) {
+        ScatterAddRowsPrivatized(src, idx, k, n, rows, shards, out);
+      } else {
+        ScatterAddRowsOwnerComputes(src, idx, k, n, rows, out);
+      }
+      return;
+    }
+  }
 }
 
 }  // namespace
@@ -59,15 +148,16 @@ Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
                         // Adjoint of a gather is a (duplicate-index)
                         // scatter-add of the output grads.
                         std::vector<float> ga(rows * n, 0.0f);
-                        ScatterAddRowsKernel(self.grad.data(),
+                        ScatterAddRowsKernel(ScatterAlgo::kAuto,
+                                             self.grad.data(),
                                              idx_copy->data(), k, n, rows,
                                              ga.data());
                         a.impl().AccumulateGrad(ga.data(), rows * n);
                       });
 }
 
-Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
-                      int64_t rows) {
+Tensor ScatterAddRowsWith(ScatterAlgo algo, const Tensor& src,
+                          const std::vector<int64_t>& idx, int64_t rows) {
   RETIA_OBS_TIMED_SCOPE("tensor.scatter_add.us");
   RETIA_CHECK_EQ(src.Rank(), 2);
   RETIA_CHECK_EQ(src.Dim(0), static_cast<int64_t>(idx.size()));
@@ -78,7 +168,7 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
     RETIA_CHECK_LT(idx[e], rows);
     RETIA_CHECK_LE(0, idx[e]);
   }
-  ScatterAddRowsKernel(src.Data(), idx.data(), k, n, rows, out.data());
+  ScatterAddRowsKernel(algo, src.Data(), idx.data(), k, n, rows, out.data());
   auto idx_copy = std::make_shared<std::vector<int64_t>>(idx);
   return MakeOpResult({rows, n}, std::move(out), {src},
                       [src, idx_copy, n, k](TensorImpl& self) mutable {
@@ -96,6 +186,11 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
                             });
                         src.impl().AccumulateGrad(gs.data(), k * n);
                       });
+}
+
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int64_t>& idx,
+                      int64_t rows) {
+  return ScatterAddRowsWith(ScatterAlgo::kAuto, src, idx, rows);
 }
 
 Tensor ScaleRows(const Tensor& a, const std::vector<float>& s) {

@@ -23,6 +23,7 @@
 #include "graph/graph_cache.h"
 #include "nn/optimizer.h"
 #include "par/parallel_for.h"
+#include "par/task_graph.h"
 #include "par/thread_pool.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -322,6 +323,77 @@ TEST(ThreadInvarianceTest, GemmAndSoftmaxKernelsBitIdentical) {
     EXPECT_EQ(std::memcmp(&got.loss, &reference.loss, sizeof(float)), 0);
     ExpectBitIdentical(got.params, reference.params, "logits");
     ExpectBitIdentical(got.grads, reference.grads, "gemm-ce grads");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inter-op invariance: Evolve schedules its history encoding as a
+// par::TaskGraph (prep tasks overlapping the recurrent chain; DESIGN.md
+// §12). The full forward + backward must be memcmp-identical for every
+// inter-op width — including width 1, the serial FIFO path that is the
+// semantics of RETIA_INTEROP_THREADS=1 — across pool sizes.
+
+TEST(ThreadInvarianceTest, InterOpPipelineBitIdenticalAcrossWidths) {
+  const tkg::TkgDataset ds = tkg::GenerateSynthetic(SmallIcews14Config());
+  auto run = [&](int pool_threads, int interop) {
+    ScopedInteropThreads interop_guard(interop);
+    return RunTrainStep(ds, pool_threads);
+  };
+  // Fully serial reference: one pool thread AND inter-op width 1.
+  const RunResult reference = run(1, 1);
+  EXPECT_TRUE(std::isfinite(reference.loss));
+  const std::pair<int, int> sweep[] = {
+      {4, 1},  // parallel kernels, serial inter-op (the ..._THREADS=1 path)
+      {2, 2},          {4, 8},
+      {8, DefaultThreads()},
+      {1, 8},  // wide inter-op cap on a workerless pool: still serial
+  };
+  for (const auto& [pool_threads, interop] : sweep) {
+    const RunResult got = run(pool_threads, interop);
+    const std::string what = "pool=" + std::to_string(pool_threads) +
+                             " interop=" + std::to_string(interop);
+    EXPECT_EQ(std::memcmp(&got.loss, &reference.loss, sizeof(float)), 0)
+        << "loss differs at " << what;
+    ExpectBitIdentical(got.grads, reference.grads, "grads at " + what);
+    ExpectBitIdentical(got.params, reference.params, "params at " + what);
+  }
+}
+
+// Training mode consumes the model RNG (dropout) inside the evolve chain;
+// the chain's dependency edges must preserve the exact serial RNG call
+// order, so evolved embeddings stay bit-identical at every inter-op width.
+TEST(ThreadInvarianceTest, TrainingModeEvolveRngOrderInvariant) {
+  const tkg::TkgDataset ds = tkg::GenerateSynthetic(SmallIcews14Config());
+  auto run = [&](int pool_threads, int interop) {
+    ThreadPool pool(pool_threads);
+    ScopedDefaultPool pool_guard(&pool);
+    ScopedInteropThreads interop_guard(interop);
+    core::RetiaConfig config;
+    config.num_entities = ds.num_entities();
+    config.num_relations = ds.num_relations();
+    config.dim = 16;
+    config.history_len = 3;
+    config.conv_kernels = 4;
+    core::RetiaModel model(config);
+    model.SetTraining(true);  // dropout draws from the model RNG
+    graph::GraphCache cache(&ds);
+    tensor::NoGradGuard guard;
+    auto states =
+        model.Evolve(cache, cache.HistoryBefore(8, config.history_len));
+    std::vector<std::vector<float>> out;
+    for (const auto& s : states) {
+      out.push_back(s.entities.impl().data);
+      out.push_back(s.relations.impl().data);
+    }
+    return out;
+  };
+  const std::vector<std::vector<float>> reference = run(1, 1);
+  for (const auto& [pool_threads, interop] :
+       {std::pair<int, int>{4, 1}, {2, 2}, {4, 8}, {8, DefaultThreads()}}) {
+    ExpectBitIdentical(run(pool_threads, interop), reference,
+                       "training-mode states at pool=" +
+                           std::to_string(pool_threads) +
+                           " interop=" + std::to_string(interop));
   }
 }
 

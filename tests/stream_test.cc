@@ -399,6 +399,11 @@ TEST(StreamResumeTest, ResumeAfterFirstWindowMatchesUninterruptedBitExact) {
 // checkpoint and its publish. The checkpoint must resume bit-exact and
 // the on-disk serve snapshot must be old-or-new, never torn.
 TEST(StreamResumeTest, SigkillBetweenFinetuneAndPublishResumesBitExact) {
+  // Re-exec the death-test child instead of fork()ing it: the crashy
+  // pipeline trains, so under RETIA_NUM_THREADS>1 a fork()ed child would
+  // inherit the parent's pool state without its worker threads (and under
+  // TSan, fork of a multithreaded process wedges on runtime locks).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   const std::string crash_ckpt = TempPath("stream_crash.ckpt");
   const std::string crash_snap = TempPath("stream_crash_snap");
   const std::string ref_ckpt = TempPath("stream_crash_ref.ckpt");
@@ -506,27 +511,36 @@ TEST(SnapshotSwapTest, ConcurrentQueriesAcrossSwapsAreNeverDroppedOrTorn) {
   core::RetiaModel model_b(config_b);
   const int64_t t = live->max_time();
   const int64_t k = 5;
+  // Queries span several serving timestamps, so swaps land while the
+  // engine's per-timestamp state entries are being created and evolved
+  // concurrently (the once-semantics path in FrozenStateStore): distinct
+  // timestamps evolve in parallel, same-timestamp batches share one
+  // evolution, and a pinned batch must still answer old-or-new.
+  const std::vector<int64_t> times = {t - 1, t, t + 1};
 
   serve::ServeConfig serve_config;
   serve_config.num_threads = 4;
   serve_config.max_k = k;
 
-  // Per-query reference answers under each snapshot, from dedicated
-  // single-snapshot engines (the determinism contract makes these the
-  // unique correct answers).
+  // Per-(timestamp, query) reference answers under each snapshot, from
+  // dedicated single-snapshot engines (the determinism contract makes
+  // these the unique correct answers).
   std::vector<std::pair<int64_t, int64_t>> queries;
   for (int64_t s = 0; s < live->num_entities(); ++s) {
     queries.emplace_back(s, s % (2 * live->num_relations()));
   }
-  std::vector<serve::TopKResult> ref_a, ref_b;
+  std::vector<std::vector<serve::TopKResult>> ref_a(times.size()),
+      ref_b(times.size());
   {
     serve::ServeEngine engine_a(SnapshotOf(model_a, *live), serve_config);
     serve::ServeEngine engine_b(SnapshotOf(model_b, *live), serve_config);
-    for (const auto& [s, r] : queries) {
-      ref_a.push_back(engine_a.TopK(s, r, t, k));
-      ref_b.push_back(engine_b.TopK(s, r, t, k));
+    for (size_t ti = 0; ti < times.size(); ++ti) {
+      for (const auto& [s, r] : queries) {
+        ref_a[ti].push_back(engine_a.TopK(s, r, times[ti], k));
+        ref_b[ti].push_back(engine_b.TopK(s, r, times[ti], k));
+      }
     }
-    ASSERT_NE(ref_a.front().candidates, ref_b.front().candidates);
+    ASSERT_NE(ref_a[0].front().candidates, ref_b[0].front().candidates);
   }
 
   serve::ServeEngine engine(SnapshotOf(model_a, *live), serve_config);
@@ -539,11 +553,12 @@ TEST(SnapshotSwapTest, ConcurrentQueriesAcrossSwapsAreNeverDroppedOrTorn) {
     clients.emplace_back([&, c] {
       for (int round = 0; round < kRoundsPerClient; ++round) {
         const size_t qi = (static_cast<size_t>(c) * 31 + round) % queries.size();
+        const size_t ti = (static_cast<size_t>(c) + round) % times.size();
         const auto& [s, r] = queries[qi];
-        const serve::TopKResult result = engine.TopK(s, r, t, k);
+        const serve::TopKResult result = engine.TopK(s, r, times[ti], k);
         if (result.candidates.size() == static_cast<size_t>(k)) ++answered[c];
-        const bool is_a = result.candidates == ref_a[qi].candidates;
-        const bool is_b = result.candidates == ref_b[qi].candidates;
+        const bool is_a = result.candidates == ref_a[ti][qi].candidates;
+        const bool is_b = result.candidates == ref_b[ti][qi].candidates;
         if (!is_a && !is_b) ++torn[c];
       }
     });

@@ -272,6 +272,83 @@ INSTANTIATE_TEST_SUITE_P(FiftyRandomShapes, BackendEquivalenceSweep,
                          ::testing::Range<uint64_t>(0, 50));
 
 // ---------------------------------------------------------------------------
+// Privatized vs owner-computes scatter-add over 50 random shapes. The two
+// algorithms fold duplicates in different orders, so they agree only to a
+// tolerance (a documented numerics difference, DESIGN.md §12) — but each
+// algorithm individually must be bit-identical across thread counts (its
+// shard geometry and merge tree are functions of the shape alone), and
+// kAuto must resolve to exactly one of the two, never a third behaviour.
+
+class ScatterAlgoEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScatterAlgoEquivalence, PrivatizedMatchesOwnerComputesAcrossThreads) {
+  util::Rng rng(GetParam() * 104729 + 7);
+  // Shapes spanning both sides of the privatized-path heuristics: small
+  // and large destination tables, duplicate-heavy and duplicate-free
+  // index vectors.
+  const int64_t rows = 1 + rng.UniformInt(0, 600);
+  const int64_t cols = 1 + rng.UniformInt(0, 48);
+  const int64_t k = 1 + rng.UniformInt(0, 8000);
+  std::vector<int64_t> idx(k);
+  for (auto& i : idx) i = rng.UniformInt(0, rows - 1);
+  Tensor src = TestTensor({k, cols}, GetParam() * 11 + 3, false);
+
+  auto run = [&](ScatterAlgo algo, int threads) {
+    par::ThreadPool pool(threads);
+    par::ScopedDefaultPool guard(&pool);
+    return ScatterAddRowsWith(algo, src, idx, rows).impl().data;
+  };
+
+  const std::vector<float> owner = run(ScatterAlgo::kOwnerComputes, 1);
+  const std::vector<float> privatized = run(ScatterAlgo::kPrivatized, 1);
+  auto expect_bytes = [](const std::vector<float>& got,
+                         const std::vector<float>& want, const char* what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    EXPECT_EQ(
+        std::memcmp(got.data(), want.data(), got.size() * sizeof(float)), 0)
+        << what;
+  };
+
+  // Each algorithm: bit-identical at every thread count.
+  for (int threads : {2, 4, 8}) {
+    expect_bytes(run(ScatterAlgo::kOwnerComputes, threads), owner,
+                 "owner-computes across threads");
+    expect_bytes(run(ScatterAlgo::kPrivatized, threads), privatized,
+                 "privatized across threads");
+  }
+
+  // Cross-algorithm: same sums up to FP association. The error scales
+  // with how many duplicates fold into one destination row.
+  ASSERT_EQ(privatized.size(), owner.size());
+  const float tol =
+      1e-5f * (1.0f + static_cast<float>(k) / static_cast<float>(rows));
+  for (size_t i = 0; i < owner.size(); ++i) {
+    ASSERT_NEAR(privatized[i], owner[i],
+                tol * (std::abs(owner[i]) + 1.0f))
+        << "element " << i << " rows=" << rows << " cols=" << cols
+        << " k=" << k;
+  }
+
+  // kAuto picks one of the two reference results bit-exactly.
+  for (int threads : {1, 4}) {
+    const std::vector<float> chosen = run(ScatterAlgo::kAuto, threads);
+    ASSERT_EQ(chosen.size(), owner.size());
+    const bool matches_owner =
+        std::memcmp(chosen.data(), owner.data(),
+                    chosen.size() * sizeof(float)) == 0;
+    const bool matches_privatized =
+        std::memcmp(chosen.data(), privatized.data(),
+                    chosen.size() * sizeof(float)) == 0;
+    EXPECT_TRUE(matches_owner || matches_privatized)
+        << "kAuto produced a result matching neither algorithm at threads="
+        << threads << " rows=" << rows << " cols=" << cols << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftyRandomShapes, ScatterAlgoEquivalence,
+                         ::testing::Range<uint64_t>(0, 50));
+
+// ---------------------------------------------------------------------------
 // Conv2d padding edge cases: kernel as large as the padded input, pad
 // bigger than the kernel overhang, and 1x1 kernels. Gradient-checked.
 
