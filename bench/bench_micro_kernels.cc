@@ -3,16 +3,20 @@
 // substrate's throughput and make kernel-level regressions visible.
 
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "ckpt/model_io.h"
 #include "core/retia.h"
 #include "core/rgcn.h"
 #include "graph/graph_cache.h"
 #include "nn/optimizer.h"
+#include "quant/quant.h"
 #include "par/task_graph.h"
 #include "par/thread_pool.h"
 #include "simd/simd.h"
@@ -211,6 +215,121 @@ void BM_RelationRgcnLayerForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RelationRgcnLayerForward);
+
+// ---------------------------------------------------------------------------
+// Quantized inference kernels (docs/QUANTIZATION.md). The decode pair
+// BM_DecodeF32 / BM_DecodeQuantized measures the exact serve-time candidate
+// product at ICEWS-like scale (d=200, N candidate rows, 256-query batch):
+// the f32 row streams 4 N d bytes of candidates per decode, the int8 row
+// streams N d + 4 N scale bytes, which is where the quantized speedup
+// lives once N d exceeds cache. scripts/bench_kernels.sh distills the
+// ratio into BENCH_kernels.json's `quant` block.
+
+constexpr int64_t kQuantDim = 200;  // ICEWS-like embedding width
+
+void BM_QuantizeRowsI8(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor b = RandomTensor({n, kQuantDim}, 61);
+  std::vector<int8_t> q(static_cast<size_t>(n * kQuantDim));
+  std::vector<float> scales(static_cast<size_t>(n));
+  for (auto _ : state) {
+    retia::simd::Kernels().quantize_rows_i8(b.Data(), q.data(), scales.data(),
+                                            n, kQuantDim);
+    benchmark::DoNotOptimize(q.data());
+  }
+  // Read f32 twice (amax + quantize passes), write int8 + scale.
+  CountBytes(state, static_cast<double>(n) *
+                        (2.0 * kQuantDim * sizeof(float) + kQuantDim + 4.0));
+  LabelBackend(state);
+}
+BENCHMARK(BM_QuantizeRowsI8)->Arg(4096)->Arg(30000);
+
+void BM_DecodeF32(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({256, kQuantDim}, 62);
+  Tensor b = RandomTensor({n, kQuantDim}, 63);
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(retia::tensor::MatMulTransposeB(a, b).Data());
+  }
+  CountFlops(state, 2.0 * 256.0 * static_cast<double>(n) * kQuantDim);
+  CountBytes(state, static_cast<double>(n) * kQuantDim * sizeof(float));
+  LabelBackend(state);
+}
+// The decode pair feeds the >= 2x int8-vs-f32 acceptance gate in
+// scripts/bench_kernels.sh; the longer MinTime keeps a transient on a
+// 1-CPU cgroup host from tripping the gate.
+BENCHMARK(BM_DecodeF32)->Arg(4096)->Arg(30000)->MinTime(2.0);
+
+void BM_DecodeQuantized(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor a = RandomTensor({256, kQuantDim}, 62);
+  Tensor b = RandomTensor({n, kQuantDim}, 63);
+  const retia::quant::QuantizedRows bq =
+      retia::quant::QuantizeTensorRows(b);  // once per snapshot, as in serve
+  retia::tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        retia::quant::MatMulTransposeBQuant(a, bq).Data());
+  }
+  CountFlops(state, 2.0 * 256.0 * static_cast<double>(n) * kQuantDim);
+  CountBytes(state,
+             static_cast<double>(n) * (kQuantDim + sizeof(float)));
+  LabelBackend(state);
+}
+BENCHMARK(BM_DecodeQuantized)->Arg(4096)->Arg(30000)->MinTime(2.0);
+
+void BM_F16RoundTrip(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Tensor x = RandomTensor({n}, 64);
+  std::vector<uint16_t> h(static_cast<size_t>(n));
+  std::vector<float> back(static_cast<size_t>(n));
+  for (auto _ : state) {
+    retia::simd::Kernels().f32_to_f16(x.Data(), h.data(), n);
+    retia::simd::Kernels().f16_to_f32(h.data(), back.data(), n);
+    benchmark::DoNotOptimize(back.data());
+  }
+  CountBytes(state, 2.0 * static_cast<double>(n) *
+                        (sizeof(float) + sizeof(uint16_t)));
+  LabelBackend(state);
+}
+BENCHMARK(BM_F16RoundTrip)->Arg(1 << 16)->Arg(1 << 20);
+
+// Snapshot size at ICEWS14-like scale: saves the same model through both
+// writers and reports the byte counts (the >= 2x snapshot-memory gate in
+// scripts/bench_kernels.sh reads the `snapshot_ratio` counter). The timed
+// region is the quantized save, so the row doubles as save-throughput.
+void BM_QuantizedSnapshotBytes(benchmark::State& state) {
+  static const retia::tkg::TkgDataset* ds = new retia::tkg::TkgDataset(
+      retia::tkg::GenerateSynthetic(retia::tkg::SyntheticConfig::Icews14Like()));
+  static retia::core::RetiaModel* model = [] {
+    retia::core::RetiaConfig config;
+    config.num_entities = ds->num_entities();
+    config.num_relations = ds->num_relations();
+    config.dim = kQuantDim;
+    auto* m = new retia::core::RetiaModel(config);
+    m->SetTraining(false);
+    return m;
+  }();
+  const std::string f32_path = "/tmp/retia_bench_snap_f32.ckpt";
+  const std::string q_path = "/tmp/retia_bench_snap_q.ckpt";
+  RETIA_CHECK(retia::ckpt::SaveModelArtifact(*model, f32_path, "bench").ok());
+  for (auto _ : state) {
+    RETIA_CHECK(
+        retia::ckpt::SaveQuantizedModelArtifact(*model, q_path, "bench")
+            .ok());
+  }
+  const auto f32_bytes = std::filesystem::file_size(f32_path);
+  const auto q_bytes = std::filesystem::file_size(q_path);
+  state.counters["f32_bytes"] = static_cast<double>(f32_bytes);
+  state.counters["quant_bytes"] = static_cast<double>(q_bytes);
+  state.counters["snapshot_ratio"] =
+      static_cast<double>(f32_bytes) / static_cast<double>(q_bytes);
+  std::filesystem::remove(f32_path);
+  std::filesystem::remove(q_path);
+  LabelBackend(state);
+}
+BENCHMARK(BM_QuantizedSnapshotBytes);
 
 // ---------------------------------------------------------------------------
 // Thread sweep: the hot parallel kernels at 1/2/4/8 threads. Each arg swaps

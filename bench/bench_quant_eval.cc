@@ -1,0 +1,150 @@
+// Quantized-vs-f32 serving accuracy (docs/QUANTIZATION.md): trains one
+// RETIA model, then evaluates the test split twice through the standard
+// per-timestamp protocol — once decoding entities with the f32 frozen path
+// and once with the int8 quantized path serving uses — and reports the
+// MRR / Hits@k deltas. Both passes score the *same* evolved states
+// (memoized per timestamp), so every delta is attributable to int8
+// candidate quantization alone. Relations are scored f32 in both passes,
+// mirroring the serve engine's carve-out.
+//
+// The check mirrors the acceptance criterion recorded in EXPERIMENTS.md:
+// the quantized entity MRR must stay within 1.0 point (x100 scale) of f32.
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/retia.h"
+#include "eval/evaluator.h"
+#include "quant/quant.h"
+#include "tensor/tensor.h"
+#include "train/trainer.h"
+#include "util/table_printer.h"
+
+int main() {
+  retia::bench::PrintHeader(
+      "Quantized serving ablation — int8 vs f32 entity decode (YAGO-like, "
+      "RETIA)",
+      "docs/QUANTIZATION.md: per-op error bounds predict near-zero metric "
+      "movement; this driver measures it end to end.");
+  const retia::tkg::SyntheticConfig profile =
+      retia::tkg::SyntheticConfig::YagoLike();
+  retia::tkg::TkgDataset ds = retia::tkg::GenerateSynthetic(profile);
+  const retia::bench::BenchParams p = retia::bench::ParamsFor(profile.name);
+
+  retia::core::RetiaConfig config;
+  config.num_entities = ds.num_entities();
+  config.num_relations = ds.num_relations();
+  config.dim = p.dim;
+  config.history_len = p.history_len;
+  config.conv_kernels = p.conv_kernels;
+  retia::core::RetiaModel model(config);
+  retia::graph::GraphCache cache(&ds);
+  retia::train::TrainConfig tc;
+  tc.max_epochs = p.max_epochs;
+  tc.patience = p.patience;
+  retia::train::Trainer trainer(&model, &cache, tc);
+  std::cerr << "[bench] training RETIA once for the quantization ablation...\n";
+  trainer.TrainGeneral();
+
+  model.SetTraining(false);
+  using StepState = retia::core::EvolutionModel::StepState;
+
+  // Both passes share one evolved state per timestamp; the quantized pass
+  // additionally quantizes each state's entity table once, exactly as the
+  // serve engine's snapshot entry does.
+  std::map<int64_t, std::vector<StepState>> states_by_time;
+  std::map<int64_t, std::vector<retia::quant::QuantizedRows>> qcands_by_time;
+  auto states_for = [&](int64_t t) -> const std::vector<StepState>& {
+    auto it = states_by_time.find(t);
+    if (it == states_by_time.end()) {
+      retia::tensor::NoGradGuard guard;
+      it = states_by_time
+               .emplace(t, model.Evolve(
+                               cache, cache.HistoryBefore(t, p.history_len)))
+               .first;
+    }
+    return it->second;
+  };
+  auto qcands_for =
+      [&](int64_t t) -> const std::vector<retia::quant::QuantizedRows>& {
+    auto it = qcands_by_time.find(t);
+    if (it == qcands_by_time.end()) {
+      const std::vector<StepState>& states = states_for(t);
+      std::vector<retia::quant::QuantizedRows> q;
+      q.reserve(states.size());
+      for (const StepState& s : states) {
+        q.push_back(retia::quant::QuantizeTensorRows(s.entities));
+      }
+      it = qcands_by_time.emplace(t, std::move(q)).first;
+    }
+    return it->second;
+  };
+
+  retia::eval::RelationScoreFn relation_fn =
+      [&](int64_t t,
+          const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        retia::tensor::NoGradGuard guard;
+        return model.ScoreRelationsFrozen(states_for(t), queries);
+      };
+  retia::eval::ObjectScoreFn f32_fn =
+      [&](int64_t t,
+          const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        retia::tensor::NoGradGuard guard;
+        return model.ScoreObjectsFrozen(states_for(t), queries);
+      };
+  retia::eval::ObjectScoreFn int8_fn =
+      [&](int64_t t,
+          const std::vector<std::pair<int64_t, int64_t>>& queries) {
+        retia::tensor::NoGradGuard guard;
+        return model.ScoreObjectsFrozenQuantized(states_for(t), qcands_for(t),
+                                                 queries);
+      };
+
+  const retia::eval::EvalOptions options;
+  retia::eval::EvalResult f32 = retia::eval::EvaluateTimes(
+      ds, ds.test_times(), f32_fn, relation_fn, options);
+  retia::eval::EvalResult int8 = retia::eval::EvaluateTimes(
+      ds, ds.test_times(), int8_fn, relation_fn, options);
+
+  retia::util::TablePrinter table({"Entity decode", "Entity MRR",
+                                   "Entity H@1", "Entity H@3", "Entity H@10",
+                                   "Relation MRR"});
+  table.AddRow({"f32 frozen",
+                retia::util::TablePrinter::Num(f32.entity.Mrr()),
+                retia::util::TablePrinter::Num(f32.entity.Hits1()),
+                retia::util::TablePrinter::Num(f32.entity.Hits3()),
+                retia::util::TablePrinter::Num(f32.entity.Hits10()),
+                retia::util::TablePrinter::Num(f32.relation.Mrr())});
+  table.AddRow({"int8 quantized",
+                retia::util::TablePrinter::Num(int8.entity.Mrr()),
+                retia::util::TablePrinter::Num(int8.entity.Hits1()),
+                retia::util::TablePrinter::Num(int8.entity.Hits3()),
+                retia::util::TablePrinter::Num(int8.entity.Hits10()),
+                retia::util::TablePrinter::Num(int8.relation.Mrr())});
+  // TablePrinter::Num renders negatives as "n/a"; deltas need the sign.
+  auto signed_num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f", v);
+    return std::string(buf);
+  };
+  table.AddRow({"delta (int8 - f32)",
+                signed_num(int8.entity.Mrr() - f32.entity.Mrr()),
+                signed_num(int8.entity.Hits1() - f32.entity.Hits1()),
+                signed_num(int8.entity.Hits3() - f32.entity.Hits3()),
+                signed_num(int8.entity.Hits10() - f32.entity.Hits10()),
+                signed_num(int8.relation.Mrr() - f32.relation.Mrr())});
+  table.Print(std::cout);
+
+  const double mrr_delta = int8.entity.Mrr() - f32.entity.Mrr();
+  const bool within = mrr_delta >= -1.0 && mrr_delta <= 1.0;
+  std::cout << "check: |entity MRR delta| <= 1.0 point under int8 decode: "
+            << (within ? "PASS" : "FAIL") << " (delta " << mrr_delta
+            << ")\n";
+  return within ? 0 : 1;
+}

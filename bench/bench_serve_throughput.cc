@@ -60,12 +60,14 @@ struct RunStats {
 RunStats RunWorkload(core::RetiaModel* model, graph::GraphCache* cache,
                      const Workload& workload, int64_t num_threads,
                      bool enable_cache,
-                     std::vector<serve::TopKResult>* answers) {
+                     std::vector<serve::TopKResult>* answers,
+                     int quantized_decode = 0) {
   serve::ServeConfig config;
   config.num_threads = num_threads;
   config.max_batch = 32;
   config.max_k = 10;
   config.enable_cache = enable_cache;
+  config.quantized_decode = quantized_decode;
   serve::ServeEngine engine(model, cache, config);
   engine.Warmup(workload.t);  // pay evolution outside the measured window
   engine.ResetStats();
@@ -166,6 +168,36 @@ int main() {
   const double cache_speedup = qps[{true, 1}] / qps[{false, 1}];
   std::cout << "\nprediction cache speedup (1 worker): " << std::fixed
             << std::setprecision(2) << cache_speedup << "x\n";
+
+  // Quantized entity decode (docs/QUANTIZATION.md): same uncached
+  // single-worker workload with the int8 candidate path forced on. Scores
+  // are tolerance-bound rather than bit-equal to f32, so the comparison is
+  // top-1 agreement plus QPS. The kernel-level speedup (and its gate)
+  // lives in scripts/bench_kernels.sh; this row shows what survives
+  // end-to-end once evolution, batching, and ranking overhead are in.
+  {
+    std::vector<serve::TopKResult> quant_answers;
+    const RunStats quant_stats =
+        RunWorkload(&model, &cache, workload, /*num_threads=*/1,
+                    /*enable_cache=*/false, &quant_answers,
+                    /*quantized_decode=*/1);
+    size_t top1 = 0;
+    for (size_t i = 0; i < quant_answers.size(); ++i) {
+      if (!quant_answers[i].candidates.empty() &&
+          !reference[i].candidates.empty() &&
+          quant_answers[i].candidates[0].id == reference[i].candidates[0].id) {
+        ++top1;
+      }
+    }
+    std::cout << "int8 quantized decode (1 worker, cache off): "
+              << std::setprecision(0) << quant_stats.qps << " QPS, "
+              << std::setprecision(2)
+              << quant_stats.qps / qps[{false, 1}] << "x vs f32, top-1 "
+              << "agreement "
+              << 100.0 * static_cast<double>(top1) /
+                     static_cast<double>(quant_answers.size())
+              << "%\n";
+  }
 
   // Worker scaling is a statement about hardware parallelism: on a
   // single-core host every configuration is core-bound at the same QPS

@@ -2,31 +2,37 @@
 # Concurrency, observability, and crash-safety checks.
 #
 # 1. Docs/metrics lint: every metric or span name used at a RETIA_OBS_*
-#    call site must be catalogued in docs/OBSERVABILITY.md (grep-based,
-#    runs before any compile so it fails fast).
+#    call site must be catalogued in docs/OBSERVABILITY.md, and every
+#    RETIA_* environment variable read anywhere in the tree must have a
+#    row in the README env table (grep-based, runs before any compile so
+#    it fails fast).
 # 2. TSan smoke: builds the concurrency-sensitive test binaries (par_test,
 #    par_task_graph_test, serve_test, stream_test, obs_test,
-#    obs_disabled_test) in Release with -fsanitize=thread into build-tsan/
-#    and runs the par/serve/obs/stream-labelled ctest suites under
-#    halt_on_error. Zero TSan reports is a hard requirement: the
-#    par::ThreadPool sharding, the TaskGraph inter-op scheduler (randomized
-#    DAGs, nested submission, concurrent failures), the ServeEngine drain
-#    ticks, per-timestamp once-semantics state entries and snapshot
-#    hot-swap epoch pinning, and the obs hot paths (relaxed-atomic metrics,
-#    per-thread trace rings) must be data-race-free, not just
-#    bit-identical.
-# 3. ASan ckpt+stream+par suites: builds ckpt_test, stream_test, par_test,
-#    par_task_graph_test, and the ckpt_smoke / stream_demo examples with
-#    -fsanitize=address into build-asan/ and runs the ckpt-, stream-, and
-#    par-labelled ctest suites. The artifact parser is fed corrupt and
-#    truncated bytes on purpose, and the task-graph stress tests throw
-#    through runner teardown, so both run under ASan to prove the bounds
-#    checks and lifetimes hold.
+#    obs_disabled_test, quant_test) in Release with -fsanitize=thread into
+#    build-tsan/ and runs the par/serve/obs/stream/quant-labelled ctest
+#    suites under halt_on_error. Zero TSan reports is a hard requirement:
+#    the par::ThreadPool sharding, the TaskGraph inter-op scheduler
+#    (randomized DAGs, nested submission, concurrent failures), the
+#    ServeEngine drain ticks, per-timestamp once-semantics state entries
+#    and snapshot hot-swap epoch pinning, the obs hot paths
+#    (relaxed-atomic metrics, per-thread trace rings), and the GemmNTQuant
+#    thread sweep must be data-race-free, not just bit-identical.
+# 3. ASan ckpt+stream+par+quant suites: builds ckpt_test, stream_test,
+#    par_test, par_task_graph_test, quant_test, and the ckpt_smoke /
+#    stream_demo examples with -fsanitize=address into build-asan/ and
+#    runs the ckpt-, stream-, par-, and quant-labelled ctest suites. The
+#    artifact parser is fed corrupt and truncated bytes on purpose
+#    (including the quantized q8/f16 sections), the task-graph stress
+#    tests throw through runner teardown, and the quant harness walks
+#    randomized shapes that straddle every vector-strip boundary, so all
+#    of it runs under ASan to prove the bounds checks and lifetimes hold.
 # 3b. Bench-gate cross-check: validates the committed BENCH_kernels.json
-#    thread-sweep block against its own host record — a multi-core pin
-#    must have the gate enforced with > 1x 4-thread speedups on the
-#    inter-op benches; a single-core pin must say so instead of
-#    pretending (scripts/bench_kernels.sh writes the block).
+#    thread-sweep and quant blocks against their own host record — a
+#    multi-core pin must have the thread-sweep gate enforced with > 1x
+#    4-thread speedups on the inter-op benches; a vector-backend pin must
+#    have the quant decode gate enforced at >= 2x with the snapshot ratio
+#    >= 2x regardless; a single-core / scalar pin must say so instead of
+#    pretending (scripts/bench_kernels.sh writes both blocks).
 # 4. Kill-and-resume smokes: (a) trains the synthetic ckpt_smoke dataset
 #    to completion, repeats the run with per-epoch state saves and a
 #    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
@@ -80,6 +86,24 @@ done
 [ "${missing}" -eq 0 ] || exit 1
 echo "check.sh: every registered metric name is catalogued in docs/OBSERVABILITY.md"
 
+# Env-var lint: every RETIA_* environment variable the tree reads (string
+# literals in .cc/.h under src/, bench/, examples/ — all env access goes
+# through util::Env on those literals) must have a row in the README env
+# table. RETIA_OBS_* are macro names, not env vars, and are excluded.
+ENV_README="${ROOT}/README.md"
+missing=0
+for var in $(grep -rh --include='*.cc' --include='*.h' -oE '"RETIA_[A-Z_]+"' \
+    "${ROOT}/src" "${ROOT}/bench" "${ROOT}/examples" 2>/dev/null \
+    | tr -d '"' | grep -vE '^RETIA_OBS_' | sort -u); do
+  if ! grep -qE "^\| \`${var}(=[^\`]*)?\` \|" "${ENV_README}"; then
+    echo "lint: env var '${var}' is read in the tree but has no row in the" \
+         "README.md environment table" >&2
+    missing=1
+  fi
+done
+[ "${missing}" -eq 0 ] || exit 1
+echo "check.sh: every RETIA_* env var read by the tree is documented in README.md"
+
 # ---------------------------------------------------------------------------
 # TSan smoke.
 cmake -B "${BUILD}" -S "${ROOT}" \
@@ -91,13 +115,13 @@ cmake -B "${BUILD}" -S "${ROOT}" \
 # and the other suites exercise no cross-thread behaviour.
 cmake --build "${BUILD}" -j "${JOBS}" \
   --target par_test par_task_graph_test serve_test stream_test obs_test \
-           obs_disabled_test
+           obs_disabled_test quant_test
 
 # halt_on_error: the first race fails the run instead of scrolling past.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
-  ctest --test-dir "${BUILD}" -L "par|serve|obs|stream" --output-on-failure
+  ctest --test-dir "${BUILD}" -L "par|serve|obs|stream|quant" --output-on-failure
 
-echo "check.sh: par|serve|obs|stream suites clean under ThreadSanitizer"
+echo "check.sh: par|serve|obs|stream|quant suites clean under ThreadSanitizer"
 
 # ---------------------------------------------------------------------------
 # ASan ckpt suite. The corruption-matrix tests deliberately hand the
@@ -109,13 +133,13 @@ cmake -B "${BUILD_ASAN}" -S "${ROOT}" \
   -DRETIA_SMOKE_TSAN=OFF
 
 cmake --build "${BUILD_ASAN}" -j "${JOBS}" \
-  --target ckpt_test stream_test par_test par_task_graph_test ckpt_smoke \
-           stream_demo
+  --target ckpt_test stream_test par_test par_task_graph_test quant_test \
+           ckpt_smoke stream_demo
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:${ASAN_OPTIONS}}" \
-  ctest --test-dir "${BUILD_ASAN}" -L "ckpt|stream|par" --output-on-failure
+  ctest --test-dir "${BUILD_ASAN}" -L "ckpt|stream|par|quant" --output-on-failure
 
-echo "check.sh: ckpt, stream, and par suites clean under AddressSanitizer"
+echo "check.sh: ckpt, stream, par, and quant suites clean under AddressSanitizer"
 
 # ---------------------------------------------------------------------------
 # Bench-gate cross-check: the committed thread-sweep gate must be
@@ -163,6 +187,32 @@ else:
                  "host — bench_kernels.sh would never pin that")
     print(f"check.sh: thread-sweep gate correctly recorded as not "
           f"enforced ({cpus} effective CPU(s))")
+
+# The quant block's gates are single-threaded, so they are enforced (or
+# honestly recorded as not, on scalar-dispatch hosts) regardless of CPU
+# count — see docs/QUANTIZATION.md.
+quant = doc.get("quant")
+if quant is None:
+    sys.exit(f"check.sh: {path} has no quant block — re-pin with "
+             "scripts/bench_kernels.sh")
+q_enforced = quant.get("gate_enforced")
+if q_enforced is None or not quant.get("reason"):
+    sys.exit("check.sh: quant block is missing gate_enforced or reason")
+ratio = quant.get("snapshot_ratio")
+if ratio is None or ratio < 2.0:
+    sys.exit(f"check.sh: quantized snapshot ratio {ratio} is absent or "
+             "below the 2x memory gate (deterministic — enforced on every "
+             "host)")
+if q_enforced:
+    decode = quant.get("decode_speedup_int8_vs_f32", {}).get("30000")
+    if decode is None or decode < 2.0:
+        sys.exit(f"check.sh: enforced quant gate pinned with int8 decode "
+                 f"speedup {decode} below 2x at N=30000")
+    print(f"check.sh: quant gates enforced (decode {decode}x, snapshot "
+          f"{ratio}x)")
+else:
+    print(f"check.sh: quant decode gate honestly not enforced "
+          f"(scalar dispatch); snapshot ratio {ratio}x still gated")
 PY
 
 # ---------------------------------------------------------------------------

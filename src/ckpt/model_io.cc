@@ -5,6 +5,7 @@
 
 #include "ckpt/artifact.h"
 #include "ckpt/bytes.h"
+#include "quant/quant.h"
 
 namespace retia::ckpt {
 
@@ -143,6 +144,193 @@ Result DecodeParamsInto(nn::Module* module, std::string_view payload) {
   }
   return r.ExpectEnd();
 }
+
+// ---------------------------------------------------------------------------
+// Quantized parameters (docs/QUANTIZATION.md).
+
+bool QuantizesAsInt8(const std::vector<int64_t>& shape) {
+  if (shape.size() < 2) return false;
+  int64_t cols = 1;
+  for (size_t d = 1; d < shape.size(); ++d) cols *= shape[d];
+  return cols >= 16;
+}
+
+namespace {
+
+// Shared entry header: name, rank, dims. Validated against the live
+// parameter exactly like DecodeParamsInto (order, rank cap, shape).
+void EncodeParamHeader(ByteWriter* w, const std::string& name,
+                       const std::vector<int64_t>& shape) {
+  w->Str(name);
+  w->U32(static_cast<uint32_t>(shape.size()));
+  for (int64_t dim : shape) w->I64(dim);
+}
+
+Result DecodeParamHeader(ByteReader* r, const std::string& expected_name,
+                         const std::vector<int64_t>& expected_shape,
+                         const char* section) {
+  std::string name;
+  RETIA_CKPT_RETURN_IF_ERROR(r->Str(&name));
+  if (name != expected_name) {
+    return Result::Error(ErrorCode::kSchemaMismatch,
+                         std::string("parameter order mismatch in ") +
+                             section + ": artifact has '" + name +
+                             "', model expects '" + expected_name + "'");
+  }
+  uint32_t rank = 0;
+  RETIA_CKPT_RETURN_IF_ERROR(r->U32(&rank));
+  if (rank > 16) {
+    return Result::Error(ErrorCode::kCorrupt,
+                         "implausible rank for parameter '" + name + "'");
+  }
+  std::vector<int64_t> shape(rank);
+  for (uint32_t d = 0; d < rank; ++d) {
+    RETIA_CKPT_RETURN_IF_ERROR(r->I64(&shape[d]));
+  }
+  if (shape != expected_shape) {
+    return Result::Error(ErrorCode::kSchemaMismatch,
+                         "shape mismatch for parameter '" + name +
+                             "' (artifact " + ShapeString(shape) + ", model " +
+                             ShapeString(expected_shape) + ")");
+  }
+  return Result::Ok();
+}
+
+}  // namespace
+
+Result SaveQuantizedModelArtifact(const core::RetiaModel& model,
+                                  const std::string& path,
+                                  const std::string& dataset_name) {
+  ArtifactWriter writer;
+  Meta meta = {{"artifact", "retia.model"}, {"dataset_name", dataset_name}};
+  AppendRetiaConfigMeta(model.config(), &meta);
+  writer.AddSection(kSectionMeta, EncodeMeta(meta));
+  if (model.has_entity_types()) {
+    ByteWriter types;
+    types.I64(model.num_static_types());
+    const auto& table = model.entity_types();
+    types.U64(table.size());
+    for (int64_t t : table) types.I64(t);
+    writer.AddSection(kSectionStaticTypes, types.Take());
+  }
+
+  const auto named = model.NamedParameters();
+  ByteWriter q8, f16;
+  uint64_t q8_count = 0, f16_count = 0;
+  for (const auto& [name, t] : named) {
+    if (QuantizesAsInt8(t.Shape())) ++q8_count;
+    else ++f16_count;
+  }
+  q8.U64(q8_count);
+  f16.U64(f16_count);
+  for (const auto& [name, t] : named) {
+    if (QuantizesAsInt8(t.Shape())) {
+      const int64_t rows = t.Shape()[0];
+      const int64_t cols = t.NumElements() / rows;
+      const quant::QuantizedRows q = quant::QuantizeRows(t.Data(), rows, cols);
+      EncodeParamHeader(&q8, name, t.Shape());
+      q8.FloatArray(q.scales.data(), rows);
+      q8.U64(static_cast<uint64_t>(q.data.size()));
+      q8.Raw(q.data.data(), q.data.size());
+    } else {
+      const std::vector<uint16_t> h =
+          quant::EncodeF16(t.Data(), t.NumElements());
+      EncodeParamHeader(&f16, name, t.Shape());
+      f16.U64(static_cast<uint64_t>(h.size()));
+      f16.Raw(h.data(), h.size() * sizeof(uint16_t));
+    }
+  }
+  writer.AddSection(kSectionParamsQ8, q8.Take());
+  writer.AddSection(kSectionParamsF16, f16.Take());
+  return writer.WriteFile(path);
+}
+
+namespace {
+
+// Decodes the q8 + f16 section pair into the module's f32 parameters.
+// Routing mirrors the saver: each parameter's section is a pure function
+// of its shape, so both readers are walked in NamedParameters order and
+// must end exactly when the parameter list does.
+Result DecodeQuantizedParamsInto(nn::Module* module,
+                                 std::string_view q8_payload,
+                                 std::string_view f16_payload) {
+  ByteReader q8(q8_payload, kSectionParamsQ8);
+  ByteReader f16(f16_payload, kSectionParamsF16);
+  auto named = module->NamedParameters();
+  uint64_t q8_count = 0, f16_count = 0;
+  RETIA_CKPT_RETURN_IF_ERROR(q8.U64(&q8_count));
+  RETIA_CKPT_RETURN_IF_ERROR(f16.U64(&f16_count));
+  if (q8_count + f16_count != named.size()) {
+    return Result::Error(ErrorCode::kSchemaMismatch,
+                         "quantized artifact has " +
+                             std::to_string(q8_count + f16_count) +
+                             " parameters, model has " +
+                             std::to_string(named.size()));
+  }
+  uint64_t q8_seen = 0, f16_seen = 0;
+  for (auto& [name, t] : named) {
+    if (QuantizesAsInt8(t.Shape())) {
+      if (++q8_seen > q8_count) {
+        return Result::Error(ErrorCode::kSchemaMismatch,
+                             "q8 section entry count does not cover "
+                             "parameter '" + name + "'");
+      }
+      RETIA_CKPT_RETURN_IF_ERROR(
+          DecodeParamHeader(&q8, name, t.Shape(), kSectionParamsQ8));
+      const int64_t rows = t.Shape()[0];
+      const int64_t cols = t.NumElements() / rows;
+      quant::QuantizedRows q;
+      q.rows = rows;
+      q.cols = cols;
+      RETIA_CKPT_RETURN_IF_ERROR(q8.FloatArray(&q.scales));
+      if (static_cast<int64_t>(q.scales.size()) != rows) {
+        return Result::Error(ErrorCode::kCorrupt,
+                             "scale count mismatch for parameter '" + name +
+                                 "'");
+      }
+      uint64_t nbytes = 0;
+      RETIA_CKPT_RETURN_IF_ERROR(q8.U64(&nbytes));
+      if (nbytes != static_cast<uint64_t>(rows * cols)) {
+        return Result::Error(ErrorCode::kCorrupt,
+                             "int8 payload size mismatch for parameter '" +
+                                 name + "'");
+      }
+      q.data.resize(static_cast<size_t>(nbytes));
+      RETIA_CKPT_RETURN_IF_ERROR(q8.Raw(q.data.data(), q.data.size()));
+      std::vector<float> values(static_cast<size_t>(t.NumElements()));
+      quant::DequantizeInto(q, values.data());
+      t.impl().data = std::move(values);
+    } else {
+      if (++f16_seen > f16_count) {
+        return Result::Error(ErrorCode::kSchemaMismatch,
+                             "f16 section entry count does not cover "
+                             "parameter '" + name + "'");
+      }
+      RETIA_CKPT_RETURN_IF_ERROR(
+          DecodeParamHeader(&f16, name, t.Shape(), kSectionParamsF16));
+      uint64_t count = 0;
+      RETIA_CKPT_RETURN_IF_ERROR(f16.U64(&count));
+      if (count != static_cast<uint64_t>(t.NumElements())) {
+        return Result::Error(ErrorCode::kCorrupt,
+                             "f16 element count mismatch for parameter '" +
+                                 name + "'");
+      }
+      std::vector<uint16_t> h(static_cast<size_t>(count));
+      RETIA_CKPT_RETURN_IF_ERROR(
+          f16.Raw(h.data(), h.size() * sizeof(uint16_t)));
+      t.impl().data = quant::DecodeF16(h.data(), t.NumElements());
+    }
+  }
+  if (q8_seen != q8_count || f16_seen != f16_count) {
+    return Result::Error(ErrorCode::kSchemaMismatch,
+                         "quantized artifact section split does not match "
+                         "the model's parameter shapes");
+  }
+  RETIA_CKPT_RETURN_IF_ERROR(q8.ExpectEnd());
+  return f16.ExpectEnd();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Meta.
@@ -395,9 +583,24 @@ Result LoadModelArtifact(const std::string& path,
     model->SetEntityTypes(types, num_types);
   }
 
-  std::string_view params_bytes;
-  RETIA_CKPT_RETURN_IF_ERROR(reader.Section(kSectionParams, &params_bytes));
-  RETIA_CKPT_RETURN_IF_ERROR(DecodeParamsInto(model.get(), params_bytes));
+  if (reader.Has(kSectionParams)) {
+    std::string_view params_bytes;
+    RETIA_CKPT_RETURN_IF_ERROR(reader.Section(kSectionParams, &params_bytes));
+    RETIA_CKPT_RETURN_IF_ERROR(DecodeParamsInto(model.get(), params_bytes));
+  } else {
+    // Quantized artifact: both dtype sections must be present (either may
+    // hold zero entries). A file with neither spelling of the parameters
+    // reports the canonical f32 section as missing.
+    if (!reader.Has(kSectionParamsQ8) || !reader.Has(kSectionParamsF16)) {
+      std::string_view params_bytes;
+      return reader.Section(kSectionParams, &params_bytes);
+    }
+    std::string_view q8_bytes, f16_bytes;
+    RETIA_CKPT_RETURN_IF_ERROR(reader.Section(kSectionParamsQ8, &q8_bytes));
+    RETIA_CKPT_RETURN_IF_ERROR(reader.Section(kSectionParamsF16, &f16_bytes));
+    RETIA_CKPT_RETURN_IF_ERROR(
+        DecodeQuantizedParamsInto(model.get(), q8_bytes, f16_bytes));
+  }
 
   *out = std::move(model);
   return Result::Ok();

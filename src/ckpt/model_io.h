@@ -24,6 +24,8 @@ namespace retia::ckpt {
 // Canonical section names (docs/CHECKPOINTS.md).
 inline constexpr char kSectionMeta[] = "meta";
 inline constexpr char kSectionParams[] = "model.params";
+inline constexpr char kSectionParamsQ8[] = "model.params.q8";
+inline constexpr char kSectionParamsF16[] = "model.params.f16";
 inline constexpr char kSectionStaticTypes[] = "model.static_types";
 inline constexpr char kSectionAdam[] = "optim.adam";
 inline constexpr char kSectionRng[] = "rng.model";
@@ -68,9 +70,28 @@ Result SaveModelArtifact(const core::RetiaModel& model,
                          const std::string& path,
                          const std::string& dataset_name);
 
+// Quantized variant (docs/QUANTIZATION.md): instead of the f32
+// model.params section, parameters are split across model.params.q8
+// (per-row symmetric int8 + f32 scales; every parameter where
+// QuantizesAsInt8(shape) holds) and model.params.f16 (IEEE binary16;
+// everything else — biases, norm gains, small tables). Both sections are
+// always written, either may carry zero entries. Eval/serve snapshots
+// only: a quantized artifact cannot seed training (no f32 payload).
+Result SaveQuantizedModelArtifact(const core::RetiaModel& model,
+                                  const std::string& path,
+                                  const std::string& dataset_name);
+
+// Section routing rule, shared by saver and loader (and documented in
+// docs/QUANTIZATION.md): rank >= 2 with at least 16 trailing elements per
+// leading row quantizes to int8; everything else stores f16.
+bool QuantizesAsInt8(const std::vector<int64_t>& shape);
+
 // Rebuilds the model from a v2 artifact. Returns kLegacyFormat (without
 // touching `out`) when `path` holds a v1 checkpoint, so callers can
-// dispatch to the legacy pair loader. The model is returned in train mode;
+// dispatch to the legacy pair loader. Accepts both f32 (model.params) and
+// quantized (model.params.q8 + .f16) artifacts — quantized payloads are
+// dequantized into the in-memory f32 parameters, so every downstream
+// consumer is format-agnostic. The model is returned in train mode;
 // serving callers flip SetTraining(false) themselves.
 Result LoadModelArtifact(const std::string& path,
                          std::unique_ptr<core::RetiaModel>* out,

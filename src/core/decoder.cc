@@ -23,9 +23,8 @@ ConvTransEDecoder::ConvTransEDecoder(int64_t dim, int64_t kernels,
   RegisterModule("fc", fc_.get());
 }
 
-Tensor ConvTransEDecoder::Forward(const Tensor& a, const Tensor& b,
-                                  const Tensor& candidates,
-                                  util::Rng* rng) const {
+Tensor ConvTransEDecoder::Features(const Tensor& a, const Tensor& b,
+                                   util::Rng* rng) const {
   RETIA_CHECK_EQ(a.Dim(1), dim_);
   RETIA_CHECK_EQ(b.Dim(1), dim_);
   const int64_t batch = a.Dim(0);
@@ -43,8 +42,21 @@ Tensor ConvTransEDecoder::Forward(const Tensor& a, const Tensor& b,
     feat = tensor::LayerNormRows(feat, ln_gamma_, ln_beta_);
   }
   feat = tensor::Relu(feat);
-  feat = tensor::Dropout(feat, dropout_, training(), rng);
-  return tensor::MatMulTransposeB(feat, candidates);
+  return tensor::Dropout(feat, dropout_, training(), rng);
+}
+
+Tensor ConvTransEDecoder::Forward(const Tensor& a, const Tensor& b,
+                                  const Tensor& candidates,
+                                  util::Rng* rng) const {
+  return tensor::MatMulTransposeB(Features(a, b, rng), candidates);
+}
+
+Tensor ConvTransEDecoder::ForwardQuantized(
+    const Tensor& a, const Tensor& b, const quant::QuantizedRows& candidates,
+    util::Rng* rng) const {
+  RETIA_CHECK(!training());
+  RETIA_CHECK_EQ(candidates.cols, dim_);
+  return quant::MatMulTransposeBQuant(Features(a, b, rng), candidates);
 }
 
 }  // namespace retia::core

@@ -5,6 +5,7 @@
 
 #include "nn/linear.h"
 #include "nn/module.h"
+#include "quant/quant.h"
 #include "util/rng.h"
 
 namespace retia::core {
@@ -30,7 +31,21 @@ class ConvTransEDecoder : public nn::Module {
                          const tensor::Tensor& candidates,
                          util::Rng* rng) const;
 
+  // Quantized decode (docs/QUANTIZATION.md): the identical feature
+  // pipeline, with the candidate inner products computed by the int8 GEMM
+  // against pre-quantized candidate rows. Eval/serve only — callers hold a
+  // NoGradGuard; the result carries no autograd graph.
+  tensor::Tensor ForwardQuantized(const tensor::Tensor& a,
+                                  const tensor::Tensor& b,
+                                  const quant::QuantizedRows& candidates,
+                                  util::Rng* rng) const;
+
  private:
+  // Shared feature half of both Forward variants: everything up to (but
+  // not including) the candidate product.
+  tensor::Tensor Features(const tensor::Tensor& a, const tensor::Tensor& b,
+                          util::Rng* rng) const;
+
   int64_t dim_;
   int64_t kernels_;
   float dropout_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nn/init.h"
+#include "obs/obs.h"
 #include "par/task_graph.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -370,6 +371,59 @@ Tensor RetiaModel::ScoreRelationsFrozen(
   RETIA_CHECK_MSG(!training(),
                   "frozen scoring requires eval mode (SetTraining(false))");
   return ScoreRelationsImpl(states, queries, nullptr);
+}
+
+Tensor RetiaModel::ScoreObjectsFrozenQuantized(
+    const std::vector<StepState>& states,
+    const std::vector<quant::QuantizedRows>& qcands,
+    const std::vector<std::pair<int64_t, int64_t>>& queries) const {
+  RETIA_CHECK_MSG(!training(),
+                  "frozen scoring requires eval mode (SetTraining(false))");
+  RETIA_CHECK(!states.empty());
+  RETIA_CHECK_EQ(states.size(), qcands.size());
+  RETIA_OBS_COUNTER_ADD("quant.decode.batches", 1);
+  std::vector<int64_t> subj_idx;
+  std::vector<int64_t> rel_idx;
+  subj_idx.reserve(queries.size());
+  rel_idx.reserve(queries.size());
+  for (const auto& [s, r] : queries) {
+    subj_idx.push_back(s);
+    rel_idx.push_back(r);
+  }
+  const size_t first =
+      config_.time_variability_decode ? 0 : states.size() - 1;
+  auto decode = [&](size_t i) {
+    const StepState& st = states[i];
+    Tensor s_emb = tensor::GatherRows(st.entities, subj_idx);
+    Tensor r_emb = tensor::GatherRows(st.relations, rel_idx);
+    Tensor logits =
+        entity_decoder_->ForwardQuantized(s_emb, r_emb, qcands[i], nullptr);
+    return tensor::Softmax(logits);
+  };
+  // Same eval-only fan-out (and the same determinism argument) as
+  // ScoreObjectsImpl: frozen callers have no tape and no RNG stream.
+  if (states.size() - first > 1 && !tensor::GradModeEnabled()) {
+    std::vector<Tensor> per_state(states.size() - first);
+    par::TaskGraph graph;
+    for (size_t j = 0; j < per_state.size(); ++j) {
+      graph.Add([&, j] {
+        tensor::NoGradGuard guard;  // grad mode is thread-local
+        per_state[j] = decode(first + j);
+      });
+    }
+    graph.Run();
+    Tensor total = per_state[0];
+    for (size_t j = 1; j < per_state.size(); ++j) {
+      total = tensor::Add(total, per_state[j]);
+    }
+    return total;
+  }
+  Tensor total;
+  for (size_t i = first; i < states.size(); ++i) {
+    Tensor p = decode(i);
+    total = total.defined() ? tensor::Add(total, p) : p;
+  }
+  return total;
 }
 
 Tensor RetiaModel::ScoreObjectsImpl(

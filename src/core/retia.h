@@ -110,6 +110,17 @@ class RetiaModel : public EvolutionModel {
       const std::vector<StepState>& states,
       const std::vector<std::pair<int64_t, int64_t>>& queries) const;
 
+  // Quantized frozen decode (docs/QUANTIZATION.md): identical structure to
+  // ScoreObjectsFrozen, but each state's entity-candidate inner products
+  // run the exact-int32 int8 GEMM against `qcands[i]` — the pre-quantized
+  // rows of states[i].entities (one QuantizeTensorRows per evolved
+  // timestamp, built by the serving layer). Tolerance-bound against the
+  // f32 path; bit-exact across simd backends and thread counts.
+  tensor::Tensor ScoreObjectsFrozenQuantized(
+      const std::vector<StepState>& states,
+      const std::vector<quant::QuantizedRows>& qcands,
+      const std::vector<std::pair<int64_t, int64_t>>& queries) const;
+
   int64_t history_len() const override { return config_.history_len; }
 
   bool uses_hypergraphs() const override {

@@ -1,0 +1,93 @@
+#include "quant/quant.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/obs.h"
+#include "simd/simd.h"
+#include "util/env.h"
+
+namespace retia::quant {
+
+QuantizedRows QuantizeRows(const float* a, int64_t rows, int64_t cols) {
+  RETIA_OBS_TIMED_SCOPE("quant.quantize.us");
+  QuantizedRows q;
+  q.rows = rows;
+  q.cols = cols;
+  q.data.resize(static_cast<size_t>(rows * cols));
+  q.scales.resize(static_cast<size_t>(rows));
+  if (rows > 0 && cols > 0) {
+    simd::Kernels().quantize_rows_i8(a, q.data.data(), q.scales.data(), rows,
+                                     cols);
+  }
+  RETIA_OBS_COUNTER_ADD("quant.candidate_rows.quantized", rows);
+  return q;
+}
+
+QuantizedRows QuantizeTensorRows(const tensor::Tensor& t) {
+  assert(t.Rank() == 2);
+  return QuantizeRows(t.Data(), t.Shape()[0], t.Shape()[1]);
+}
+
+void DequantizeInto(const QuantizedRows& q, float* out) {
+  for (int64_t i = 0; i < q.rows; ++i) {
+    const float s = q.scales[static_cast<size_t>(i)];
+    const int8_t* row = q.data.data() + i * q.cols;
+    float* orow = out + i * q.cols;
+    for (int64_t c = 0; c < q.cols; ++c)
+      orow[c] = static_cast<float>(row[c]) * s;
+  }
+}
+
+tensor::Tensor MatMulTransposeBQuant(const tensor::Tensor& a,
+                                     const QuantizedRows& b) {
+  assert(a.Rank() == 2 && a.Shape()[1] == b.cols);
+  const int64_t m = a.Shape()[0];
+  const int64_t k = a.Shape()[1];
+  const int64_t n = b.rows;
+  const QuantizedRows aq = QuantizeRows(a.Data(), m, k);
+  tensor::Tensor out = tensor::Tensor::Zeros({m, n});
+  {
+    RETIA_OBS_TIMED_SCOPE("quant.gemm_i8.us");
+    simd::GemmNTQuant(aq.data.data(), aq.scales.data(), b.data.data(),
+                      b.scales.data(), out.Data(), m, k, n);
+  }
+  return out;
+}
+
+std::vector<uint16_t> EncodeF16(const float* x, int64_t n) {
+  std::vector<uint16_t> y(static_cast<size_t>(n));
+  if (n > 0) simd::Kernels().f32_to_f16(x, y.data(), n);
+  return y;
+}
+
+std::vector<float> DecodeF16(const uint16_t* x, int64_t n) {
+  std::vector<float> y(static_cast<size_t>(n));
+  if (n > 0) simd::Kernels().f16_to_f32(x, y.data(), n);
+  return y;
+}
+
+bool QuantEnabled() {
+  static const bool enabled = [] {
+    const std::string v = util::Env::StringOr("RETIA_QUANT", "off");
+    if (v == "int8") return true;
+    if (v != "off") {
+      std::fprintf(stderr,
+                   "[retia] warning: RETIA_QUANT=%s is not off|int8; "
+                   "using off\n",
+                   v.c_str());
+    }
+    return false;
+  }();
+  return enabled;
+}
+
+int64_t QuantMinRows() {
+  static const int64_t min_rows =
+      util::Env::PositiveIntOr("RETIA_QUANT_MIN_ROWS", 64);
+  return min_rows;
+}
+
+}  // namespace retia::quant

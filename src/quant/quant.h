@@ -1,0 +1,72 @@
+#ifndef RETIA_QUANT_QUANT_H_
+#define RETIA_QUANT_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace retia::quant {
+
+// Quantized inference storage and ops (docs/QUANTIZATION.md).
+//
+// Serving does not need f32 training precision: decode-time candidate
+// matrices are stored as per-row symmetric int8 (one f32 scale per row)
+// and multiplied with the simd KernelTable's exact-int32 gemm_nt_i8;
+// embedding/elementwise payloads ride checkpoints as IEEE binary16.
+// Training always stays f32 — nothing here participates in autograd.
+//
+// Numerics contract (enforced by tests/quant_test.cc, label `quant`):
+//  * QuantizeRows / Dequantize / f16 round-trips and MatMulTransposeBQuant
+//    are BIT-EXACT across simd backends and thread counts.
+//  * Against the f32 reference, a quantized NT product differs by at most
+//    (k + 0.25 * (|row sums|)) * sa_i * sb_j in magnitude — see
+//    docs/QUANTIZATION.md for the derivation; tests use the analytic
+//    per-element bound 127.25 * k * sa_i * sb_j.
+
+// Per-row symmetric int8: q[i,c] in [-127,127], row i dequantizes as
+// q[i,c] * scales[i]. An all-zero row stores scale 0 and zero codes.
+struct QuantizedRows {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int8_t> data;    // rows * cols codes, row-major
+  std::vector<float> scales;   // rows scales (amax_i / 127)
+};
+
+// Quantizes a row-major [rows, cols] f32 matrix with the active simd
+// backend's quantize_rows_i8 kernel (bit-exact on every backend).
+QuantizedRows QuantizeRows(const float* a, int64_t rows, int64_t cols);
+
+// Convenience over a rank-2 tensor's storage (no autograd interaction).
+QuantizedRows QuantizeTensorRows(const tensor::Tensor& t);
+
+// Dequantizes into out[rows * cols]; out[i,c] = data[i,c] * scales[i].
+void DequantizeInto(const QuantizedRows& q, float* out);
+
+// out[m,n] = A[m,k] * dequant(B)[n,k]^T computed in int8: A's rows are
+// quantized on the fly, then GemmNTQuant runs the exact-int32 kernel.
+// Eval/serve only — the result carries no autograd graph, and callers are
+// expected to hold a tensor::NoGradGuard (the decode path does).
+tensor::Tensor MatMulTransposeBQuant(const tensor::Tensor& a,
+                                     const QuantizedRows& b);
+
+// IEEE binary16 conversion helpers (round-to-nearest-even, bit-exact on
+// every backend); used for the f16 checkpoint sections.
+std::vector<uint16_t> EncodeF16(const float* x, int64_t n);
+std::vector<float> DecodeF16(const uint16_t* x, int64_t n);
+
+// ---- Env knobs (README env-var table) --------------------------------------
+
+// RETIA_QUANT=off|int8 (default off): whether serve decode runs the
+// quantized path. Parsed once per process; unknown values warn and fall
+// back to off.
+bool QuantEnabled();
+
+// RETIA_QUANT_MIN_ROWS (default 64): candidate matrices with fewer rows
+// than this stay f32 even when quantization is on — the quantize cost and
+// accuracy loss are not worth it for tiny decodes (e.g. relation tables).
+int64_t QuantMinRows();
+
+}  // namespace retia::quant
+
+#endif  // RETIA_QUANT_QUANT_H_

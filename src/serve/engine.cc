@@ -9,8 +9,23 @@
 
 namespace retia::serve {
 
-std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
-ServeEngine::FrozenStateStore::StatesFor(int64_t t) {
+namespace {
+
+// Whether a store's entity decodes run the int8 path: explicit
+// ServeConfig override first, RETIA_QUANT otherwise, and never for models
+// whose candidate matrix is below the RETIA_QUANT_MIN_ROWS floor.
+bool StoreQuantizes(const ServeConfig& config,
+                    const core::RetiaModel& model) {
+  const bool want = config.quantized_decode >= 0
+                        ? config.quantized_decode != 0
+                        : quant::QuantEnabled();
+  return want && model.config().num_entities >= quant::QuantMinRows();
+}
+
+}  // namespace
+
+std::shared_ptr<const ServeEngine::FrozenStateStore::Entry>
+ServeEngine::FrozenStateStore::EntryFor(int64_t t) {
   std::shared_ptr<Entry> entry;
   bool creator = false;
   {
@@ -27,29 +42,41 @@ ServeEngine::FrozenStateStore::StatesFor(int64_t t) {
     // concurrent-safe; the frozen model is read-only in eval mode).
     std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
         evolved;
+    std::shared_ptr<const std::vector<quant::QuantizedRows>> qcands;
     std::exception_ptr error;
     try {
       tensor::NoGradGuard guard;
       evolved = std::make_shared<
           const std::vector<core::EvolutionModel::StepState>>(model->Evolve(
           *graph_cache, graph_cache->HistoryBefore(t, model->history_len())));
+      if (quantize) {
+        // Quantize each evolved state's entity candidates once, shared by
+        // every batch that decodes against this timestamp.
+        auto q = std::make_shared<std::vector<quant::QuantizedRows>>();
+        q->reserve(evolved->size());
+        for (const auto& st : *evolved) {
+          q->push_back(quant::QuantizeTensorRows(st.entities));
+        }
+        qcands = std::move(q);
+      }
     } catch (...) {
       error = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(entry->mu);
       entry->states = std::move(evolved);
+      entry->qcands = std::move(qcands);
       entry->error = error;
       entry->ready = true;
     }
     entry->cv.notify_all();
     if (error != nullptr) std::rethrow_exception(error);
-    return entry->states;
+    return entry;
   }
   std::unique_lock<std::mutex> lock(entry->mu);
   entry->cv.wait(lock, [&entry] { return entry->ready; });
   if (entry->error != nullptr) std::rethrow_exception(entry->error);
-  return entry->states;
+  return entry;
 }
 
 ServeEngine::ServeEngine(eval::ObjectScoreFn object_fn,
@@ -90,6 +117,7 @@ ServeEngine::ServeEngine(EngineSnapshot snapshot, const ServeConfig& config)
 ServeEngine::ServeEngine(std::shared_ptr<FrozenStateStore> store,
                          const ServeConfig& config)
     : ServeEngine(eval::ObjectScoreFn(), eval::RelationScoreFn(), config) {
+  store->quantize = StoreQuantizes(config_, *store->model);
   state_store_ = std::move(store);
 }
 
@@ -116,6 +144,7 @@ void ServeEngine::SwapSnapshot(EngineSnapshot snapshot) {
   RETIA_CHECK_MSG(PinStore() != nullptr,
                   "SwapSnapshot on a generic (score-fn) engine");
   std::shared_ptr<FrozenStateStore> store = MakeStore(std::move(snapshot));
+  store->quantize = StoreQuantizes(config_, *store->model);
   {
     std::lock_guard<std::mutex> lock(store_mu_);
     // The old store is not freed here: any in-flight batch still holds its
@@ -264,11 +293,18 @@ void ServeEngine::ProcessBatch(std::vector<Request> batch) {
   const std::shared_ptr<FrozenStateStore> store = PinStore();
   tensor::Tensor scores;
   if (store != nullptr) {
-    scores = kind == QueryKind::kEntity
-                 ? store->model->ScoreObjectsFrozen(*store->StatesFor(t),
-                                                    queries)
-                 : store->model->ScoreRelationsFrozen(*store->StatesFor(t),
-                                                      queries);
+    const std::shared_ptr<const FrozenStateStore::Entry> entry =
+        store->EntryFor(t);
+    if (kind == QueryKind::kEntity) {
+      // Relation decodes stay f32: the M-row relation candidate table is
+      // far below the quantization floor (see ServeConfig).
+      scores = entry->qcands != nullptr
+                   ? store->model->ScoreObjectsFrozenQuantized(
+                         *entry->states, *entry->qcands, queries)
+                   : store->model->ScoreObjectsFrozen(*entry->states, queries);
+    } else {
+      scores = store->model->ScoreRelationsFrozen(*entry->states, queries);
+    }
   } else {
     scores = kind == QueryKind::kEntity ? object_fn_(t, queries)
                                         : relation_fn_(t, queries);

@@ -64,6 +64,15 @@ struct ServeConfig {
   bool enable_cache = true;
   int64_t cache_capacity = 1 << 16;  // total entries across shards
   int64_t cache_shards = 8;
+  // Quantized entity decode (docs/QUANTIZATION.md): -1 follows the
+  // RETIA_QUANT env knob (the default), 0 forces f32, 1 forces int8.
+  // When on, each evolved timestamp's entity candidates are quantized once
+  // (per-row symmetric int8) and entity queries decode through the
+  // exact-int32 int8 GEMM; relation decodes and models smaller than
+  // RETIA_QUANT_MIN_ROWS entities stay f32. Tolerance-bound vs f32
+  // serving (the EXPERIMENTS.md MRR delta); bit-exact across backends
+  // and thread counts like the rest of the engine.
+  int quantized_decode = -1;
 };
 
 // Answer to one TopK / TopKRelation call: the k best candidates, best
@@ -203,19 +212,31 @@ class ServeEngine {
       bool ready = false;
       std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
           states;
+      // Per-state quantized entity candidates, built by the creator right
+      // after evolving when `quantize` is set (null otherwise), so every
+      // batch for the timestamp shares one quantization pass.
+      std::shared_ptr<const std::vector<quant::QuantizedRows>> qcands;
       std::exception_ptr error;
     };
 
     core::RetiaModel* model = nullptr;
     graph::GraphCache* graph_cache = nullptr;
+    // Entity decodes run the int8 path (resolved from ServeConfig and the
+    // RETIA_QUANT knobs at store installation, before any StatesFor call).
+    bool quantize = false;
     std::unique_ptr<core::RetiaModel> owned_model;
     std::unique_ptr<tkg::TkgDataset> owned_dataset;
     std::unique_ptr<graph::GraphCache> owned_cache;
     std::mutex mu;  // guards the map only, never held across an Evolve
     std::map<int64_t, std::shared_ptr<Entry>> states;
 
+    // Blocks until timestamp t's entry is evolved (once-semantics; the
+    // first caller becomes the creator). The returned entry is immutable.
+    std::shared_ptr<const Entry> EntryFor(int64_t t);
     std::shared_ptr<const std::vector<core::EvolutionModel::StepState>>
-    StatesFor(int64_t t);
+    StatesFor(int64_t t) {
+      return EntryFor(t)->states;
+    }
   };
 
   // Installs `store` as the initial snapshot epoch (a single store means a

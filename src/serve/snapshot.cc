@@ -51,6 +51,13 @@ ckpt::Result SaveModelSnapshot(const core::RetiaModel& model,
   return ckpt::SaveModelArtifact(model, prefix + ".ckpt", dataset_name);
 }
 
+ckpt::Result SaveQuantizedModelSnapshot(const core::RetiaModel& model,
+                                        const std::string& prefix,
+                                        const std::string& dataset_name) {
+  return ckpt::SaveQuantizedModelArtifact(model, prefix + ".ckpt",
+                                          dataset_name);
+}
+
 ckpt::Result LoadModelSnapshot(const std::string& prefix,
                                std::unique_ptr<core::RetiaModel>* model,
                                std::string* dataset_name) {

@@ -27,6 +27,16 @@ ckpt::Result SaveModelSnapshot(const core::RetiaModel& model,
                                const std::string& prefix,
                                const std::string& dataset_name = "");
 
+// Quantized snapshot (docs/QUANTIZATION.md): same artifact shape, but the
+// parameters ride the model.params.q8 / model.params.f16 dtype sections
+// (~3.5x smaller files). LoadModelSnapshot reads both kinds transparently
+// — quantized payloads are dequantized into the f32 model at load, so the
+// serving path downstream is identical. Serving/eval only: a quantized
+// snapshot cannot seed further training.
+ckpt::Result SaveQuantizedModelSnapshot(const core::RetiaModel& model,
+                                        const std::string& prefix,
+                                        const std::string& dataset_name = "");
+
 // Rebuilds the model from <prefix>.ckpt. Legacy v1 snapshot pairs
 // (<prefix>.ckpt in RETIACKPT1 format + <prefix>.meta sidecar) are
 // detected and loaded transparently. On success `*model` holds the model

@@ -96,4 +96,18 @@ void GemmTN(const float* a, const float* g, float* out, int64_t m, int64_t k,
       [&](int64_t p0, int64_t p1) { t.gemm_tn(a, g, out, m, p0, p1, k, n); });
 }
 
+void GemmNTQuant(const int8_t* a, const float* sa, const int8_t* b,
+                 const float* sb, float* out, int64_t m, int64_t k,
+                 int64_t n) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  const KernelTable& t = Kernels();
+  // Grain uses k*n/4: int8 NT does ~4x less memory traffic per output
+  // element than the f32 kernel the GrainRows heuristic was tuned on.
+  par::ParallelForTiled(
+      m, kRowTile, par::GrainRows(k * n / 4),
+      [&](int64_t i0, int64_t i1) {
+        t.gemm_nt_i8(a, sa, b, sb, out, i0, i1, k, n);
+      });
+}
+
 }  // namespace retia::simd

@@ -77,12 +77,59 @@ struct Avx2Traits {
   }
 };
 
+#include "simd/kernels_quant-inl.h"
 #include "simd/kernels_generic-inl.h"
+
+// Vectorized int8 NT GEMM: 16 bytes per side sign-extended with
+// _mm256_cvtepi8_epi16, then _mm256_madd_epi16 gives 8 exact i32
+// pair-sums per step (the u8xs8 maddubs trick is deliberately NOT used:
+// its i16 pair-sums can saturate at 2*255*127 > 32767). All integer
+// arithmetic is exact and the scale epilogue keeps the reference
+// rounding order, so this is bit-identical to GemmNTI8K.
+void GemmNTI8Avx2(const int8_t* a, const float* sa, const int8_t* b,
+                  const float* sb, float* out, int64_t i0, int64_t i1,
+                  int64_t k, int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const int8_t* ai = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* bj = b + j * k;
+      __m256i acc = _mm256_setzero_si256();
+      int64_t p = 0;
+      for (; p + 16 <= k; p += 16) {
+        const __m256i av = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(ai + p)));
+        const __m256i bv = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bj + p)));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+      }
+      __m128i h = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+      h = _mm_add_epi32(h, _mm_srli_si128(h, 8));
+      h = _mm_add_epi32(h, _mm_srli_si128(h, 4));
+      int32_t sum = _mm_cvtsi128_si32(h);
+      for (; p < k; ++p) {
+        sum += static_cast<int32_t>(ai[p]) * static_cast<int32_t>(bj[p]);
+      }
+      const float m = sa[i] * sb[j];
+      out[i * n + j] = static_cast<float>(sum) * m;
+    }
+  }
+}
 
 }  // namespace
 
 const KernelTable* GetAvx2Table() {
-  return MakeGenericTable<Avx2Traits>("avx2");
+  static const KernelTable table = [] {
+    KernelTable t = *MakeGenericTable<Avx2Traits>("avx2");
+    t.gemm_nt_i8 = GemmNTI8Avx2;
+#if defined(RETIA_HAVE_AVXVNNI)
+    // vpdpbusd micro-kernel (kernels_avx2vnni.cc): exact i32 accumulate,
+    // so still bit-identical — picked only when the CPU actually has it.
+    if (__builtin_cpu_supports("avxvnni")) t.gemm_nt_i8 = GemmNTI8Avx2Vnni;
+#endif
+    return t;
+  }();
+  return &table;
 }
 
 }  // namespace retia::simd

@@ -1,0 +1,245 @@
+// AVX-VNNI int8 GEMM micro-kernel. vpdpbusd computes an exact u8 x s8
+// dot-product-accumulate into i32 lanes (no i16 intermediate, so none of
+// the maddubs saturation that rules that instruction out — see
+// kernels_avx2.cc). Signed x signed is recovered with the +128 offset
+// trick: XOR 0x80 biases a into u8 (a + 128), and
+//   sum((a + 128) * b) = sum(a * b) + 128 * sum(b),
+// so subtracting 128 * rowsum(b) — itself computed exactly with a
+// vpdpbusd against an all-ones u8 vector over the same region — yields
+// the exact signed i32 dot. Every step is exact integer arithmetic, and
+// the float epilogue applies the same operations per output (scale
+// product, i32 -> f32 RNE convert, multiply) as the scalar reference, so
+// the kernel is bit-identical to it. Exactness bound:
+// |sum((a+128)*b)| <= k * 255 * 127, within i32 for the k <= 2^16
+// contract in simd.h.
+//
+// Layout of one (j, i-tile) step: four query rows share each candidate
+// load and run four independent accumulator chains (vpdpbusd is
+// throughput-2/cycle but ~5-cycle latency, so a single chain is
+// latency-bound); the k-tail past the 32-byte strips is finished with
+// 8-byte vpdpbusd sub-steps (vpdpbusd ignores the zero-filled upper
+// lanes), leaving at most 7 scalar multiplies per row.
+//
+// This TU is compiled with -mavxvnni only when the compiler supports it;
+// GetAvx2Table installs the kernel only after
+// __builtin_cpu_supports("avxvnni") confirms the CPU does too.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "simd/tables.h"
+
+namespace retia::simd {
+
+namespace {
+
+inline int32_t HAddI32(__m256i v) {
+  __m128i h = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  h = _mm_add_epi32(h, _mm_srli_si128(h, 8));
+  h = _mm_add_epi32(h, _mm_srli_si128(h, 4));
+  return _mm_cvtsi128_si32(h);
+}
+
+inline int32_t HAddI32(__m128i h) {
+  h = _mm_add_epi32(h, _mm_srli_si128(h, 8));
+  h = _mm_add_epi32(h, _mm_srli_si128(h, 4));
+  return _mm_cvtsi128_si32(h);
+}
+
+// One row's biased dot over [0, kv32) in 32-byte strips plus
+// [kv32, kv8) in 8-byte sub-steps; caller subtracts 128 * bsum over the
+// same region and finishes [kv8, k) scalar (unbiased).
+inline __m128i BiasedDot(const int8_t* ai, const int8_t* bj, int64_t kv32,
+                         int64_t kv8, __m256i bias256, __m128i bias128) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t q = 0;
+  for (; q < kv32; q += 32) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ai + q));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bj + q));
+    acc = _mm256_dpbusd_avx_epi32(acc, _mm256_xor_si256(av, bias256), bv);
+  }
+  __m128i tail = _mm_setzero_si128();
+  for (; q < kv8; q += 8) {
+    const __m128i av =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ai + q));
+    const __m128i bv =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bj + q));
+    // XOR turns the zero-filled upper 8 bytes into 128s, but bv's upper
+    // bytes are zero, so those lanes contribute 128 * 0 = 0.
+    tail = _mm_dpbusd_avx_epi32(tail, _mm_xor_si128(av, bias128), bv);
+  }
+  return _mm_add_epi32(_mm_add_epi32(_mm256_castsi256_si128(acc),
+                                     _mm256_extracti128_si256(acc, 1)),
+                       tail);
+}
+
+}  // namespace
+
+void GemmNTI8Avx2Vnni(const int8_t* a, const float* sa, const int8_t* b,
+                      const float* sb, float* out, int64_t i0, int64_t i1,
+                      int64_t k, int64_t n) {
+  const __m256i kBias256 = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m128i kBias128 = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m256i kOnes256 = _mm256_set1_epi8(1);
+  const __m128i kOnes128 = _mm_set1_epi8(1);
+  const int64_t kv32 = k & ~int64_t{31};
+  const int64_t kv8 = k & ~int64_t{7};
+  // j outer so each candidate row's offset correction (128 * sum over the
+  // biased region) is computed once and shared by every query row in the
+  // [i0, i1) tile.
+  for (int64_t j = 0; j < n; ++j) {
+    const int8_t* bj = b + j * k;
+    __m256i bs256 = _mm256_setzero_si256();
+    int64_t q = 0;
+    for (; q < kv32; q += 32) {
+      bs256 = _mm256_dpbusd_avx_epi32(
+          bs256, kOnes256,
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bj + q)));
+    }
+    __m128i bs128 = _mm_setzero_si128();
+    for (; q < kv8; q += 8) {
+      bs128 = _mm_dpbusd_avx_epi32(
+          bs128, kOnes128,
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bj + q)));
+    }
+    const int32_t bsum = HAddI32(bs256) + HAddI32(bs128);
+    const __m128i correction = _mm_set1_epi32(128 * bsum);
+
+    int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const int8_t* a0 = a + (i + 0) * k;
+      const int8_t* a1 = a + (i + 1) * k;
+      const int8_t* a2 = a + (i + 2) * k;
+      const int8_t* a3 = a + (i + 3) * k;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (q = 0; q < kv32; q += 32) {
+        const __m256i bv =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bj + q));
+        acc0 = _mm256_dpbusd_avx_epi32(
+            acc0,
+            _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(a0 + q)),
+                             kBias256),
+            bv);
+        acc1 = _mm256_dpbusd_avx_epi32(
+            acc1,
+            _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(a1 + q)),
+                             kBias256),
+            bv);
+        acc2 = _mm256_dpbusd_avx_epi32(
+            acc2,
+            _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(a2 + q)),
+                             kBias256),
+            bv);
+        acc3 = _mm256_dpbusd_avx_epi32(
+            acc3,
+            _mm256_xor_si256(_mm256_loadu_si256(
+                                 reinterpret_cast<const __m256i*>(a3 + q)),
+                             kBias256),
+            bv);
+      }
+      __m128i t0 = _mm_setzero_si128();
+      __m128i t1 = _mm_setzero_si128();
+      __m128i t2 = _mm_setzero_si128();
+      __m128i t3 = _mm_setzero_si128();
+      for (q = kv32; q < kv8; q += 8) {
+        const __m128i bv =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bj + q));
+        t0 = _mm_dpbusd_avx_epi32(
+            t0,
+            _mm_xor_si128(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a0 + q)),
+                kBias128),
+            bv);
+        t1 = _mm_dpbusd_avx_epi32(
+            t1,
+            _mm_xor_si128(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a1 + q)),
+                kBias128),
+            bv);
+        t2 = _mm_dpbusd_avx_epi32(
+            t2,
+            _mm_xor_si128(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a2 + q)),
+                kBias128),
+            bv);
+        t3 = _mm_dpbusd_avx_epi32(
+            t3,
+            _mm_xor_si128(
+                _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a3 + q)),
+                kBias128),
+            bv);
+      }
+      __m128i r0 = _mm_add_epi32(
+          _mm_add_epi32(_mm256_castsi256_si128(acc0),
+                        _mm256_extracti128_si256(acc0, 1)),
+          t0);
+      __m128i r1 = _mm_add_epi32(
+          _mm_add_epi32(_mm256_castsi256_si128(acc1),
+                        _mm256_extracti128_si256(acc1, 1)),
+          t1);
+      __m128i r2 = _mm_add_epi32(
+          _mm_add_epi32(_mm256_castsi256_si128(acc2),
+                        _mm256_extracti128_si256(acc2, 1)),
+          t2);
+      __m128i r3 = _mm_add_epi32(
+          _mm_add_epi32(_mm256_castsi256_si128(acc3),
+                        _mm256_extracti128_si256(acc3, 1)),
+          t3);
+      // Cross-row horizontal reduce: sums = [sum r0, sum r1, sum r2,
+      // sum r3], then one vector bias subtract.
+      __m128i sums = _mm_hadd_epi32(_mm_hadd_epi32(r0, r1),
+                                    _mm_hadd_epi32(r2, r3));
+      sums = _mm_sub_epi32(sums, correction);
+      if (kv8 < k) {
+        alignas(16) int32_t s[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(s), sums);
+        for (q = kv8; q < k; ++q) {
+          const int32_t bq = static_cast<int32_t>(bj[q]);
+          s[0] += static_cast<int32_t>(a0[q]) * bq;
+          s[1] += static_cast<int32_t>(a1[q]) * bq;
+          s[2] += static_cast<int32_t>(a2[q]) * bq;
+          s[3] += static_cast<int32_t>(a3[q]) * bq;
+        }
+        sums = _mm_load_si128(reinterpret_cast<const __m128i*>(s));
+      }
+      // Vector epilogue, same per-lane operations (and therefore the same
+      // roundings) as the scalar reference: m = sa[i] * sb[j];
+      // out = float(sum) * m.
+      const __m128 scales =
+          _mm_mul_ps(_mm_loadu_ps(sa + i), _mm_set1_ps(sb[j]));
+      alignas(16) float o[4];
+      _mm_store_ps(o, _mm_mul_ps(_mm_cvtepi32_ps(sums), scales));
+      out[(i + 0) * n + j] = o[0];
+      out[(i + 1) * n + j] = o[1];
+      out[(i + 2) * n + j] = o[2];
+      out[(i + 3) * n + j] = o[3];
+    }
+    for (; i < i1; ++i) {
+      const int8_t* ai = a + i * k;
+      int32_t sum =
+          HAddI32(BiasedDot(ai, bj, kv32, kv8, kBias256, kBias128)) -
+          128 * bsum;
+      for (q = kv8; q < k; ++q) {
+        sum += static_cast<int32_t>(ai[q]) * static_cast<int32_t>(bj[q]);
+      }
+      const float m = sa[i] * sb[j];
+      out[i * n + j] = static_cast<float>(sum) * m;
+    }
+  }
+}
+
+}  // namespace retia::simd
+
+#endif  // x86-64

@@ -3,7 +3,9 @@
 // kernels_sse2.cc, kernels_neon.cc) so each instantiation is compiled with
 // that backend's ISA flags. Include this inside an anonymous namespace in
 // `namespace retia::simd` (after <algorithm>, <cmath>, <cstdint>,
-// <cstring>); the traits types live in anonymous namespaces too, so the
+// <cstring>, and simd/kernels_quant-inl.h, whose shared reference kernels
+// the table below installs); the traits types live in anonymous namespaces
+// too, so the
 // template instantiations are TU-local and never collide across backends.
 //
 // Traits interface (V):
@@ -522,6 +524,13 @@ const KernelTable* MakeGenericTable(const char* name) {
       &Gen<V>::GemmNTK,
       &Gen<V>::GemmTNK,
       &Gen<V>::AdamK,
+      // Quantized family: the shared references from kernels_quant-inl.h
+      // (bit-exact across backends by construction). Backends with a
+      // vectorized int8 GEMM override gemm_nt_i8 after copying this table.
+      QuantizeRowsI8K,
+      GemmNTI8K,
+      F32ToF16K,
+      F16ToF32K,
   };
   return &table;
 }

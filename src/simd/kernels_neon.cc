@@ -66,6 +66,7 @@ struct NeonTraits {
   }
 };
 
+#include "simd/kernels_quant-inl.h"
 #include "simd/kernels_generic-inl.h"
 
 }  // namespace

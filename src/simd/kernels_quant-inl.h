@@ -1,0 +1,128 @@
+// Shared quantized-kernel reference implementations, included inside the
+// anonymous namespace of every backend TU (like kernels_generic-inl.h).
+// All four are part of the bit-exact-across-backends family declared in
+// simd.h: every table installs these references verbatim, and only
+// gemm_nt_i8 is overridden with per-ISA vector code (kernels_sse2.cc /
+// kernels_avx2.cc) whose int32 arithmetic is exact and whose scale
+// epilogue keeps the reference rounding order, so the override is
+// bit-identical by construction. No include guard on purpose: each TU
+// includes this exactly once into its own anonymous namespace.
+
+inline int8_t QuantOneRne(float v, float inv) {
+  // Clamp in f32 BEFORE the round-to-nearest-even convert: this is exactly
+  // the min/max + cvtps_epi32 sequence a SIMD implementation would use
+  // under the default MXCSR rounding mode, so vector and scalar agree
+  // bit-for-bit (including the v == +-127.5-after-scale ties).
+  const float c = std::min(std::max(v * inv, -127.0f), 127.0f);
+  return static_cast<int8_t>(std::lrintf(c));
+}
+
+void QuantizeRowsI8K(const float* a, int8_t* q, float* scales, int64_t rows,
+                     int64_t cols) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = a + i * cols;
+    float amax = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      const float m = std::fabs(row[c]);
+      if (m > amax) amax = m;
+    }
+    int8_t* qr = q + i * cols;
+    if (amax == 0.0f) {
+      scales[i] = 0.0f;
+      std::memset(qr, 0, static_cast<size_t>(cols));
+      continue;
+    }
+    scales[i] = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    for (int64_t c = 0; c < cols; ++c) qr[c] = QuantOneRne(row[c], inv);
+  }
+}
+
+void GemmNTI8K(const int8_t* a, const float* sa, const int8_t* b,
+               const float* sb, float* out, int64_t i0, int64_t i1, int64_t k,
+               int64_t n) {
+  for (int64_t i = i0; i < i1; ++i) {
+    const int8_t* ai = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* bj = b + j * k;
+      int32_t acc = 0;  // exact for k < 2^17: |acc| <= k * 127^2 < 2^31
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(ai[p]) * static_cast<int32_t>(bj[p]);
+      }
+      // Fixed epilogue order (scales first): vector overrides must match.
+      const float m = sa[i] * sb[j];
+      out[i * n + j] = static_cast<float>(acc) * m;
+    }
+  }
+}
+
+inline uint16_t F16FromF32(float f) {
+  uint32_t x;
+  std::memcpy(&x, &f, sizeof(x));
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  x &= 0x7fffffffu;
+  if (x >= 0x7f800000u) {  // inf or NaN
+    if (x > 0x7f800000u) return static_cast<uint16_t>(sign | 0x7e00u);  // qNaN
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (x >= 0x47800000u) return static_cast<uint16_t>(sign | 0x7c00u);  // ovf
+  if (x < 0x38800000u) {  // f16 subnormal (or zero)
+    const uint32_t shift = 113u - (x >> 23);
+    // shift > 12 means |f| < 2^-25 — below half the smallest f16 subnormal,
+    // so it rounds to signed zero. (Also keeps shift + 13 <= 25, so the
+    // 32-bit shifts below are always in range; the tie at exactly 2^-25 is
+    // shift == 11 and goes through the RNE path.)
+    if (shift > 12u) return sign;
+    const uint32_t mant = (x & 0x7fffffu) | 0x800000u;
+    uint16_t half = static_cast<uint16_t>(mant >> (shift + 13u));
+    // Round to nearest even on the (shift + 13) dropped bits.
+    const uint32_t mask = (1u << (shift + 13u)) - 1u;
+    const uint32_t rem = mant & mask;
+    const uint32_t mid = 1u << (shift + 12u);
+    if (rem > mid || (rem == mid && (half & 1u))) ++half;
+    return static_cast<uint16_t>(sign | half);
+  }
+  // Normal range: rebias exponent, round the 13 dropped mantissa bits to
+  // nearest even. The increment may carry into the exponent field, which
+  // correctly rounds up to the next binade (or to infinity from 65504+).
+  uint16_t half = static_cast<uint16_t>((((x >> 23) - 112u) << 10) |
+                                        ((x >> 13) & 0x3ffu));
+  const uint32_t rem = x & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) ++half;
+  return static_cast<uint16_t>(sign | half);
+}
+
+inline float F32FromF16(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  uint32_t mant = h & 0x3ffu;
+  uint32_t x;
+  if (exp == 0u) {
+    if (mant == 0u) {
+      x = sign;  // signed zero
+    } else {     // f16 subnormal: normalize into an f32 normal
+      int e = -1;
+      do {
+        ++e;
+        mant <<= 1;
+      } while (!(mant & 0x400u));
+      x = sign | ((113u - static_cast<uint32_t>(e) - 1u) << 23) |
+          ((mant & 0x3ffu) << 13);
+    }
+  } else if (exp == 31u) {
+    x = sign | 0x7f800000u | (mant << 13);  // inf / NaN (payload preserved)
+  } else {
+    x = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &x, sizeof(f));
+  return f;
+}
+
+void F32ToF16K(const float* x, uint16_t* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = F16FromF32(x[i]);
+}
+
+void F16ToF32K(const uint16_t* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = F32FromF16(x[i]);
+}

@@ -5,12 +5,17 @@
 // float/double mixing (float products accumulated into double, float
 // accumulators for the NT dot, std::exp on float vs double arguments).
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "simd/tables.h"
 
 namespace retia::simd {
 namespace {
+
+#include "simd/kernels_quant-inl.h"
 
 void AddK(const float* a, const float* b, float* y, int64_t n) {
   for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
@@ -182,6 +187,10 @@ const KernelTable kScalarTable = {
     GemmNTK,
     GemmTNK,
     AdamK,
+    QuantizeRowsI8K,
+    GemmNTI8K,
+    F32ToF16K,
+    F16ToF32K,
 };
 
 }  // namespace

@@ -73,12 +73,56 @@ struct Sse2Traits {
   }
 };
 
+#include "simd/kernels_quant-inl.h"
 #include "simd/kernels_generic-inl.h"
+
+// Vectorized int8 NT GEMM. Sign-extends 8 bytes per side to 8x i16
+// (compare-against-zero + unpacklo; SSE2 has no cvtepi8_epi16), then
+// _mm_madd_epi16 produces 4 exact i32 pair-sums per step. i16*i16
+// products and their pairwise sums fit i32 without saturation
+// (|a*b| <= 127^2), the i32 accumulation is exact for k < 2^17, and the
+// scale epilogue keeps the reference rounding order, so this is
+// bit-identical to GemmNTI8K.
+void GemmNTI8Sse2(const int8_t* a, const float* sa, const int8_t* b,
+                  const float* sb, float* out, int64_t i0, int64_t i1,
+                  int64_t k, int64_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  for (int64_t i = i0; i < i1; ++i) {
+    const int8_t* ai = a + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* bj = b + j * k;
+      __m128i acc = zero;
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        __m128i av = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(ai + p));
+        __m128i bv = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i*>(bj + p));
+        av = _mm_unpacklo_epi8(av, _mm_cmpgt_epi8(zero, av));
+        bv = _mm_unpacklo_epi8(bv, _mm_cmpgt_epi8(zero, bv));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(av, bv));
+      }
+      __m128i h = _mm_add_epi32(acc, _mm_srli_si128(acc, 8));
+      h = _mm_add_epi32(h, _mm_srli_si128(h, 4));
+      int32_t sum = _mm_cvtsi128_si32(h);
+      for (; p < k; ++p) {
+        sum += static_cast<int32_t>(ai[p]) * static_cast<int32_t>(bj[p]);
+      }
+      const float m = sa[i] * sb[j];
+      out[i * n + j] = static_cast<float>(sum) * m;
+    }
+  }
+}
 
 }  // namespace
 
 const KernelTable* GetSse2Table() {
-  return MakeGenericTable<Sse2Traits>("sse2");
+  static const KernelTable table = [] {
+    KernelTable t = *MakeGenericTable<Sse2Traits>("sse2");
+    t.gemm_nt_i8 = GemmNTI8Sse2;
+    return t;
+  }();
+  return &table;
 }
 
 }  // namespace retia::simd

@@ -20,8 +20,10 @@ namespace retia::simd {
 //    lane-tree order (pairwise within 128-bit halves, then across halves,
 //    then the scalar tail in index order), never in arrival order.
 //  * Bit-exact across ALL backends: elementwise add/sub/mul/scale/axpy/
-//    accumulate (one correctly-rounded op per element) and reduce_max
-//    (max is order-insensitive for non-NaN data).
+//    accumulate (one correctly-rounded op per element), reduce_max
+//    (max is order-insensitive for non-NaN data), and the whole quantized
+//    family quantize_rows_i8 / gemm_nt_i8 / f32_to_f16 / f16_to_f32
+//    (int32 accumulation is exact; see the section comment below).
 //  * Tolerance-bound against the scalar reference (documented in
 //    docs/PERFORMANCE.md, enforced by tests/simd_test.cc and the
 //    tensor_property_test backend sweep): the GEMM kernels (FMA keeps the
@@ -96,6 +98,35 @@ struct KernelTable {
   void (*adam_update)(float* w, const float* g, float* m, float* v, int64_t n,
                       float lr, float beta1, float beta2, float eps,
                       float weight_decay, float bc1, float bc2);
+
+  // ---- Quantized inference (docs/QUANTIZATION.md) -------------------------
+  // All four kernels are BIT-EXACT across backends: quantize clamps in f32
+  // to [-127, 127] before a round-to-nearest-even convert (identical to the
+  // SSE2/AVX2 min/max + cvtps_epi32 sequence under the default MXCSR), the
+  // int8 GEMM accumulates in exact order-insensitive int32 arithmetic with
+  // a fixed scale-epilogue rounding order, and the f16 converts are pure
+  // bit manipulation. Only gemm_nt_i8 has vectorized overrides; the other
+  // three share one reference implementation in every table.
+  //
+  // Per-row symmetric quantization of A[rows,cols]: scales[i] = amax_i/127,
+  // q[i,c] = rne(clamp(a[i,c] * 127/amax_i, -127, 127)); all-zero (or
+  // non-finite-free zero-amax) rows store scale 0 and all-zero codes.
+  void (*quantize_rows_i8)(const float* a, int8_t* q, float* scales,
+                           int64_t rows, int64_t cols);
+  // NT GEMM over quantized rows: out[i,j] = float(sum_p Ai8[i,p]*Bi8[j,p])
+  // * (sa[i]*sb[j]) for i in [i0,i1); Bi8 is [n,k]. The int32 dot is exact
+  // for k <= 2^16 on every implementation (plain s8 x s8 needs only
+  // |acc| <= k * 127^2, but the AVX-VNNI override's +128 offset form
+  // accumulates |(a+128) * b| <= k * 255 * 127, which caps k at 2^16);
+  // the epilogue multiplies the two scales first, then the converted sum,
+  // in that fixed order.
+  void (*gemm_nt_i8)(const int8_t* a, const float* sa, const int8_t* b,
+                     const float* sb, float* out, int64_t i0, int64_t i1,
+                     int64_t k, int64_t n);
+  // IEEE binary16 converts with round-to-nearest-even (software bit
+  // manipulation on every backend; overflow -> inf, NaN payload -> qNaN).
+  void (*f32_to_f16)(const float* x, uint16_t* y, int64_t n);
+  void (*f16_to_f32)(const uint16_t* x, float* y, int64_t n);
 };
 
 // Backends in preference order (higher enum value wins when supported).
@@ -159,6 +190,11 @@ void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
 // out[k,n] = A[m,k]^T * G[m,n].
 void GemmTN(const float* a, const float* g, float* out, int64_t m, int64_t k,
             int64_t n);
+// Quantized NT driver: out[m,n] = dequant(A8[m,k] * B8[n,k]^T) using the
+// active backend's gemm_nt_i8 micro-kernel, sharded like GemmNT. Bit-exact
+// across backends and thread counts (int32 dot + fixed scale epilogue).
+void GemmNTQuant(const int8_t* a, const float* sa, const int8_t* b,
+                 const float* sb, float* out, int64_t m, int64_t k, int64_t n);
 
 }  // namespace retia::simd
 

@@ -15,6 +15,17 @@ const KernelTable* GetScalarTable();
 #if defined(__x86_64__) || defined(_M_X64)
 const KernelTable* GetSse2Table();
 const KernelTable* GetAvx2Table();
+
+// AVX-VNNI override for the int8 GEMM micro-kernel (vpdpbusd, exact i32
+// accumulate via the +128 offset trick — bit-identical to the scalar
+// reference). Defined in kernels_avx2vnni.cc, which only exists when the
+// compiler supports -mavxvnni (RETIA_HAVE_AVXVNNI); GetAvx2Table installs
+// it after __builtin_cpu_supports("avxvnni") confirms the CPU can run it.
+#if defined(RETIA_HAVE_AVXVNNI)
+void GemmNTI8Avx2Vnni(const int8_t* a, const float* sa, const int8_t* b,
+                      const float* sb, float* out, int64_t i0, int64_t i1,
+                      int64_t k, int64_t n);
+#endif
 #endif
 
 #if defined(__aarch64__)

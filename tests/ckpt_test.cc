@@ -4,10 +4,12 @@
 // under the ctest label `ckpt` so `ctest -L ckpt` runs just these,
 // typically in a -DRETIA_SANITIZE=address build (scripts/check.sh).
 
+#include <cmath>
 #include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -20,6 +22,8 @@
 #include "graph/graph_cache.h"
 #include "nn/checkpoint.h"
 #include "nn/linear.h"
+#include "serve/snapshot.h"
+#include "tensor/tensor.h"
 #include "tkg/synthetic.h"
 #include "train/trainer.h"
 #include "util/fail.h"
@@ -366,6 +370,204 @@ TEST(ModelArtifactTest, LegacySnapshotPairStillLoads) {
   ASSERT_EQ(s.size(), d.size());
   for (size_t i = 0; i < s.size(); ++i) {
     EXPECT_EQ(s[i].second.impl().data, d[i].second.impl().data);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized artifacts (model.params.q8 / model.params.f16 sections,
+// docs/QUANTIZATION.md).
+
+// A model whose big matrices clear the QuantizesAsInt8 floor (inner size
+// >= 16), so the q8 section carries real weight.
+core::RetiaConfig QuantSmokeModelConfig(const tkg::TkgDataset& dataset) {
+  core::RetiaConfig config = SmokeModelConfig(dataset);
+  config.dim = 16;
+  return config;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(QuantizedArtifactTest, RoundTripDequantizesWithinPerOpBounds) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(QuantSmokeModelConfig(dataset));
+  const std::string path = TempPath("quant_artifact.ckpt");
+  ASSERT_TRUE(ckpt::SaveQuantizedModelArtifact(model, path, dataset.name())
+                  .ok());
+
+  std::unique_ptr<core::RetiaModel> loaded;
+  std::string dataset_name;
+  const Result r = ckpt::LoadModelArtifact(path, &loaded, &dataset_name);
+  ASSERT_TRUE(r.ok()) << r.ToString();
+  EXPECT_EQ(dataset_name, dataset.name());
+  EXPECT_EQ(loaded->config().dim, model.config().dim);
+
+  auto s = model.NamedParameters();
+  auto d = loaded->NamedParameters();
+  ASSERT_EQ(s.size(), d.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const auto& shape = s[i].second.impl().shape;
+    const std::vector<float>& orig = s[i].second.impl().data;
+    const std::vector<float>& back = d[i].second.impl().data;
+    ASSERT_EQ(orig.size(), back.size()) << s[i].first;
+    if (ckpt::QuantizesAsInt8(shape)) {
+      // int8 rows: |err| <= scale / 2 = row_amax / 254 per element.
+      const size_t cols = orig.size() / static_cast<size_t>(shape[0]);
+      for (int64_t row = 0; row < shape[0]; ++row) {
+        float amax = 0.0f;
+        for (size_t c = 0; c < cols; ++c) {
+          amax = std::max(amax, std::fabs(orig[row * cols + c]));
+        }
+        const float bound = amax / 254.0f + 1e-7f;
+        for (size_t c = 0; c < cols; ++c) {
+          const size_t idx = row * cols + c;
+          ASSERT_NEAR(back[idx], orig[idx], bound)
+              << s[i].first << " row " << row << " col " << c;
+        }
+      }
+    } else {
+      // f16: half-ulp relative for normals plus the subnormal absolute
+      // floor (2^-25).
+      for (size_t j = 0; j < orig.size(); ++j) {
+        ASSERT_LE(std::fabs(back[j] - orig[j]),
+                  std::fabs(orig[j]) * 4.8829e-4f + 3.0e-8f)
+            << s[i].first << " [" << j << "]";
+      }
+    }
+  }
+}
+
+TEST(QuantizedArtifactTest, QuantizedFileAtLeastHalvesSnapshotBytes) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(QuantSmokeModelConfig(dataset));
+  const std::string f32_path = TempPath("size_f32.ckpt");
+  const std::string q_path = TempPath("size_quant.ckpt");
+  ASSERT_TRUE(ckpt::SaveModelArtifact(model, f32_path, dataset.name()).ok());
+  ASSERT_TRUE(
+      ckpt::SaveQuantizedModelArtifact(model, q_path, dataset.name()).ok());
+  const auto f32_bytes = std::filesystem::file_size(f32_path);
+  const auto q_bytes = std::filesystem::file_size(q_path);
+  // The >= 2x snapshot-memory gate (docs/QUANTIZATION.md): enforced here
+  // at test scale, re-measured at bench scale by bench_kernels.sh.
+  EXPECT_GE(f32_bytes, 2 * q_bytes)
+      << "f32 " << f32_bytes << "B vs quantized " << q_bytes << "B";
+}
+
+TEST(QuantizedArtifactTest, PayloadBitFlipsAreCorrupt) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(QuantSmokeModelConfig(dataset));
+  const std::string path = TempPath("quant_corrupt.ckpt");
+  ASSERT_TRUE(ckpt::SaveQuantizedModelArtifact(model, path, dataset.name())
+                  .ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 1000u);
+  // The q8/f16 payloads dominate the file, so flips at the quartile
+  // offsets all land inside a section payload and must be caught by the
+  // per-section CRC.
+  for (const size_t at :
+       {bytes.size() / 4, bytes.size() / 2, 3 * bytes.size() / 4}) {
+    std::string damaged = bytes;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x20);
+    ArtifactReader reader;
+    EXPECT_EQ(ArtifactReader::Parse(damaged, &reader).code(),
+              ErrorCode::kCorrupt)
+        << "flip at offset " << at;
+  }
+}
+
+TEST(QuantizedArtifactTest, TruncationSweepIsRejected) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(QuantSmokeModelConfig(dataset));
+  const std::string path = TempPath("quant_trunc.ckpt");
+  ASSERT_TRUE(ckpt::SaveQuantizedModelArtifact(model, path, dataset.name())
+                  .ok());
+  const std::string bytes = ReadFileBytes(path);
+  // Dense sweep over the header/footer, strided through the payload bulk
+  // (a full per-byte sweep is O(n^2) CRC work at this file size).
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < std::min<size_t>(64, bytes.size()); ++i) {
+    cuts.push_back(i);
+  }
+  for (size_t i = 64; i + 64 < bytes.size(); i += 251) cuts.push_back(i);
+  for (size_t i = bytes.size() - 64; i < bytes.size(); ++i) cuts.push_back(i);
+  for (const size_t cut : cuts) {
+    ArtifactReader reader;
+    EXPECT_FALSE(ArtifactReader::Parse(bytes.substr(0, cut), &reader).ok())
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(QuantizedArtifactTest, MissingF16SectionReportsParamsMissing) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(QuantSmokeModelConfig(dataset));
+  const std::string path = TempPath("quant_missing_f16.ckpt");
+  ASSERT_TRUE(ckpt::SaveQuantizedModelArtifact(model, path, dataset.name())
+                  .ok());
+  ArtifactReader reader;
+  ASSERT_TRUE(ArtifactReader::Open(path, &reader).ok());
+  // Rebuild the artifact without the f16 half: a quantized artifact needs
+  // BOTH dtype sections, so the loader reports the parameter payload
+  // missing rather than silently zero-filling the f16-routed tensors.
+  ArtifactWriter writer;
+  for (const std::string& name : reader.SectionNames()) {
+    if (name == ckpt::kSectionParamsF16) continue;
+    std::string_view payload;
+    ASSERT_TRUE(reader.Section(name, &payload).ok());
+    writer.AddSection(name, std::string(payload));
+  }
+  const std::string half_path = TempPath("quant_missing_f16_half.ckpt");
+  WriteFileBytes(half_path, writer.Serialize());
+  std::unique_ptr<core::RetiaModel> loaded;
+  EXPECT_EQ(ckpt::LoadModelArtifact(half_path, &loaded, nullptr).code(),
+            ErrorCode::kMissingSection);
+  EXPECT_EQ(loaded, nullptr);
+}
+
+TEST(QuantizedArtifactTest, QuantizedSnapshotServesCloseToF32Snapshot) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(SmokeDataConfig());
+  core::RetiaModel model(QuantSmokeModelConfig(dataset));
+  const std::string f32_prefix = TempPath("serve_f32_snap");
+  const std::string q_prefix = TempPath("serve_quant_snap");
+  ASSERT_TRUE(
+      serve::SaveModelSnapshot(model, f32_prefix, dataset.name()).ok());
+  ASSERT_TRUE(
+      serve::SaveQuantizedModelSnapshot(model, q_prefix, dataset.name())
+          .ok());
+
+  // The f32 artifact still loads through the same dispatching loader
+  // (pre-quantization snapshots stay readable), and the quantized one
+  // serves scores within decode tolerance of it.
+  std::unique_ptr<core::RetiaModel> f32_model;
+  std::unique_ptr<core::RetiaModel> q_model;
+  ASSERT_TRUE(serve::LoadModelSnapshot(f32_prefix, &f32_model).ok());
+  ASSERT_TRUE(serve::LoadModelSnapshot(q_prefix, &q_model).ok());
+
+  graph::GraphCache cache(&dataset);
+  tensor::NoGradGuard guard;
+  const int64_t t = dataset.num_timestamps() - 1;
+  const std::vector<int64_t> history =
+      cache.HistoryBefore(t, f32_model->history_len());
+  std::vector<std::pair<int64_t, int64_t>> queries;
+  for (int64_t s = 0; s < 8; ++s) queries.emplace_back(s, s % 6);
+  const tensor::Tensor a =
+      f32_model->ScoreObjectsFrozen(f32_model->Evolve(cache, history),
+                                    queries);
+  const tensor::Tensor b =
+      q_model->ScoreObjectsFrozen(q_model->Evolve(cache, history), queries);
+  ASSERT_EQ(a.Shape(), b.Shape());
+  for (int64_t i = 0; i < a.Dim(0); ++i) {
+    for (int64_t j = 0; j < a.Dim(1); ++j) {
+      EXPECT_NEAR(a.At(i, j), b.At(i, j), 0.05) << "(" << i << "," << j
+                                                << ")";
+    }
   }
 }
 
