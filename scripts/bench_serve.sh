@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Sharded-serving baseline: runs the serve_cluster demo (router + two
+# replica processes over AF_UNIX sockets, zipfian load, one coordinated
+# hot-swap mid-run) and pins its JSON summary as BENCH_serve.json at the
+# repo root:
+#
+#   {
+#     "shards": 2, "clients": 4, "completed": N, "ok": N,
+#     "unavailable": 0, "other_errors": 0, "dropped": 0,
+#     "swap_epoch": 1,          every replica answered from the swapped
+#         snapshot at the same epoch — old-or-new, never mixed,
+#     "qps": ..., "p50_ms": ..., "p99_ms": ...   end-to-end through the
+#         router and the binary wire protocol.
+#   }
+#
+# Absolute qps/latency numbers are machine-dependent; the structural
+# facts the pin guards are dropped == 0, other_errors == 0 and
+# swap_epoch == 1 under concurrent load (serve_cluster itself exits
+# non-zero when --expect-zero-drop is violated, so a bad run never
+# overwrites the pin).
+#
+# Usage: scripts/bench_serve.sh [build-dir]     (default: <repo>/build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+BIN="${BUILD}/examples/serve_cluster"
+OUT="${ROOT}/BENCH_serve.json"
+
+if [ ! -x "${BIN}" ]; then
+  echo "bench_serve.sh: ${BIN} not built — run:" >&2
+  echo "  cmake -B ${BUILD} -S ${ROOT} && cmake --build ${BUILD} -j --target serve_cluster" >&2
+  exit 1
+fi
+
+DIR="$(mktemp -d "${TMPDIR:-/tmp}/retia-bench-serve.XXXXXX")"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "${pid}" 2>/dev/null || true; done
+  rm -rf "${DIR}"
+}
+trap cleanup EXIT
+
+echo "bench_serve.sh: preparing snapshots"
+"${BIN}" prepare "${DIR}" >/dev/null
+
+echo "bench_serve.sh: starting 2 replicas"
+"${BIN}" replica "${DIR}" "${DIR}/r0.sock" >"${DIR}/r0.log" 2>&1 &
+PIDS+=($!)
+"${BIN}" replica "${DIR}" "${DIR}/r1.sock" >"${DIR}/r1.log" 2>&1 &
+PIDS+=($!)
+
+echo "bench_serve.sh: zipfian load with mid-run hot-swap"
+timeout 300 "${BIN}" load "${DIR}" "${DIR}/r0.sock,${DIR}/r1.sock" \
+  --queries 8000 --clients 4 --swap-after 2000 \
+  --expect-zero-drop --shutdown >"${DIR}/summary.json"
+cp "${DIR}/summary.json" "${OUT}"
+echo "bench_serve.sh: wrote ${OUT}"

@@ -7,8 +7,8 @@
 #    row in the README env table (grep-based, runs before any compile so
 #    it fails fast).
 # 2. TSan smoke: builds the concurrency-sensitive test binaries (par_test,
-#    par_task_graph_test, serve_test, stream_test, obs_test,
-#    obs_disabled_test, quant_test) in Release with -fsanitize=thread into
+#    par_task_graph_test, serve_test, serve_router_test, stream_test,
+#    obs_test, obs_disabled_test, quant_test) in Release with -fsanitize=thread into
 #    build-tsan/ and runs the par/serve/obs/stream/quant-labelled ctest
 #    suites under halt_on_error. Zero TSan reports is a hard requirement:
 #    the par::ThreadPool sharding, the TaskGraph inter-op scheduler
@@ -32,7 +32,11 @@
 #    4-thread speedups on the inter-op benches; a vector-backend pin must
 #    have the quant decode gate enforced at >= 2x with the snapshot ratio
 #    >= 2x regardless; a single-core / scalar pin must say so instead of
-#    pretending (scripts/bench_kernels.sh writes both blocks).
+#    pretending (scripts/bench_kernels.sh writes both blocks). Also
+#    validates BENCH_serve.json structurally: the pinned serving run must
+#    be a clean zero-drop pass over >= 2 replica processes with all
+#    replicas agreeing on the post-hot-swap epoch
+#    (scripts/bench_serve.sh re-pins it).
 # 4. Kill-and-resume smokes: (a) trains the synthetic ckpt_smoke dataset
 #    to completion, repeats the run with per-epoch state saves and a
 #    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
@@ -47,6 +51,12 @@
 #    must be green: the scalar run proves the legacy-bit-exact fallback
 #    still carries the whole pipeline, the native run proves the vector
 #    kernels hold every invariant the tests pin.
+# 5b. Multi-process serving smoke: the serve_cluster demo runs a router
+#    process against two replica processes over AF_UNIX sockets speaking
+#    the versioned binary wire protocol. A coordinated hot-swap mid-load
+#    must drop zero requests; a SIGKILLed replica must degrade only its
+#    consistent-hash arc to shard_unavailable without hanging the router
+#    (docs/SERVING_TOPOLOGY.md).
 # 6. UBSan smoke over the vector kernels: builds simd_test and
 #    tensor_property_test with -fsanitize=undefined (no-recover) into
 #    build-ubsan/ and runs them. The exp bit tricks (int add on the
@@ -114,8 +124,8 @@ cmake -B "${BUILD}" -S "${ROOT}" \
 # Only the concurrency suites: building the whole tree under TSan is slow
 # and the other suites exercise no cross-thread behaviour.
 cmake --build "${BUILD}" -j "${JOBS}" \
-  --target par_test par_task_graph_test serve_test stream_test obs_test \
-           obs_disabled_test quant_test
+  --target par_test par_task_graph_test serve_test serve_router_test \
+           stream_test obs_test obs_disabled_test quant_test
 
 # halt_on_error: the first race fails the run instead of scrolling past.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
@@ -215,6 +225,46 @@ else:
           f"(scalar dispatch); snapshot ratio {ratio}x still gated")
 PY
 
+# Serving bench gate: the committed BENCH_serve.json must record a run in
+# which every request the load generator issued came back ok through the
+# router + wire protocol — across a mid-run coordinated hot-swap — and
+# every replica ended the run on the same post-swap epoch. Absolute
+# qps/latency are machine-dependent and not gated; the zero-drop and
+# epoch-agreement structure is deterministic (scripts/bench_serve.sh).
+python3 - "${ROOT}/BENCH_serve.json" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+
+for key in ("shards", "completed", "ok", "unavailable", "other_errors",
+            "dropped", "swap_epoch", "qps", "p50_ms", "p99_ms"):
+    if key not in doc:
+        sys.exit(f"check.sh: {path} lacks '{key}' — re-pin with "
+                 "scripts/bench_serve.sh")
+if doc["shards"] < 2:
+    sys.exit(f"check.sh: serving pin ran with {doc['shards']} shard(s) — "
+             "the bench must exercise the multi-replica path")
+if doc["dropped"] != 0 or doc["other_errors"] != 0 or doc["unavailable"] != 0:
+    sys.exit(f"check.sh: serving pin is not a clean zero-drop run: "
+             f"dropped={doc['dropped']} unavailable={doc['unavailable']} "
+             f"other_errors={doc['other_errors']}")
+if doc["ok"] != doc["completed"] or doc["completed"] <= 0:
+    sys.exit(f"check.sh: serving pin ok={doc['ok']} != "
+             f"completed={doc['completed']}")
+if doc["swap_epoch"] != 1:
+    sys.exit(f"check.sh: serving pin swap_epoch={doc['swap_epoch']} — the "
+             "bench performs exactly one coordinated hot-swap, so every "
+             "replica must agree on epoch 1")
+if not (0 < doc["p50_ms"] <= doc["p99_ms"]) or doc["qps"] <= 0:
+    sys.exit(f"check.sh: serving pin latencies are incoherent: "
+             f"p50={doc['p50_ms']} p99={doc['p99_ms']} qps={doc['qps']}")
+print(f"check.sh: serving pin structurally sound ({doc['shards']} shards, "
+      f"{doc['completed']} requests, zero drops across the hot-swap)")
+PY
+
 # ---------------------------------------------------------------------------
 # Kill-and-resume smoke, on the ASan binary so the crash path is
 # sanitized too. `straight` trains 4 epochs without checkpoints and dumps
@@ -287,6 +337,59 @@ echo "check.sh: tier-1 suite green under the native simd backend"
 RETIA_SIMD=scalar \
   ctest --test-dir "${BUILD_SIMD}" --output-on-failure -j "${JOBS}"
 echo "check.sh: tier-1 suite green under RETIA_SIMD=scalar"
+
+# ---------------------------------------------------------------------------
+# Multi-process serving smoke (examples/serve_cluster from the Release
+# tree): a router process drives zipfian load through the binary wire
+# protocol against two real replica processes on AF_UNIX sockets.
+# Round 1: a coordinated hot-swap lands mid-load and every request must
+# still come back ok (zero drops) with all replicas agreeing on the
+# post-swap epoch. Round 2 (fresh replicas): one replica is SIGKILLed
+# mid-load and only its arc may degrade — to kShardUnavailable, promptly
+# (no hang; the whole round runs under `timeout`), while the surviving
+# shard keeps serving with zero other errors. serve_cluster itself
+# enforces both invariants via --expect-zero-drop / --expect-unavailable.
+SERVE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/retia_serve_smoke.XXXXXX")"
+SERVE_PIDS=""
+trap 'kill -9 ${SERVE_PIDS} 2>/dev/null || true; \
+      rm -rf "${SMOKE_DIR}" "${STREAM_DIR}" "${SERVE_DIR}"' EXIT
+CLUSTER_BIN="${BUILD_SIMD}/examples/serve_cluster"
+
+"${CLUSTER_BIN}" prepare "${SERVE_DIR}" >/dev/null
+
+"${CLUSTER_BIN}" replica "${SERVE_DIR}" "${SERVE_DIR}/r0.sock" \
+  >"${SERVE_DIR}/r0.log" 2>&1 &
+ROUND1_A=$!
+"${CLUSTER_BIN}" replica "${SERVE_DIR}" "${SERVE_DIR}/r1.sock" \
+  >"${SERVE_DIR}/r1.log" 2>&1 &
+ROUND1_B=$!
+SERVE_PIDS="${ROUND1_A} ${ROUND1_B}"
+
+timeout 300 "${CLUSTER_BIN}" load "${SERVE_DIR}" \
+  "${SERVE_DIR}/r0.sock,${SERVE_DIR}/r1.sock" \
+  --queries 2000 --clients 4 --swap-after 500 \
+  --expect-zero-drop --shutdown >"${SERVE_DIR}/swap.json" 2>&1
+echo "check.sh: hot-swap under load dropped zero requests across 2 replicas"
+
+# Round-1 replicas unlink their socket path as they exit; wait for them
+# so the rebinding round-2 replicas cannot lose a freshly-bound socket.
+wait "${ROUND1_A}" "${ROUND1_B}" || true
+
+"${CLUSTER_BIN}" replica "${SERVE_DIR}" "${SERVE_DIR}/r0.sock" \
+  >"${SERVE_DIR}/r0b.log" 2>&1 &
+SERVE_PIDS="${SERVE_PIDS} $!"
+"${CLUSTER_BIN}" replica "${SERVE_DIR}" "${SERVE_DIR}/r1.sock" \
+  >"${SERVE_DIR}/r1b.log" 2>&1 &
+VICTIM=$!
+SERVE_PIDS="${SERVE_PIDS} ${VICTIM}"
+
+timeout 300 "${CLUSTER_BIN}" load "${SERVE_DIR}" \
+  "${SERVE_DIR}/r0.sock,${SERVE_DIR}/r1.sock" \
+  --queries 2000 --clients 4 --timeout-ms 2000 \
+  --kill-after 300 --kill-pid "${VICTIM}" \
+  --expect-unavailable --shutdown >"${SERVE_DIR}/kill.json" 2>&1
+echo "check.sh: SIGKILLed replica degraded to shard_unavailable without" \
+     "hanging the router; surviving shard kept serving"
 
 # ---------------------------------------------------------------------------
 # UBSan smoke over the vector kernels. -fno-sanitize-recover=all (set by

@@ -1,5 +1,6 @@
 #include "serve/engine.h"
 
+#include <sstream>
 #include <utility>
 
 #include "eval/metrics.h"
@@ -8,21 +9,6 @@
 #include "util/check.h"
 
 namespace retia::serve {
-
-namespace {
-
-// Whether a store's entity decodes run the int8 path: explicit
-// ServeConfig override first, RETIA_QUANT otherwise, and never for models
-// whose candidate matrix is below the RETIA_QUANT_MIN_ROWS floor.
-bool StoreQuantizes(const ServeConfig& config,
-                    const core::RetiaModel& model) {
-  const bool want = config.quantized_decode >= 0
-                        ? config.quantized_decode != 0
-                        : quant::QuantEnabled();
-  return want && model.config().num_entities >= quant::QuantMinRows();
-}
-
-}  // namespace
 
 std::shared_ptr<const ServeEngine::FrozenStateStore::Entry>
 ServeEngine::FrozenStateStore::EntryFor(int64_t t) {
@@ -117,7 +103,8 @@ ServeEngine::ServeEngine(EngineSnapshot snapshot, const ServeConfig& config)
 ServeEngine::ServeEngine(std::shared_ptr<FrozenStateStore> store,
                          const ServeConfig& config)
     : ServeEngine(eval::ObjectScoreFn(), eval::RelationScoreFn(), config) {
-  store->quantize = StoreQuantizes(config_, *store->model);
+  store->quantize =
+      config_.ResolvesQuantized(store->model->config().num_entities);
   state_store_ = std::move(store);
 }
 
@@ -144,17 +131,20 @@ void ServeEngine::SwapSnapshot(EngineSnapshot snapshot) {
   RETIA_CHECK_MSG(PinStore() != nullptr,
                   "SwapSnapshot on a generic (score-fn) engine");
   std::shared_ptr<FrozenStateStore> store = MakeStore(std::move(snapshot));
-  store->quantize = StoreQuantizes(config_, *store->model);
+  store->quantize =
+      config_.ResolvesQuantized(store->model->config().num_entities);
   {
     std::lock_guard<std::mutex> lock(store_mu_);
     // The old store is not freed here: any in-flight batch still holds its
     // pin and finishes against the old snapshot (old-or-new, never torn).
+    store->epoch = snapshot_swaps_.load(std::memory_order_relaxed) + 1;
     state_store_.swap(store);
   }
   // Cached predictions were decoded by the previous snapshot; drop them so
-  // a key is never answered by a mix of epochs. Concurrent Get/Put calls
-  // are safe (the cache locks internally) — a racing Put of an old-epoch
-  // prediction can at worst re-insert one entry that the next swap clears.
+  // a key is never answered by a mix of epochs. Clear() also bumps the
+  // cache generation, and ProcessBatch fences its Puts on the generation
+  // it sampled before pinning the store — so an in-flight decode racing
+  // this swap cannot re-insert a pre-swap prediction afterwards.
   if (cache_ != nullptr) cache_->Clear();
   snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
   RETIA_OBS_COUNTER_ADD("serve.snapshot_swaps", 1);
@@ -176,12 +166,16 @@ ServeEngine::~ServeEngine() {
 }
 
 TopKResult ServeEngine::TopK(int64_t s, int64_t r, int64_t t, int64_t k) {
-  return Submit({t, s, r, QueryKind::kEntity}, k);
+  Result<QueryResult> result = Submit(Query::Entity(s, r, t, k));
+  RETIA_CHECK_MSG(result.ok(), result.ToString());
+  return {std::move(result.value().candidates), result.value().cache_hit};
 }
 
 TopKResult ServeEngine::TopKRelation(int64_t s, int64_t o, int64_t t,
                                      int64_t k) {
-  return Submit({t, s, o, QueryKind::kRelation}, k);
+  Result<QueryResult> result = Submit(Query::Relation(s, o, t, k));
+  RETIA_CHECK_MSG(result.ok(), result.ToString());
+  return {std::move(result.value().candidates), result.value().cache_hit};
 }
 
 void ServeEngine::Warmup(int64_t t) {
@@ -199,28 +193,81 @@ ServeStats ServeEngine::Stats() const {
 
 void ServeEngine::ResetStats() { stats_.Reset(); }
 
-TopKResult ServeEngine::Submit(const CacheKey& key, int64_t k) {
-  RETIA_CHECK(k > 0);
-  RETIA_CHECK_LE(k, config_.max_k);
+StatusCode ServeEngine::Validate(const Query& query,
+                                 const FrozenStateStore* store,
+                                 std::string* detail) const {
+  std::ostringstream out;
+  if (query.k <= 0 || query.k > config_.max_k) {
+    out << "k=" << query.k << " outside (0, " << config_.max_k << "]";
+    *detail = out.str();
+    return StatusCode::kInvalidArgument;
+  }
+  if (query.t < 0) {
+    out << "t=" << query.t << " is negative";
+    *detail = out.str();
+    return StatusCode::kBadTimestamp;
+  }
+  // Id validation needs a vocabulary; generic score-fn engines have none
+  // and pass ids straight through to the caller-supplied scorers.
+  if (store != nullptr) {
+    const core::RetiaConfig& mc = store->model->config();
+    if (query.s < 0 || query.s >= mc.num_entities) {
+      out << "subject " << query.s << " outside [0, " << mc.num_entities
+          << ")";
+      *detail = out.str();
+      return StatusCode::kUnknownEntity;
+    }
+    if (query.kind == QueryKind::kEntity) {
+      if (query.r_or_o < 0 || query.r_or_o >= 2 * mc.num_relations) {
+        out << "relation " << query.r_or_o << " outside [0, "
+            << 2 * mc.num_relations << ") (inverse directions included)";
+        *detail = out.str();
+        return StatusCode::kUnknownRelation;
+      }
+    } else if (query.r_or_o < 0 || query.r_or_o >= mc.num_entities) {
+      out << "object " << query.r_or_o << " outside [0, " << mc.num_entities
+          << ")";
+      *detail = out.str();
+      return StatusCode::kUnknownEntity;
+    }
+  }
+  return StatusCode::kOk;
+}
+
+Result<QueryResult> ServeEngine::Submit(const Query& query) {
   RETIA_OBS_COUNTER_ADD("serve.requests", 1);
   util::Timer timer;
+  const std::shared_ptr<FrozenStateStore> store = PinStore();
+  std::string detail;
+  if (StatusCode code = Validate(query, store.get(), &detail);
+      code != StatusCode::kOk) {
+    return Result<QueryResult>::Error(code, detail);
+  }
+  const CacheKey key{query.t, query.s, query.r_or_o, query.kind};
   if (cache_ != nullptr) {
-    std::vector<ScoredCandidate> cached;
-    if (cache_->Get(key, &cached)) {
+    QueryResult cached;
+    if (cache_->Get(key, &cached.candidates, &cached.epoch)) {
       RETIA_OBS_COUNTER_ADD("serve.cache.hits", 1);
-      if (static_cast<int64_t>(cached.size()) > k) cached.resize(k);
+      cached.cache_hit = true;
+      if (static_cast<int64_t>(cached.candidates.size()) > query.k) {
+        cached.candidates.resize(query.k);
+      }
       stats_.RecordRequest(timer.Millis());
-      return {std::move(cached), /*cache_hit=*/true};
+      return cached;
     }
     RETIA_OBS_COUNTER_ADD("serve.cache.misses", 1);
   }
-  std::future<TopKResult> future;
+  std::future<Result<QueryResult>> future;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    RETIA_CHECK_MSG(!stopping_, "query submitted to a stopping ServeEngine");
+    if (stopping_) {
+      return Result<QueryResult>::Error(
+          StatusCode::kShuttingDown,
+          "query submitted to a stopping ServeEngine");
+    }
     Request request;
     request.key = key;
-    request.k = k;
+    request.k = query.k;
     request.timer = timer;
     future = request.promise.get_future();
     queue_.push_back(std::move(request));
@@ -231,7 +278,10 @@ TopKResult ServeEngine::Submit(const CacheKey& key, int64_t k) {
   // returns immediately. On a pool with no workers the tick runs inline
   // here, before future.get(), so the engine never deadlocks.
   pool_->Submit([this] { DrainTask(); });
-  TopKResult result = future.get();
+  Result<QueryResult> result = future.get();
+  // The single completion-accounting site: every answered request — cache
+  // hit (above), decoded, or failed — records exactly one end-to-end
+  // latency sample.
   stats_.RecordRequest(timer.Millis());
   return result;
 }
@@ -280,55 +330,78 @@ void ServeEngine::ProcessBatch(std::vector<Request> batch) {
   for (const Request& request : batch) {
     queries.emplace_back(request.key.a, request.key.b);
     // Each request's timer started at submission, so at this point it has
-    // measured exactly the time spent queued.
-    const double wait_ms = request.timer.Millis();
-    stats_.RecordQueueWait(wait_ms);
-    RETIA_OBS_HIST_RECORD("serve.queue_wait.us",
-                          static_cast<int64_t>(wait_ms * 1000.0));
+    // measured exactly the time spent queued. The recorder owns the
+    // queue-wait accounting (sample + obs histogram) for engine and
+    // router alike — no second call site.
+    stats_.RecordQueueWait(request.timer.Millis());
   }
   util::Timer compute_timer;
+  // Sample the cache generation *before* pinning the snapshot: if a swap
+  // (Clear) lands anywhere after this point, the fenced Puts below become
+  // no-ops instead of re-inserting predictions from the replaced snapshot.
+  const uint64_t cache_gen = cache_ != nullptr ? cache_->generation() : 0;
   // Pin the snapshot epoch for the whole batched decode: a concurrent
   // SwapSnapshot cannot free the model or states under this batch, and
   // every row of the batch is answered by one consistent snapshot.
   const std::shared_ptr<FrozenStateStore> store = PinStore();
   tensor::Tensor scores;
-  if (store != nullptr) {
-    const std::shared_ptr<const FrozenStateStore::Entry> entry =
-        store->EntryFor(t);
-    if (kind == QueryKind::kEntity) {
-      // Relation decodes stay f32: the M-row relation candidate table is
-      // far below the quantization floor (see ServeConfig).
-      scores = entry->qcands != nullptr
-                   ? store->model->ScoreObjectsFrozenQuantized(
-                         *entry->states, *entry->qcands, queries)
-                   : store->model->ScoreObjectsFrozen(*entry->states, queries);
+  try {
+    if (store != nullptr) {
+      const std::shared_ptr<const FrozenStateStore::Entry> entry =
+          store->EntryFor(t);
+      if (kind == QueryKind::kEntity) {
+        // Relation decodes stay f32: the M-row relation candidate table is
+        // far below the quantization floor (see ServeConfig).
+        scores =
+            entry->qcands != nullptr
+                ? store->model->ScoreObjectsFrozenQuantized(
+                      *entry->states, *entry->qcands, queries)
+                : store->model->ScoreObjectsFrozen(*entry->states, queries);
+      } else {
+        scores = store->model->ScoreRelationsFrozen(*entry->states, queries);
+      }
     } else {
-      scores = store->model->ScoreRelationsFrozen(*entry->states, queries);
+      scores = kind == QueryKind::kEntity ? object_fn_(t, queries)
+                                          : relation_fn_(t, queries);
     }
-  } else {
-    scores = kind == QueryKind::kEntity ? object_fn_(t, queries)
-                                        : relation_fn_(t, queries);
+    RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(batch.size()));
+  } catch (const std::exception& e) {
+    // A throwing decode (a scorer raised, or history evolution failed)
+    // fails this batch's requests with a reported error instead of
+    // unwinding through the pool task and aborting the process.
+    for (Request& request : batch) {
+      request.promise.set_value(Result<QueryResult>::Error(
+          StatusCode::kInternal, std::string("decode failed: ") + e.what()));
+    }
+    return;
+  } catch (...) {
+    for (Request& request : batch) {
+      request.promise.set_value(Result<QueryResult>::Error(
+          StatusCode::kInternal, "decode failed: non-standard exception"));
+    }
+    return;
   }
-  RETIA_CHECK_EQ(scores.Dim(0), static_cast<int64_t>(batch.size()));
   const int64_t n = scores.Dim(1);
-  const double compute_ms = compute_timer.Millis();
-  stats_.RecordCompute(compute_ms);
-  RETIA_OBS_HIST_RECORD("serve.compute.us",
-                        static_cast<int64_t>(compute_ms * 1000.0));
+  stats_.RecordCompute(compute_timer.Millis());
   RETIA_OBS_HIST_RECORD("serve.batch_size",
                         static_cast<int64_t>(batch.size()));
   stats_.RecordBatch(static_cast<int64_t>(batch.size()));
+  const int64_t epoch = store != nullptr ? store->epoch : 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     const float* row = scores.Data() + static_cast<int64_t>(i) * n;
     std::vector<ScoredCandidate> ranked;
     for (int64_t id : eval::TopKIndices(row, n, config_.max_k)) {
       ranked.push_back({id, row[id]});
     }
-    if (cache_ != nullptr) cache_->Put(batch[i].key, ranked);
+    if (cache_ != nullptr) cache_->Put(batch[i].key, ranked, epoch, cache_gen);
     if (static_cast<int64_t>(ranked.size()) > batch[i].k) {
       ranked.resize(batch[i].k);
     }
-    batch[i].promise.set_value({std::move(ranked), /*cache_hit=*/false});
+    QueryResult result;
+    result.candidates = std::move(ranked);
+    result.cache_hit = false;
+    result.epoch = epoch;
+    batch[i].promise.set_value(std::move(result));
   }
 }
 

@@ -7,23 +7,26 @@
 //
 // Ownership / threading contract: the engine owns no threads — drain
 // ticks run as tasks on the shared par::DefaultPool() (or config.pool,
-// which must outlive the engine). TopK()/TopKRelation() are safe to call
-// from any number of client threads concurrently; a borrowed model and
-// GraphCache must outlive the engine and stay frozen while it runs (an
-// EngineSnapshot-constructed or SwapSnapshot-installed snapshot is owned
-// by the engine instead). SwapSnapshot() replaces the served snapshot
-// with zero downtime: in-flight batches finish on the epoch they pinned,
-// everything later decodes against the new one. The destructor blocks
-// until every outstanding request is answered.
+// which must outlive the engine). Submit() (and the deprecated
+// TopK()/TopKRelation() shims) are safe to call from any number of client
+// threads concurrently; a borrowed model and GraphCache must outlive the
+// engine and stay frozen while it runs (an EngineSnapshot-constructed or
+// SwapSnapshot-installed snapshot is owned by the engine instead).
+// SwapSnapshot() replaces the served snapshot with zero downtime:
+// in-flight batches finish on the epoch they pinned, everything later
+// decodes against the new one. The destructor blocks until every
+// outstanding request is answered.
 // Request/cache counters, batch-size and queue-wait/compute histograms
 // are exported as `serve.*` metrics (docs/OBSERVABILITY.md) and merged
 // into Stats().ToJson().
 //
 // Usage:
-//   serve::ServeConfig config;
+//   serve::ServeConfig config = serve::ServeConfig::FromEnv();
 //   serve::ServeEngine engine(&model, &graph_cache, config);
 //   engine.Warmup(t);
-//   serve::TopKResult top = engine.TopK(subject, relation, t, /*k=*/10);
+//   serve::Result<serve::QueryResult> top =
+//       engine.Submit(serve::Query::Entity(subject, relation, t, /*k=*/10));
+//   if (top.ok()) Use(top.value().candidates);
 //   std::cout << engine.Stats().ToJson() << "\n";
 
 #include <atomic>
@@ -31,10 +34,12 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/retia.h"
@@ -42,10 +47,16 @@
 #include "graph/graph_cache.h"
 #include "par/thread_pool.h"
 #include "serve/lru_cache.h"
+#include "serve/query.h"
 #include "serve/stats.h"
 
 namespace retia::serve {
 
+// Engine knobs. Construct directly for explicit control, or through
+// FromEnv() which parses every knob from its RETIA_SERVE_* environment
+// variable exactly once through util::Env (the knob table in
+// docs/SERVING_TOPOLOGY.md and the README is generated from FromEnv's
+// defaults — config.cc is the single place they live).
 struct ServeConfig {
   // Maximum number of drain ticks (batched decodes) running concurrently
   // on the shared pool. The engine owns no threads of its own: decode work
@@ -73,10 +84,25 @@ struct ServeConfig {
   // serving (the EXPERIMENTS.md MRR delta); bit-exact across backends
   // and thread counts like the rest of the engine.
   int quantized_decode = -1;
+
+  // Parses every knob above from the environment (RETIA_SERVE_THREADS,
+  // RETIA_SERVE_MAX_BATCH, RETIA_SERVE_MAX_K, RETIA_SERVE_CACHE,
+  // RETIA_SERVE_CACHE_CAPACITY, RETIA_SERVE_CACHE_SHARDS) through
+  // util::Env, falling back to the defaults declared here. `pool` stays
+  // null (the shared default pool) and `quantized_decode` stays -1 (the
+  // RETIA_QUANT knob, resolved per store by ResolvesQuantized).
+  static ServeConfig FromEnv();
+
+  // Whether a store over `num_entities` candidates decodes through the
+  // int8 path: the explicit quantized_decode override first, RETIA_QUANT
+  // otherwise, and never below the RETIA_QUANT_MIN_ROWS floor. The single
+  // quantization-policy site for the serving tier (config.cc).
+  bool ResolvesQuantized(int64_t num_entities) const;
 };
 
-// Answer to one TopK / TopKRelation call: the k best candidates, best
-// first, plus whether the prediction cache supplied them.
+// Answer to one TopK / TopKRelation shim call: the k best candidates,
+// best first, plus whether the prediction cache supplied them. New code
+// should use Submit(Query) and QueryResult instead.
 struct TopKResult {
   std::vector<ScoredCandidate> candidates;
   bool cache_hit = false;
@@ -93,6 +119,14 @@ struct EngineSnapshot {
   std::unique_ptr<tkg::TkgDataset> dataset;
   std::unique_ptr<graph::GraphCache> graph_cache;
 };
+
+// Rebuilds an EngineSnapshot from a snapshot prefix (the payload of a
+// wire-protocol swap request). The replica server and the router's
+// in-process channel both take one: the host decides how a prefix maps to
+// model + dataset + graph cache (serve::LoadModelSnapshot plus whatever
+// dataset source the deployment uses). Must be thread-safe.
+using SnapshotLoader =
+    std::function<Result<EngineSnapshot>(const std::string& prefix)>;
 
 // Concurrent batched inference engine over a frozen extrapolation model.
 //
@@ -149,12 +183,21 @@ class ServeEngine {
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
 
-  // Top-k objects for the entity query (s, r, ?) at serving timestamp t.
-  // r in [0, 2M): pass r + M for the inverse (subject) direction. Blocks
-  // until the result is available. k must be <= config.max_k.
-  TopKResult TopK(int64_t s, int64_t r, int64_t t, int64_t k);
+  // Answers one typed query, blocking until the result is available.
+  // Malformed queries are REPORTED, never fatal: kInvalidArgument for a k
+  // outside (0, config.max_k], kBadTimestamp for t < 0, kUnknownEntity /
+  // kUnknownRelation for out-of-vocabulary ids (validated against the
+  // pinned snapshot's model; generic score-fn engines cannot validate ids
+  // and pass them through), kShuttingDown when the engine is draining,
+  // and kInternal when the decode itself threw. This is the one entry
+  // point the wire protocol deserializes onto, so nothing reachable from
+  // a socket can CHECK-fail the process.
+  Result<QueryResult> Submit(const Query& query);
 
-  // Top-k relations for the query (s, ?, o) at serving timestamp t.
+  // Deprecated positional shims over Submit(). They keep the pre-typed-API
+  // contract: malformed arguments CHECK-fail instead of returning a code.
+  // New code should call Submit(Query::Entity(...)) / (Query::Relation(...)).
+  TopKResult TopK(int64_t s, int64_t r, int64_t t, int64_t k);
   TopKResult TopKRelation(int64_t s, int64_t o, int64_t t, int64_t k);
 
   // Pre-evolves (and pins) the states for timestamp t so the first query
@@ -186,7 +229,7 @@ class ServeEngine {
     CacheKey key;
     int64_t k = 0;
     util::Timer timer;  // started at submission
-    std::promise<TopKResult> promise;
+    std::promise<Result<QueryResult>> promise;
   };
 
   // Memoized per-timestamp evolution for the model-backed constructors.
@@ -224,6 +267,10 @@ class ServeEngine {
     // Entity decodes run the int8 path (resolved from ServeConfig and the
     // RETIA_QUANT knobs at store installation, before any StatesFor call).
     bool quantize = false;
+    // Snapshot epoch of this store: snapshot_swaps() at installation.
+    // Stamped on every QueryResult the store's batches answer, so a
+    // response's provenance is auditable across hot-swaps.
+    int64_t epoch = 0;
     std::unique_ptr<core::RetiaModel> owned_model;
     std::unique_ptr<tkg::TkgDataset> owned_dataset;
     std::unique_ptr<graph::GraphCache> owned_cache;
@@ -251,7 +298,10 @@ class ServeEngine {
   // cannot free the model under them.
   std::shared_ptr<FrozenStateStore> PinStore() const;
 
-  TopKResult Submit(const CacheKey& key, int64_t k);
+  // Validation half of Submit(): returns kOk or the taxonomy code for a
+  // malformed query (id validation needs the pinned store's model config).
+  StatusCode Validate(const Query& query, const FrozenStateStore* store,
+                      std::string* detail) const;
   // One scheduled tick: becomes an active drainer if the concurrency cap
   // allows, then drains micro-batches until the queue is empty.
   void DrainTask();

@@ -19,7 +19,7 @@ PredictionCache::Shard& PredictionCache::ShardFor(const CacheKey& key) {
 }
 
 bool PredictionCache::Get(const CacheKey& key,
-                          std::vector<ScoredCandidate>* out) {
+                          std::vector<ScoredCandidate>* out, int64_t* epoch) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -29,26 +29,38 @@ bool PredictionCache::Get(const CacheKey& key,
   }
   ++shard.hits;
   shard.order.splice(shard.order.begin(), shard.order, it->second);
-  if (out != nullptr) *out = it->second->second;
+  if (out != nullptr) *out = it->second->value;
+  if (epoch != nullptr) *epoch = it->second->epoch;
   return true;
 }
 
 void PredictionCache::Put(const CacheKey& key,
-                          std::vector<ScoredCandidate> value) {
+                          std::vector<ScoredCandidate> value, int64_t epoch,
+                          uint64_t generation) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // Generation fence, checked under the shard lock: either this Put's
+  // insert happens before Clear() reaches the shard (and is dropped with
+  // it), or the shard lock ordering guarantees the bumped generation is
+  // visible here and the stale value is rejected. Both ways, no value
+  // computed before a Clear survives it.
+  if (generation != kAnyGeneration &&
+      generation != generation_.load(std::memory_order_acquire)) {
+    return;
+  }
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = std::move(value);
+    it->second->value = std::move(value);
+    it->second->epoch = epoch;
     shard.order.splice(shard.order.begin(), shard.order, it->second);
     return;
   }
   if (static_cast<int64_t>(shard.order.size()) >= shard_capacity_) {
-    shard.index.erase(shard.order.back().first);
+    shard.index.erase(shard.order.back().key);
     shard.order.pop_back();
     ++shard.evictions;
   }
-  shard.order.emplace_front(key, std::move(value));
+  shard.order.push_front(Entry{key, std::move(value), epoch});
   shard.index[key] = shard.order.begin();
 }
 
@@ -65,6 +77,10 @@ CacheCounters PredictionCache::Counters() const {
 }
 
 void PredictionCache::Clear() {
+  // Bump first: a fenced Put that sampled the old generation is rejected
+  // from here on, so the per-shard sweep below cannot be undone by an
+  // in-flight decode landing after its shard was swept.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->order.clear();

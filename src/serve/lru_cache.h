@@ -1,6 +1,7 @@
 #ifndef RETIA_SERVE_LRU_CACHE_H_
 #define RETIA_SERVE_LRU_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -9,22 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "serve/query.h"
+
 namespace retia::serve {
-
-// One ranked prediction candidate (entity or relation id).
-struct ScoredCandidate {
-  int64_t id = 0;
-  float score = 0.0f;
-
-  friend bool operator==(const ScoredCandidate&,
-                         const ScoredCandidate&) = default;
-};
-
-// Which decode path a cached prediction came from.
-enum class QueryKind : uint8_t {
-  kEntity = 0,    // (s, r, ?) -> entities; key (t, s, r)
-  kRelation = 1,  // (s, ?, o) -> relations; key (t, s, o)
-};
 
 // Cache key of one prediction: the serving timestamp plus the two query
 // ids (subject+relation for entity queries, subject+object for relation
@@ -79,12 +67,30 @@ class PredictionCache {
   PredictionCache(int64_t capacity, int64_t num_shards = 8);
 
   // Copies the cached candidates into `*out` and promotes the entry to
-  // most-recently-used. Counts one hit or one miss.
-  bool Get(const CacheKey& key, std::vector<ScoredCandidate>* out);
+  // most-recently-used. Counts one hit or one miss. When `epoch` is
+  // non-null it receives the snapshot epoch recorded at Put time.
+  bool Get(const CacheKey& key, std::vector<ScoredCandidate>* out,
+           int64_t* epoch = nullptr);
 
   // Inserts or overwrites as most-recently-used, evicting the shard's LRU
-  // entry when the shard is at capacity.
-  void Put(const CacheKey& key, std::vector<ScoredCandidate> value);
+  // entry when the shard is at capacity. `epoch` tags the entry with the
+  // snapshot epoch that decoded it (SwapSnapshot clears the cache, so a
+  // hit's epoch is the serving epoch — the tag makes that auditable).
+  //
+  // `generation` fences the insert against Clear(): pass the value of
+  // generation() observed *before* computing `value`, and the Put becomes
+  // a no-op if a Clear ran in between — checked under the shard lock, so
+  // an in-flight decode that raced a snapshot swap can never re-insert a
+  // stale prediction after the swap's Clear. kAnyGeneration skips the
+  // fence (direct cache users with no swap concept).
+  static constexpr uint64_t kAnyGeneration = ~0ull;
+  void Put(const CacheKey& key, std::vector<ScoredCandidate> value,
+           int64_t epoch = 0, uint64_t generation = kAnyGeneration);
+
+  // Monotonic count of Clear() calls; see Put.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   // Summed counters across shards.
   CacheCounters Counters() const;
@@ -95,7 +101,11 @@ class PredictionCache {
   int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
 
  private:
-  using Entry = std::pair<CacheKey, std::vector<ScoredCandidate>>;
+  struct Entry {
+    CacheKey key;
+    std::vector<ScoredCandidate> value;
+    int64_t epoch = 0;
+  };
 
   struct Shard {
     std::mutex mu;
@@ -110,6 +120,7 @@ class PredictionCache {
   Shard& ShardFor(const CacheKey& key);
 
   int64_t shard_capacity_;
+  std::atomic<uint64_t> generation_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -1,0 +1,145 @@
+#ifndef RETIA_SERVE_QUERY_H_
+#define RETIA_SERVE_QUERY_H_
+
+// Typed query surface of retia::serve (docs/SERVING_TOPOLOGY.md).
+//
+// One struct — serve::Query — is the unit of work everywhere in the
+// serving tier: in-process callers hand it to ServeEngine::Submit, the
+// router consistent-hashes on its subject to pick a replica, and the wire
+// protocol serializes exactly its fields. Answers come back as
+// serve::Result<QueryResult>: malformed or unroutable queries are reported
+// through the StatusCode taxonomy instead of CHECK-failing, so a bad id
+// arriving over a socket can never take a serving process down.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace retia::serve {
+
+// One ranked prediction candidate (entity or relation id).
+struct ScoredCandidate {
+  int64_t id = 0;
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredCandidate&,
+                         const ScoredCandidate&) = default;
+};
+
+// Which decode path a query (or cached prediction) takes.
+enum class QueryKind : uint8_t {
+  kEntity = 0,    // (s, r, ?) -> entities
+  kRelation = 1,  // (s, ?, o) -> relations
+};
+
+// Error taxonomy of the serving tier. Engine-level validation yields the
+// kUnknown*/kBadTimestamp/kInvalidArgument codes; the distributed layer
+// adds kShuttingDown (engine draining), kShardUnavailable (replica dead or
+// unreachable), and kProtocolError (malformed wire frame). kInternal
+// covers a decode that threw — reported, never rethrown across the API.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // k <= 0 or k > ServeConfig::max_k
+  kUnknownEntity,     // subject/object id outside [0, num_entities)
+  kUnknownRelation,   // relation id outside [0, 2 * num_relations)
+  kBadTimestamp,      // negative serving timestamp
+  kShuttingDown,      // engine is draining; request was not accepted
+  kShardUnavailable,  // owning replica is down / unreachable / timed out
+  kProtocolError,     // malformed, truncated, or wrong-version wire frame
+  kInternal,          // decode raised; detail carries the message
+};
+
+// Stable short name of a code ("ok", "unknown_entity", ...), for logs,
+// JSON stats, and tests.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kUnknownEntity: return "unknown_entity";
+    case StatusCode::kUnknownRelation: return "unknown_relation";
+    case StatusCode::kBadTimestamp: return "bad_timestamp";
+    case StatusCode::kShuttingDown: return "shutting_down";
+    case StatusCode::kShardUnavailable: return "shard_unavailable";
+    case StatusCode::kProtocolError: return "protocol_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+// One serving query. `s` is always the subject entity — the routing key
+// the cluster router consistent-hashes on. `r_or_o` is the relation id
+// (kEntity, in [0, 2M): pass r + M for the inverse direction) or the
+// object entity id (kRelation). `t` is the serving timestamp and `k` the
+// requested ranking depth (<= ServeConfig::max_k).
+struct Query {
+  QueryKind kind = QueryKind::kEntity;
+  int64_t s = 0;
+  int64_t r_or_o = 0;
+  int64_t t = 0;
+  int64_t k = 1;
+
+  static Query Entity(int64_t s, int64_t r, int64_t t, int64_t k) {
+    return {QueryKind::kEntity, s, r, t, k};
+  }
+  static Query Relation(int64_t s, int64_t o, int64_t t, int64_t k) {
+    return {QueryKind::kRelation, s, o, t, k};
+  }
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+// Answer to one Query: the k best candidates, best first. `epoch` is the
+// snapshot epoch (ServeEngine::snapshot_swaps() at decode time) that
+// produced the candidates — every candidate of one result comes from that
+// single epoch, never a mix (the hot-swap contract). `shard` is filled by
+// the router with the answering replica's index; -1 for in-process calls.
+struct QueryResult {
+  std::vector<ScoredCandidate> candidates;
+  bool cache_hit = false;
+  int64_t epoch = 0;
+  int32_t shard = -1;
+};
+
+// Status-or-value of one serving operation. [[nodiscard]] so no error can
+// be silently dropped: check ok() before touching value().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from a value, so `return QueryResult{...};` reads naturally.
+  Result(T value) : code_(StatusCode::kOk), value_(std::move(value)) {}
+
+  static Result Error(StatusCode code, std::string detail) {
+    Result r;
+    r.code_ = code;
+    r.detail_ = std::move(detail);
+    return r;
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+
+  // value() requires ok(); an error Result has no value.
+  const T& value() const { return *value_; }
+  T& value() { return *value_; }
+  T&& take() { return std::move(*value_); }
+
+  // "ok", or "<code_name>: <detail>".
+  std::string ToString() const {
+    if (ok()) return "ok";
+    return std::string(StatusCodeName(code_)) + ": " + detail_;
+  }
+
+ private:
+  Result() : code_(StatusCode::kInternal) {}
+
+  StatusCode code_;
+  std::string detail_;
+  std::optional<T> value_;
+};
+
+}  // namespace retia::serve
+
+#endif  // RETIA_SERVE_QUERY_H_

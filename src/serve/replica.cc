@@ -1,0 +1,189 @@
+#include "serve/replica.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace retia::serve {
+
+ReplicaServer::ReplicaServer(ServeEngine* engine, SnapshotLoader loader,
+                             std::string socket_path)
+    : engine_(engine),
+      loader_(std::move(loader)),
+      socket_path_(std::move(socket_path)) {
+  RETIA_CHECK(engine_ != nullptr);
+}
+
+ReplicaServer::~ReplicaServer() { Stop(); }
+
+Result<bool> ReplicaServer::Start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Result<bool>::Error(StatusCode::kInternal,
+                               std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Result<bool>::Error(StatusCode::kInternal, "socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, /*backlog=*/64) < 0) {
+    const std::string error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Result<bool>::Error(StatusCode::kInternal,
+                               "bind/listen " + socket_path_ + ": " + error);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ReplicaServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed by Stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void ReplicaServer::HandleConnection(int fd) {
+  while (true) {
+    Result<wire::Frame> frame = wire::ReadFrame(fd);
+    if (!frame.ok()) {
+      if (frame.code() == StatusCode::kProtocolError) {
+        RETIA_OBS_COUNTER_ADD("serve.replica.protocol_errors", 1);
+        // Framing is lost — tell the peer why, then drop the connection.
+        (void)wire::WriteFrame(
+            fd, wire::MsgType::kQueryReply,
+            wire::EncodeQueryReply(Result<QueryResult>::Error(
+                StatusCode::kProtocolError, frame.detail())));
+      }
+      break;  // EOF / io error / unframable stream
+    }
+    RETIA_OBS_COUNTER_ADD("serve.replica.frames", 1);
+    if (!HandleFrame(fd, frame.value())) break;
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  // The fd itself is closed by Stop() (which owns conn_fds_); closing it
+  // here as well would race a concurrent Stop() shutting the same fd.
+}
+
+bool ReplicaServer::HandleFrame(int fd, const wire::Frame& frame) {
+  switch (frame.type) {
+    case wire::MsgType::kQuery: {
+      Result<Query> query = wire::DecodeQuery(frame.body);
+      Result<QueryResult> reply =
+          query.ok() ? engine_->Submit(query.value())
+                     : Result<QueryResult>::Error(query.code(), query.detail());
+      if (!query.ok()) {
+        RETIA_OBS_COUNTER_ADD("serve.replica.protocol_errors", 1);
+      }
+      return wire::WriteFrame(fd, wire::MsgType::kQueryReply,
+                              wire::EncodeQueryReply(reply))
+          .ok();
+    }
+    case wire::MsgType::kStats:
+      return wire::WriteFrame(fd, wire::MsgType::kStatsReply,
+                              wire::EncodeString(engine_->Stats().ToJson()))
+          .ok();
+    case wire::MsgType::kSwap: {
+      Result<std::string> prefix = wire::DecodeSwap(frame.body);
+      std::vector<uint8_t> body;
+      if (!prefix.ok()) {
+        RETIA_OBS_COUNTER_ADD("serve.replica.protocol_errors", 1);
+        body = wire::EncodeSwapReply(prefix.code(), -1, prefix.detail());
+      } else if (!loader_) {
+        body = wire::EncodeSwapReply(StatusCode::kInternal, -1,
+                                     "replica has no snapshot loader");
+      } else {
+        std::lock_guard<std::mutex> lock(swap_mu_);
+        Result<EngineSnapshot> snapshot = loader_(prefix.value());
+        if (!snapshot.ok()) {
+          body = wire::EncodeSwapReply(snapshot.code(), -1, snapshot.detail());
+        } else {
+          engine_->SwapSnapshot(snapshot.take());
+          body = wire::EncodeSwapReply(StatusCode::kOk,
+                                       engine_->snapshot_swaps(), "");
+        }
+      }
+      return wire::WriteFrame(fd, wire::MsgType::kSwapReply, body).ok();
+    }
+    case wire::MsgType::kPing:
+      return wire::WriteFrame(fd, wire::MsgType::kPong,
+                              wire::EncodePong(engine_->snapshot_swaps()))
+          .ok();
+    case wire::MsgType::kShutdown: {
+      (void)wire::WriteFrame(fd, wire::MsgType::kShutdownReply, {});
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_requested_ = true;
+      shutdown_cv_.notify_all();
+      return false;
+    }
+    default:
+      // A reply type arriving at the server is a peer bug; answer with a
+      // protocol error and keep the connection (framing is intact).
+      RETIA_OBS_COUNTER_ADD("serve.replica.protocol_errors", 1);
+      return wire::WriteFrame(
+                 fd, wire::MsgType::kQueryReply,
+                 wire::EncodeQueryReply(Result<QueryResult>::Error(
+                     StatusCode::kProtocolError,
+                     "unexpected message type at server")))
+          .ok();
+  }
+}
+
+void ReplicaServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_cv_.wait(lock,
+                    [this] { return shutdown_requested_ || stopping_; });
+}
+
+void ReplicaServer::Stop() {
+  std::vector<std::thread> threads;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+    threads.swap(conn_threads_);
+    fds.swap(conn_fds_);
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() (not close()) is what wakes a thread blocked in accept()
+    // on Linux; the fd itself is closed only after the accept thread has
+    // joined, so it cannot be reused under a still-running accept call.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& thread : threads) thread.join();
+  for (const int fd : fds) ::close(fd);
+  ::unlink(socket_path_.c_str());
+}
+
+}  // namespace retia::serve

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace retia::serve {
@@ -53,8 +54,8 @@ std::string ServeStats::ToJson() const {
   return out.str();
 }
 
-StatsRecorder::StatsRecorder(int64_t max_batch)
-    : batch_hist_(static_cast<size_t>(max_batch) + 1, 0) {
+StatsRecorder::StatsRecorder(int64_t max_batch, StatsScope scope)
+    : scope_(scope), batch_hist_(static_cast<size_t>(max_batch) + 1, 0) {
   RETIA_CHECK(max_batch > 0);
 }
 
@@ -64,11 +65,23 @@ void StatsRecorder::RecordRequest(double latency_ms) {
 }
 
 void StatsRecorder::RecordQueueWait(double wait_ms) {
+  const auto us = static_cast<int64_t>(wait_ms * 1000.0);
+  if (scope_ == StatsScope::kEngine) {
+    RETIA_OBS_HIST_RECORD("serve.queue_wait.us", us);
+  } else {
+    RETIA_OBS_HIST_RECORD("serve.router.queue_wait.us", us);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   queue_wait_ms_.push_back(static_cast<float>(wait_ms));
 }
 
 void StatsRecorder::RecordCompute(double compute_ms) {
+  const auto us = static_cast<int64_t>(compute_ms * 1000.0);
+  if (scope_ == StatsScope::kEngine) {
+    RETIA_OBS_HIST_RECORD("serve.compute.us", us);
+  } else {
+    RETIA_OBS_HIST_RECORD("serve.router.compute.us", us);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   compute_ms_.push_back(static_cast<float>(compute_ms));
 }

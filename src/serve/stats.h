@@ -47,18 +47,32 @@ struct ServeStats {
   std::string ToJson() const;
 };
 
-// Thread-safe accumulator behind ServeEngine::Stats(): callers record one
-// latency per completed request, workers record one entry per decoded
-// micro-batch.
+// Whose latency decomposition a StatsRecorder accounts for. The engine and
+// the cluster router record the identical queue-wait vs compute split
+// through the same methods (this is the single accounting site — callers
+// never emit the serve.*queue_wait/compute histograms themselves); the
+// scope only selects which obs metric names the samples land in.
+enum class StatsScope : uint8_t {
+  kEngine = 0,  // serve.queue_wait.us / serve.compute.us
+  kRouter = 1,  // serve.router.queue_wait.us / serve.router.compute.us
+};
+
+// Thread-safe accumulator behind ServeEngine::Stats() and Router stats:
+// callers record one latency per completed request, workers record one
+// entry per decoded micro-batch (the router's "batches" are single
+// requests: wait = connection checkout, compute = replica round-trip).
 class StatsRecorder {
  public:
-  explicit StatsRecorder(int64_t max_batch);
+  explicit StatsRecorder(int64_t max_batch,
+                         StatsScope scope = StatsScope::kEngine);
 
   void RecordRequest(double latency_ms);
   void RecordBatch(int64_t batch_size);
-  // One sample per batched request: submission-to-decode-start wait.
+  // One sample per batched request: submission-to-decode-start wait. Also
+  // feeds the scope's queue-wait obs histogram.
   void RecordQueueWait(double wait_ms);
-  // One sample per decoded micro-batch: the batched decode duration.
+  // One sample per decoded micro-batch: the batched decode duration. Also
+  // feeds the scope's compute obs histogram.
   void RecordCompute(double compute_ms);
 
   // Snapshot over the window since construction or the last Reset();
@@ -69,6 +83,7 @@ class StatsRecorder {
 
  private:
   mutable std::mutex mu_;
+  StatsScope scope_;
   util::Timer timer_;
   std::vector<float> latencies_ms_;
   std::vector<float> queue_wait_ms_;

@@ -99,6 +99,36 @@ TEST(PredictionCacheTest, ShardedCountersAggregate) {
   EXPECT_EQ(counters.entries, 32);
 }
 
+TEST(PredictionCacheTest, GenerationFenceDropsPutsThatRacedAClear) {
+  PredictionCache cache(/*capacity=*/8, /*num_shards=*/1);
+  std::vector<ScoredCandidate> out;
+
+  // The engine's swap sequence: a decode samples the generation, a swap
+  // Clear()s, and the decode's Put must then be a silent no-op.
+  const uint64_t before = cache.generation();
+  cache.Clear();
+  EXPECT_EQ(cache.generation(), before + 1);
+  cache.Put(EntityKey(0, 0, 0), Value(1), /*epoch=*/0, before);
+  EXPECT_FALSE(cache.Get(EntityKey(0, 0, 0), &out));
+
+  // A Put fenced on the *current* generation inserts normally...
+  cache.Put(EntityKey(0, 0, 0), Value(2), /*epoch=*/1, cache.generation());
+  int64_t epoch = -1;
+  ASSERT_TRUE(cache.Get(EntityKey(0, 0, 0), &out, &epoch));
+  EXPECT_EQ(out, Value(2));
+  EXPECT_EQ(epoch, 1);
+
+  // ...and a stale fence cannot overwrite an existing entry either.
+  cache.Put(EntityKey(0, 0, 0), Value(3), /*epoch=*/0, before);
+  ASSERT_TRUE(cache.Get(EntityKey(0, 0, 0), &out, &epoch));
+  EXPECT_EQ(out, Value(2));
+  EXPECT_EQ(epoch, 1);
+
+  // Unfenced Puts (direct cache users) are unaffected by Clear history.
+  cache.Put(EntityKey(0, 1, 0), Value(4));
+  EXPECT_TRUE(cache.Get(EntityKey(0, 1, 0), &out));
+}
+
 TEST(PredictionCacheTest, ConcurrentMixedAccessKeepsCountsConsistent) {
   // Capacity comfortably above the 97 * 3 = 291-key working set even under
   // hash skew across the 8 shards (128 per shard).
@@ -478,6 +508,96 @@ TEST(ServeSnapshotTest, LoadFailureIsReportedNotFatal) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.code(), ckpt::ErrorCode::kIoError);
   EXPECT_EQ(loaded, nullptr);
+}
+
+// ---- Typed Query/Result API -------------------------------------------------
+
+TEST(TypedApiTest, SubmitMatchesDeprecatedShims) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+
+  ServeConfig config;
+  config.num_threads = 2;
+  config.max_k = 4;
+  ServeEngine engine(&model, &graph_cache, config);
+
+  serve::Result<serve::QueryResult> typed =
+      engine.Submit(serve::Query::Entity(1, 2, t, 4));
+  ASSERT_TRUE(typed.ok()) << typed.ToString();
+  EXPECT_EQ(typed.value().epoch, 0);
+  EXPECT_EQ(typed.value().shard, -1);
+  EXPECT_EQ(engine.TopK(1, 2, t, 4).candidates, typed.value().candidates);
+
+  serve::Result<serve::QueryResult> relation =
+      engine.Submit(serve::Query::Relation(3, 7, t, 3));
+  ASSERT_TRUE(relation.ok()) << relation.ToString();
+  EXPECT_EQ(engine.TopKRelation(3, 7, t, 3).candidates,
+            relation.value().candidates);
+}
+
+TEST(TypedApiTest, MalformedQueriesAreReportedNotFatal) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+  const int64_t n = dataset.num_entities();
+  const int64_t m = dataset.num_relations();
+
+  ServeConfig config;
+  config.num_threads = 2;
+  config.max_k = 4;
+  ServeEngine engine(&model, &graph_cache, config);
+
+  auto code = [&engine](const serve::Query& query) {
+    return engine.Submit(query).code();
+  };
+  using serve::Query;
+  using serve::StatusCode;
+  EXPECT_EQ(code(Query::Entity(0, 0, t, 0)), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code(Query::Entity(0, 0, t, 5)), StatusCode::kInvalidArgument);
+  EXPECT_EQ(code(Query::Entity(0, 0, -1, 2)), StatusCode::kBadTimestamp);
+  EXPECT_EQ(code(Query::Entity(n, 0, t, 2)), StatusCode::kUnknownEntity);
+  EXPECT_EQ(code(Query::Entity(-1, 0, t, 2)), StatusCode::kUnknownEntity);
+  EXPECT_EQ(code(Query::Entity(0, 2 * m, t, 2)), StatusCode::kUnknownRelation);
+  EXPECT_EQ(code(Query::Relation(0, n, t, 2)), StatusCode::kUnknownEntity);
+  EXPECT_EQ(code(Query::Relation(n, 0, t, 2)), StatusCode::kUnknownEntity);
+
+  // Error details name the offending value.
+  serve::Result<serve::QueryResult> error =
+      engine.Submit(Query::Entity(n, 0, t, 2));
+  ASSERT_FALSE(error.ok());
+  EXPECT_NE(error.ToString().find("unknown_entity"), std::string::npos);
+
+  // Valid queries still work after a burst of malformed ones, and t = 0
+  // (empty history -> initial embeddings) is valid, not an error.
+  EXPECT_TRUE(engine.Submit(Query::Entity(0, 0, t, 2)).ok());
+  EXPECT_TRUE(engine.Submit(Query::Entity(0, 0, 0, 2)).ok());
+}
+
+TEST(TypedApiTest, CacheHitsCarryTheEpochThatProducedThem) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(TinyModelConfig(dataset));
+  graph::GraphCache graph_cache(&dataset);
+  const int64_t t = dataset.test_times().front();
+
+  ServeConfig config;
+  config.num_threads = 2;
+  config.max_k = 4;
+  ServeEngine engine(&model, &graph_cache, config);
+
+  serve::Result<serve::QueryResult> miss =
+      engine.Submit(serve::Query::Entity(1, 2, t, 4));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().cache_hit);
+  EXPECT_EQ(miss.value().epoch, 0);
+  serve::Result<serve::QueryResult> hit =
+      engine.Submit(serve::Query::Entity(1, 2, t, 4));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().cache_hit);
+  EXPECT_EQ(hit.value().epoch, 0);
+  EXPECT_EQ(hit.value().candidates, miss.value().candidates);
 }
 
 TEST(TopKIndicesTest, DeterministicTieBreakByLowerIndex) {
