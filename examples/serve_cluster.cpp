@@ -162,6 +162,9 @@ struct LoadFlags {
   int64_t queries = 2000;
   int64_t clients = 4;
   int64_t k = 5;
+  // Client-side batch: each client assembles this many queries and ships
+  // them through Router::RouteBatch (1 = the per-query Route path).
+  int64_t batch = 1;
   double alpha = 1.1;
   int64_t timeout_ms = 5000;
   int64_t swap_after = -1;   // completed-query threshold for SwapAll
@@ -226,29 +229,46 @@ int Load(const std::string& dir, const std::string& sockets_csv,
   for (int64_t c = 0; c < flags.clients; ++c) {
     clients.emplace_back([&, c] {
       util::Rng rng(static_cast<uint64_t>(1000 + c));
-      for (int64_t i = 0; i < per_client; ++i) {
-        const int64_t s = rng.Zipf(dataset.num_entities(), flags.alpha);
-        const int64_t r =
-            rng.UniformInt(0, 2 * dataset.num_relations() - 1);
+      for (int64_t i = 0; i < per_client;) {
+        // Assemble up to `batch` queries and ship them in one RouteBatch
+        // (one coalesced wire frame per shard group); batch == 1 keeps
+        // the historical per-query Route path.
+        const int64_t group = std::min(flags.batch, per_client - i);
+        std::vector<serve::Query> queries;
+        queries.reserve(group);
+        for (int64_t b = 0; b < group; ++b) {
+          const int64_t s = rng.Zipf(dataset.num_entities(), flags.alpha);
+          const int64_t r =
+              rng.UniformInt(0, 2 * dataset.num_relations() - 1);
+          queries.push_back(serve::Query::Entity(s, r, t, flags.k));
+        }
         util::Timer timer;
-        serve::Result<serve::QueryResult> result =
-            router.Route(serve::Query::Entity(s, r, t, flags.k));
+        std::vector<serve::Result<serve::QueryResult>> results;
+        if (flags.batch > 1) {
+          results = router.RouteBatch(queries);
+        } else {
+          results.push_back(router.Route(queries.front()));
+        }
+        // Every query in the group experienced the group's latency.
         const double ms = timer.Millis();
         std::lock_guard<std::mutex> lock(mu);
-        latencies_ms.push_back(ms);
-        if (result.ok()) {
-          ++ok;
-          if (result.value().cache_hit) ++cache_hits;
-        } else if (result.code() == serve::StatusCode::kShardUnavailable) {
-          ++unavailable;
-        } else {
-          ++other;
-          if (other == 1) {
-            std::cerr << "load: unexpected error: " << result.ToString()
-                      << "\n";
+        for (const serve::Result<serve::QueryResult>& result : results) {
+          latencies_ms.push_back(ms);
+          if (result.ok()) {
+            ++ok;
+            if (result.value().cache_hit) ++cache_hits;
+          } else if (result.code() == serve::StatusCode::kShardUnavailable) {
+            ++unavailable;
+          } else {
+            ++other;
+            if (other == 1) {
+              std::cerr << "load: unexpected error: " << result.ToString()
+                        << "\n";
+            }
           }
         }
-        completed.fetch_add(1, std::memory_order_relaxed);
+        completed.fetch_add(group, std::memory_order_relaxed);
+        i += group;
       }
     });
   }
@@ -293,7 +313,9 @@ int Load(const std::string& dir, const std::string& sockets_csv,
        << ",\"ok\":" << ok << ",\"unavailable\":" << unavailable
        << ",\"other_errors\":" << other << ",\"cache_hits\":" << cache_hits
        << ",\"dropped\":" << (flags.clients * per_client - total)
-       << ",\"swap_epoch\":" << swap_epoch << ",\"zipf_alpha\":" << flags.alpha
+       << ",\"swap_epoch\":" << swap_epoch
+       << ",\"wire_batch\":" << flags.batch
+       << ",\"zipf_alpha\":" << flags.alpha
        << ",\"wall_seconds\":" << wall_seconds
        << ",\"qps\":" << (wall_seconds > 0 ? total / wall_seconds : 0.0)
        << ",\"p50_ms\":" << quantile(0.50) << ",\"p99_ms\":" << quantile(0.99)
@@ -344,7 +366,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: serve_cluster prepare <dir>\n"
               << "       serve_cluster replica <dir> <socket>\n"
               << "       serve_cluster load <dir> <socket,...> [--queries N]"
-              << " [--clients C] [--k K] [--alpha A] [--timeout-ms T]\n"
+              << " [--clients C] [--k K] [--batch B] [--alpha A]"
+              << " [--timeout-ms T]\n"
               << "           [--swap-after N] [--kill-after N --kill-pid P]\n"
               << "           [--expect-zero-drop] [--expect-unavailable]"
               << " [--shutdown]\n";
@@ -378,6 +401,7 @@ int main(int argc, char** argv) {
       if (arg == "--queries") flags.queries = next();
       else if (arg == "--clients") flags.clients = next();
       else if (arg == "--k") flags.k = next();
+      else if (arg == "--batch") flags.batch = next();
       else if (arg == "--alpha") {
         if (i + 1 >= argc) {
           std::cerr << "load: --alpha needs a value\n";

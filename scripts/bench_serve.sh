@@ -1,23 +1,33 @@
 #!/usr/bin/env bash
 # Sharded-serving baseline: runs the serve_cluster demo (router + two
 # replica processes over AF_UNIX sockets, zipfian load, one coordinated
-# hot-swap mid-run) and pins its JSON summary as BENCH_serve.json at the
-# repo root:
+# hot-swap mid-run), then an unbatched-vs-batched comparison against the
+# same warm replicas, and pins the combined JSON as BENCH_serve.json at
+# the repo root:
 #
 #   {
 #     "shards": 2, "clients": 4, "completed": N, "ok": N,
 #     "unavailable": 0, "other_errors": 0, "dropped": 0,
 #     "swap_epoch": 1,          every replica answered from the swapped
 #         snapshot at the same epoch — old-or-new, never mixed,
-#     "qps": ..., "p50_ms": ..., "p99_ms": ...   end-to-end through the
-#         router and the binary wire protocol.
+#     "qps": ..., "p50_ms": ..., "p99_ms": ...,  end-to-end through the
+#         router and the binary wire protocol,
+#     "host": {"num_cpus_effective": ...},   so the gate in check.sh can
+#         interpret the numbers against the machine that produced them,
+#     "batch": {"batch_size": 8, "qps_unbatched": ..., "qps_batched": ...,
+#               "speedup": ...}   RouteBatch + QueryBatch/ResultBatch
+#         coalesced frames vs one round-trip per query, measured against
+#         the SAME warm replicas (both runs ~fully cache-hit, so the
+#         comparison isolates exactly the wire-path overhead batching
+#         removes).
 #   }
 #
 # Absolute qps/latency numbers are machine-dependent; the structural
 # facts the pin guards are dropped == 0, other_errors == 0 and
 # swap_epoch == 1 under concurrent load (serve_cluster itself exits
 # non-zero when --expect-zero-drop is violated, so a bad run never
-# overwrites the pin).
+# overwrites the pin), plus batch.speedup >= 1.5 at batch >= 8 (this
+# script refuses to pin a comparison below the floor).
 #
 # Usage: scripts/bench_serve.sh [build-dir]     (default: <repo>/build)
 set -euo pipefail
@@ -49,10 +59,57 @@ echo "bench_serve.sh: starting 2 replicas"
 PIDS+=($!)
 "${BIN}" replica "${DIR}" "${DIR}/r1.sock" >"${DIR}/r1.log" 2>&1 &
 PIDS+=($!)
+SOCKETS="${DIR}/r0.sock,${DIR}/r1.sock"
 
 echo "bench_serve.sh: zipfian load with mid-run hot-swap"
-timeout 300 "${BIN}" load "${DIR}" "${DIR}/r0.sock,${DIR}/r1.sock" \
+timeout 300 "${BIN}" load "${DIR}" "${SOCKETS}" \
   --queries 8000 --clients 4 --swap-after 2000 \
-  --expect-zero-drop --shutdown >"${DIR}/summary.json"
-cp "${DIR}/summary.json" "${OUT}"
+  --expect-zero-drop >"${DIR}/summary.json"
+
+# Batched-vs-unbatched comparison, same (now fully warm) replicas: one
+# wire round-trip per query vs one coalesced QueryBatch frame per 8.
+echo "bench_serve.sh: unbatched comparison load"
+timeout 300 "${BIN}" load "${DIR}" "${SOCKETS}" \
+  --queries 8000 --clients 4 >"${DIR}/unbatched.json"
+echo "bench_serve.sh: batched comparison load (--batch 8)"
+timeout 300 "${BIN}" load "${DIR}" "${SOCKETS}" \
+  --queries 8000 --clients 4 --batch 8 --shutdown >"${DIR}/batched.json"
+
+python3 - "${DIR}/summary.json" "${DIR}/unbatched.json" \
+  "${DIR}/batched.json" "$(nproc)" "${OUT}" <<'PY'
+import json
+import sys
+
+summary_path, unbatched_path, batched_path, ncpus, out_path = sys.argv[1:6]
+with open(summary_path) as f:
+    doc = json.load(f)
+with open(unbatched_path) as f:
+    unbatched = json.load(f)
+with open(batched_path) as f:
+    batched = json.load(f)
+
+for name, run in (("unbatched", unbatched), ("batched", batched)):
+    if run["ok"] != run["completed"] or run["completed"] <= 0:
+        sys.exit(f"bench_serve.sh: {name} comparison run was not clean: "
+                 f"ok={run['ok']} completed={run['completed']}")
+
+speedup = batched["qps"] / unbatched["qps"]
+doc["host"] = {"num_cpus_effective": int(ncpus)}
+doc["batch"] = {
+    "batch_size": batched["wire_batch"],
+    "qps_unbatched": round(unbatched["qps"], 1),
+    "qps_batched": round(batched["qps"], 1),
+    "speedup": round(speedup, 2),
+}
+if speedup < 1.5:
+    sys.exit(f"bench_serve.sh: batched speedup {speedup:.2f}x is below the "
+             "1.5x floor — refusing to pin (noisy host or regression)")
+
+with open(out_path, "w") as f:
+    json.dump(doc, f)
+    f.write("\n")
+print(f"bench_serve.sh: batch={batched['wire_batch']} "
+      f"qps {unbatched['qps']:.0f} -> {batched['qps']:.0f} "
+      f"({speedup:.2f}x)")
+PY
 echo "bench_serve.sh: wrote ${OUT}"

@@ -7,8 +7,8 @@
 #    row in the README env table (grep-based, runs before any compile so
 #    it fails fast).
 # 2. TSan smoke: builds the concurrency-sensitive test binaries (par_test,
-#    par_task_graph_test, serve_test, serve_router_test, stream_test,
-#    obs_test, obs_disabled_test, quant_test) in Release with -fsanitize=thread into
+#    par_task_graph_test, serve_test, serve_router_test, serve_batch_test,
+#    stream_test, obs_test, obs_disabled_test, quant_test) in Release with -fsanitize=thread into
 #    build-tsan/ and runs the par/serve/obs/stream/quant-labelled ctest
 #    suites under halt_on_error. Zero TSan reports is a hard requirement:
 #    the par::ThreadPool sharding, the TaskGraph inter-op scheduler
@@ -35,8 +35,10 @@
 #    pretending (scripts/bench_kernels.sh writes both blocks). Also
 #    validates BENCH_serve.json structurally: the pinned serving run must
 #    be a clean zero-drop pass over >= 2 replica processes with all
-#    replicas agreeing on the post-hot-swap epoch
-#    (scripts/bench_serve.sh re-pins it).
+#    replicas agreeing on the post-hot-swap epoch, carry its host record
+#    (num_cpus_effective), and include a batch block whose batched-vs-
+#    unbatched comparison at batch >= 8 clears the 1.5x speedup floor
+#    (scripts/bench_serve.sh re-pins all of it).
 # 4. Kill-and-resume smokes: (a) trains the synthetic ckpt_smoke dataset
 #    to completion, repeats the run with per-epoch state saves and a
 #    RETIA_FAIL_CRASH_AFTER_RENAME SIGKILL mid-training (rc 137), resumes
@@ -125,7 +127,7 @@ cmake -B "${BUILD}" -S "${ROOT}" \
 # and the other suites exercise no cross-thread behaviour.
 cmake --build "${BUILD}" -j "${JOBS}" \
   --target par_test par_task_graph_test serve_test serve_router_test \
-           stream_test obs_test obs_disabled_test quant_test
+           serve_batch_test stream_test obs_test obs_disabled_test quant_test
 
 # halt_on_error: the first race fails the run instead of scrolling past.
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:${TSAN_OPTIONS}}" \
@@ -261,8 +263,26 @@ if doc["swap_epoch"] != 1:
 if not (0 < doc["p50_ms"] <= doc["p99_ms"]) or doc["qps"] <= 0:
     sys.exit(f"check.sh: serving pin latencies are incoherent: "
              f"p50={doc['p50_ms']} p99={doc['p99_ms']} qps={doc['qps']}")
+host = doc.get("host", {})
+if "num_cpus_effective" not in host:
+    sys.exit(f"check.sh: {path} host block lacks num_cpus_effective — "
+             "re-pin with scripts/bench_serve.sh")
+batch = doc.get("batch")
+if batch is None:
+    sys.exit(f"check.sh: {path} lacks the 'batch' block — re-pin with "
+             "scripts/bench_serve.sh")
+for key in ("batch_size", "qps_unbatched", "qps_batched", "speedup"):
+    if key not in batch:
+        sys.exit(f"check.sh: {path} batch block lacks '{key}'")
+if batch["batch_size"] < 8:
+    sys.exit(f"check.sh: batched pin ran at batch={batch['batch_size']} — "
+             "the comparison must use batch >= 8")
+if batch["speedup"] < 1.5:
+    sys.exit(f"check.sh: batched serve speedup {batch['speedup']:.2f}x is "
+             "below the 1.5x floor — the coalesced wire path regressed")
 print(f"check.sh: serving pin structurally sound ({doc['shards']} shards, "
-      f"{doc['completed']} requests, zero drops across the hot-swap)")
+      f"{doc['completed']} requests, zero drops across the hot-swap; "
+      f"batch={batch['batch_size']} speedup {batch['speedup']:.2f}x)")
 PY
 
 # ---------------------------------------------------------------------------

@@ -1,8 +1,8 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
-#include <numeric>
 
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace retia::eval {
@@ -49,15 +49,12 @@ int64_t RankOf(const float* scores, int64_t n, int64_t target) {
 
 std::vector<int64_t> TopKIndices(const float* scores, int64_t n, int64_t k) {
   RETIA_CHECK(k >= 0);
-  const int64_t take = std::min(k, n);
-  std::vector<int64_t> idx(n);
-  std::iota(idx.begin(), idx.end(), int64_t{0});
-  const auto better = [scores](int64_t a, int64_t b) {
-    if (scores[a] != scores[b]) return scores[a] > scores[b];
-    return a < b;
-  };
-  std::partial_sort(idx.begin(), idx.begin() + take, idx.end(), better);
-  idx.resize(take);
+  // Partial selection kernel instead of sorting all n indices; the kernel
+  // produces the same unique "higher score wins, ties to the lower index"
+  // order on every backend (see simd::KernelTable::topk_select_f32).
+  std::vector<int64_t> idx(std::min(k, n));
+  const int64_t took = simd::TopKSelectF32(scores, n, k, idx.data());
+  idx.resize(took);
   return idx;
 }
 

@@ -1,0 +1,84 @@
+#ifndef RETIA_SERVE_ARENA_H_
+#define RETIA_SERVE_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace retia::serve {
+
+// Bump allocator for per-worker decode scratch (ServeEngine::ProcessBatch
+// keeps one as a thread_local). Alloc() hands out pointers from the
+// current block; when a request does not fit, a NEW block is appended and
+// the old ones are kept alive, so pointers handed out earlier in the same
+// Reset cycle stay valid. Reset() recycles the memory for the next batch:
+// it consolidates everything into one block of the high-water capacity, so
+// after a warm-up batch has sized the arena, the decode hot path performs
+// no allocations for scratch — observable as the `serve.arena.growths`
+// counter going quiet while `serve.arena.bytes` (the retained capacity
+// gauge) holds steady (docs/OBSERVABILITY.md).
+//
+// Not thread-safe; one arena belongs to one worker thread.
+class ScratchArena {
+ public:
+  // Returns uninitialized storage for n Ts (aligned for any T up to
+  // max_align_t). Only trivially-destructible Ts — Reset never runs
+  // destructors. Valid until the next Reset().
+  template <typename T>
+  T* Alloc(int64_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "ScratchArena never runs destructors");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    const size_t bytes = Align(static_cast<size_t>(n) * sizeof(T));
+    if (blocks_.empty() || used_ + bytes > blocks_.back().size()) Grow(bytes);
+    T* p = reinterpret_cast<T*>(blocks_.back().data() + used_);
+    used_ += bytes;
+    return p;
+  }
+
+  // Recycles all storage. Keeps (or consolidates to) a single block of the
+  // total capacity seen so far and publishes it on the
+  // `serve.arena.bytes` gauge.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      size_t total = 0;
+      for (const std::vector<uint8_t>& block : blocks_) total += block.size();
+      blocks_.clear();
+      blocks_.emplace_back(total);
+    }
+    used_ = 0;
+    RETIA_OBS_GAUGE_SET("serve.arena.bytes", static_cast<int64_t>(capacity()));
+  }
+
+  size_t capacity() const {
+    size_t total = 0;
+    for (const std::vector<uint8_t>& block : blocks_) total += block.size();
+    return total;
+  }
+
+ private:
+  static size_t Align(size_t bytes) {
+    const size_t a = alignof(std::max_align_t);
+    return (bytes + a - 1) / a * a;
+  }
+
+  void Grow(size_t bytes) {
+    // Doubling growth with a floor keeps the number of warm-up growths
+    // logarithmic in the steady-state working set.
+    const size_t block = std::max({bytes, capacity(), size_t{1} << 10});
+    blocks_.emplace_back(block);
+    used_ = 0;
+    RETIA_OBS_COUNTER_ADD("serve.arena.growths", 1);
+  }
+
+  std::vector<std::vector<uint8_t>> blocks_;
+  size_t used_ = 0;  // bytes consumed from blocks_.back()
+};
+
+}  // namespace retia::serve
+
+#endif  // RETIA_SERVE_ARENA_H_

@@ -4,9 +4,12 @@
 // (docs/SERVING_TOPOLOGY.md and the README env table document this file).
 // engine.cc / router.cc contain no environment reads of their own.
 
+#include <algorithm>
+
 #include "quant/quant.h"
 #include "serve/engine.h"
 #include "serve/router.h"
+#include "serve/wire.h"
 #include "util/env.h"
 
 namespace retia::serve {
@@ -43,6 +46,15 @@ RouterConfig RouterConfig::FromEnv() {
       "RETIA_SERVE_CONNECTIONS", config.connections_per_replica);
   config.timeout_ms =
       util::Env::PositiveIntOr("RETIA_SERVE_TIMEOUT_MS", config.timeout_ms);
+  // 0 disables the window (the default), so plain IntOr with a floor of 0
+  // instead of PositiveIntOr.
+  config.batch_window_us = std::max<int64_t>(
+      util::Env::IntOr("RETIA_SERVE_BATCH_WINDOW_US", config.batch_window_us),
+      0);
+  config.max_wire_batch = std::min<int64_t>(
+      util::Env::PositiveIntOr("RETIA_SERVE_MAX_WIRE_BATCH",
+                               config.max_wire_batch),
+      static_cast<int64_t>(wire::kMaxWireBatch));
   return config;
 }
 

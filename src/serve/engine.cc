@@ -3,8 +3,9 @@
 #include <sstream>
 #include <utility>
 
-#include "eval/metrics.h"
 #include "obs/obs.h"
+#include "serve/arena.h"
+#include "simd/simd.h"
 #include "tensor/tensor.h"
 #include "util/check.h"
 
@@ -155,10 +156,10 @@ int64_t ServeEngine::snapshot_swaps() const {
 }
 
 ServeEngine::~ServeEngine() {
-  // Every queued request has a tick scheduled for it (Submit pairs each
-  // enqueue with one pool_->Submit), so waiting for inflight_ticks_ == 0
-  // also guarantees the queue has been drained and no pool task still
-  // references this engine.
+  // Every queued request has a tick scheduled for it (SubmitBatch pairs
+  // each enqueue critical-section with one pool_->Submit), so waiting for
+  // inflight_ticks_ == 0 also guarantees the queue has been drained and
+  // no pool task still references this engine.
   std::unique_lock<std::mutex> lock(queue_mu_);
   stopping_ = true;
   drained_cv_.wait(lock,
@@ -166,14 +167,18 @@ ServeEngine::~ServeEngine() {
 }
 
 TopKResult ServeEngine::TopK(int64_t s, int64_t r, int64_t t, int64_t k) {
-  Result<QueryResult> result = Submit(Query::Entity(s, r, t, k));
+  std::vector<Result<QueryResult>> results =
+      SubmitBatch({Query::Entity(s, r, t, k)});
+  Result<QueryResult>& result = results.front();
   RETIA_CHECK_MSG(result.ok(), result.ToString());
   return {std::move(result.value().candidates), result.value().cache_hit};
 }
 
 TopKResult ServeEngine::TopKRelation(int64_t s, int64_t o, int64_t t,
                                      int64_t k) {
-  Result<QueryResult> result = Submit(Query::Relation(s, o, t, k));
+  std::vector<Result<QueryResult>> results =
+      SubmitBatch({Query::Relation(s, o, t, k)});
+  Result<QueryResult>& result = results.front();
   RETIA_CHECK_MSG(result.ok(), result.ToString());
   return {std::move(result.value().candidates), result.value().cache_hit};
 }
@@ -234,17 +239,15 @@ StatusCode ServeEngine::Validate(const Query& query,
   return StatusCode::kOk;
 }
 
-Result<QueryResult> ServeEngine::Submit(const Query& query) {
-  RETIA_OBS_COUNTER_ADD("serve.requests", 1);
-  util::Timer timer;
-  const std::shared_ptr<FrozenStateStore> store = PinStore();
+std::optional<Result<QueryResult>> ServeEngine::AnswerWithoutDecode(
+    const Query& query, const FrozenStateStore* store) {
   std::string detail;
-  if (StatusCode code = Validate(query, store.get(), &detail);
+  if (StatusCode code = Validate(query, store, &detail);
       code != StatusCode::kOk) {
     return Result<QueryResult>::Error(code, detail);
   }
-  const CacheKey key{query.t, query.s, query.r_or_o, query.kind};
   if (cache_ != nullptr) {
+    const CacheKey key{query.t, query.s, query.r_or_o, query.kind};
     QueryResult cached;
     if (cache_->Get(key, &cached.candidates, &cached.epoch)) {
       RETIA_OBS_COUNTER_ADD("serve.cache.hits", 1);
@@ -252,38 +255,90 @@ Result<QueryResult> ServeEngine::Submit(const Query& query) {
       if (static_cast<int64_t>(cached.candidates.size()) > query.k) {
         cached.candidates.resize(query.k);
       }
-      stats_.RecordRequest(timer.Millis());
-      return cached;
+      return Result<QueryResult>(std::move(cached));
     }
     RETIA_OBS_COUNTER_ADD("serve.cache.misses", 1);
   }
-  std::future<Result<QueryResult>> future;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_) {
-      return Result<QueryResult>::Error(
-          StatusCode::kShuttingDown,
-          "query submitted to a stopping ServeEngine");
+  return std::nullopt;
+}
+
+Result<QueryResult> ServeEngine::Submit(const Query& query) {
+  std::vector<Result<QueryResult>> results = SubmitBatch({query});
+  return std::move(results.front());
+}
+
+std::vector<Result<QueryResult>> ServeEngine::SubmitBatch(
+    const std::vector<Query>& queries) {
+  RETIA_OBS_COUNTER_ADD("serve.requests",
+                        static_cast<int64_t>(queries.size()));
+  util::Timer timer;
+  const std::shared_ptr<FrozenStateStore> store = PinStore();
+  // Answers by input slot; nullopt marks a query still waiting on the
+  // decode queue.
+  std::vector<std::optional<Result<QueryResult>>> answers(queries.size());
+  struct Pending {
+    size_t slot;
+    std::future<Result<QueryResult>> future;
+  };
+  std::vector<Pending> pending;
+  std::vector<Request> misses;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::optional<Result<QueryResult>> immediate =
+            AnswerWithoutDecode(queries[i], store.get())) {
+      // Cache hits record an end-to-end sample like Submit always did;
+      // validation errors never reached the recorder and still don't.
+      if (immediate->ok()) stats_.RecordRequest(timer.Millis());
+      answers[i] = std::move(immediate);
+      continue;
     }
     Request request;
-    request.key = key;
-    request.k = query.k;
+    request.key = CacheKey{queries[i].t, queries[i].s, queries[i].r_or_o,
+                           queries[i].kind};
+    request.k = queries[i].k;
     request.timer = timer;
-    future = request.promise.get_future();
-    queue_.push_back(std::move(request));
-    ++inflight_ticks_;
+    pending.push_back({i, request.promise.get_future()});
+    misses.push_back(std::move(request));
   }
-  // One tick per submission: either it becomes an active drainer, or an
-  // already-active drainer's queue sweep answers the request and the tick
-  // returns immediately. On a pool with no workers the tick runs inline
-  // here, before future.get(), so the engine never deadlocks.
-  pool_->Submit([this] { DrainTask(); });
-  Result<QueryResult> result = future.get();
-  // The single completion-accounting site: every answered request — cache
-  // hit (above), decoded, or failed — records exactly one end-to-end
-  // latency sample.
-  stats_.RecordRequest(timer.Millis());
-  return result;
+  if (!misses.empty()) {
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (!stopping_) {
+        for (Request& request : misses) queue_.push_back(std::move(request));
+        // ONE tick for the whole batch: the enqueue is a single critical
+        // section, and the tick's drainer sweeps every compatible
+        // (timestamp, kind) group into fused decodes.
+        ++inflight_ticks_;
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      // Either the tick becomes an active drainer, or an already-active
+      // drainer's queue sweep answers the requests and the tick returns
+      // immediately. On a pool with no workers the tick runs inline here,
+      // before the future.get()s, so the engine never deadlocks.
+      pool_->Submit([this] { DrainTask(); });
+      for (Pending& p : pending) {
+        answers[p.slot] = p.future.get();
+        // The completion-accounting site: every answered request — cache
+        // hit (above), decoded, or failed — records exactly one
+        // end-to-end latency sample.
+        stats_.RecordRequest(timer.Millis());
+      }
+    } else {
+      for (Pending& p : pending) {
+        answers[p.slot] = Result<QueryResult>::Error(
+            StatusCode::kShuttingDown,
+            "query submitted to a stopping ServeEngine");
+      }
+    }
+  }
+  std::vector<Result<QueryResult>> results;
+  results.reserve(answers.size());
+  for (std::optional<Result<QueryResult>>& answer : answers) {
+    results.push_back(std::move(*answer));
+  }
+  return results;
 }
 
 void ServeEngine::DrainTask() {
@@ -387,11 +442,21 @@ void ServeEngine::ProcessBatch(std::vector<Request> batch) {
                         static_cast<int64_t>(batch.size()));
   stats_.RecordBatch(static_cast<int64_t>(batch.size()));
   const int64_t epoch = store != nullptr ? store->epoch : 0;
+  // Per-worker scratch for the selection indices: the partial top-k
+  // kernel replaces the historical full-sort (same unique order — see
+  // simd::KernelTable::topk_select_f32), and the arena makes the scratch
+  // allocation-free once a warm-up batch has sized it (the caller-visible
+  // candidate vectors are the only remaining allocations).
+  static thread_local ScratchArena arena;
+  arena.Reset();
+  int64_t* topk_idx = arena.Alloc<int64_t>(config_.max_k);
   for (size_t i = 0; i < batch.size(); ++i) {
     const float* row = scores.Data() + static_cast<int64_t>(i) * n;
+    const int64_t took = simd::TopKSelectF32(row, n, config_.max_k, topk_idx);
     std::vector<ScoredCandidate> ranked;
-    for (int64_t id : eval::TopKIndices(row, n, config_.max_k)) {
-      ranked.push_back({id, row[id]});
+    ranked.reserve(took);
+    for (int64_t j = 0; j < took; ++j) {
+      ranked.push_back({topk_idx[j], row[topk_idx[j]]});
     }
     if (cache_ != nullptr) cache_->Put(batch[i].key, ranked, epoch, cache_gen);
     if (static_cast<int64_t>(ranked.size()) > batch[i].k) {

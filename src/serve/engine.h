@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -194,8 +195,23 @@ class ServeEngine {
   // a socket can CHECK-fail the process.
   Result<QueryResult> Submit(const Query& query);
 
-  // Deprecated positional shims over Submit(). They keep the pre-typed-API
-  // contract: malformed arguments CHECK-fail instead of returning a code.
+  // Answers a batch of typed queries, blocking until every result is
+  // available; results align with `queries` by index. Per-query semantics
+  // match Submit() exactly — same validation taxonomy, same cache
+  // probing, and bit-identical answers regardless of batch composition —
+  // so a malformed query degrades only its own slot. The batch differs
+  // only in cost: every cache miss is enqueued under one queue lock with
+  // a single drain tick, so misses sharing a (timestamp, kind) decode as
+  // ONE fused [B, num_candidates] GEMM over the shared candidate matrix
+  // instead of B independent GEMVs. This is the execution path behind the
+  // wire-protocol QueryBatch frame and Router::RouteBatch. Submit() and
+  // the deprecated shims are thin wrappers over a batch of one.
+  std::vector<Result<QueryResult>> SubmitBatch(
+      const std::vector<Query>& queries);
+
+  // Deprecated positional shims over SubmitBatch(). They keep the
+  // pre-typed-API contract: malformed arguments CHECK-fail instead of
+  // returning a code.
   // New code should call Submit(Query::Entity(...)) / (Query::Relation(...)).
   TopKResult TopK(int64_t s, int64_t r, int64_t t, int64_t k);
   TopKResult TopKRelation(int64_t s, int64_t o, int64_t t, int64_t k);
@@ -302,6 +318,11 @@ class ServeEngine {
   // malformed query (id validation needs the pinned store's model config).
   StatusCode Validate(const Query& query, const FrozenStateStore* store,
                       std::string* detail) const;
+  // Validation + cache probe shared by Submit and SubmitBatch: returns
+  // the answer when the query never needs the decode queue (validation
+  // error or cache hit), nullopt when it must be enqueued.
+  std::optional<Result<QueryResult>> AnswerWithoutDecode(
+      const Query& query, const FrozenStateStore* store);
   // One scheduled tick: becomes an active drainer if the concurrency cap
   // allows, then drains micro-batches until the queue is empty.
   void DrainTask();

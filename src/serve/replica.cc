@@ -103,6 +103,27 @@ bool ReplicaServer::HandleFrame(int fd, const wire::Frame& frame) {
                               wire::EncodeQueryReply(reply))
           .ok();
     }
+    case wire::MsgType::kQueryBatch: {
+      Result<std::vector<Query>> queries = wire::DecodeQueryBatch(frame.body);
+      if (!queries.ok()) {
+        // Frame-level damage (bad count, truncated record): the batch as a
+        // whole is unanswerable, so reply with one kQueryReply error —
+        // the router surfaces an unexpected-reply-type protocol error to
+        // every query of the batch. Per-query failures never land here;
+        // they ride inside the ResultBatch entries below.
+        RETIA_OBS_COUNTER_ADD("serve.replica.protocol_errors", 1);
+        return wire::WriteFrame(fd, wire::MsgType::kQueryReply,
+                                wire::EncodeQueryReply(
+                                    Result<QueryResult>::Error(
+                                        queries.code(), queries.detail())))
+            .ok();
+      }
+      const std::vector<Result<QueryResult>> replies =
+          engine_->SubmitBatch(queries.value());
+      return wire::WriteFrame(fd, wire::MsgType::kResultBatch,
+                              wire::EncodeResultBatch(replies))
+          .ok();
+    }
     case wire::MsgType::kStats:
       return wire::WriteFrame(fd, wire::MsgType::kStatsReply,
                               wire::EncodeString(engine_->Stats().ToJson()))

@@ -1,5 +1,7 @@
 #include "serve/router.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <sstream>
@@ -24,6 +26,11 @@ LocalChannel::LocalChannel(ServeEngine* engine, SnapshotLoader loader)
 
 Result<QueryResult> LocalChannel::Submit(const Query& query) {
   return engine_->Submit(query);
+}
+
+std::vector<Result<QueryResult>> LocalChannel::SubmitBatch(
+    const std::vector<Query>& queries) {
+  return engine_->SubmitBatch(queries);
 }
 
 Result<int64_t> LocalChannel::Swap(const std::string& prefix) {
@@ -176,6 +183,31 @@ Result<QueryResult> SocketChannel::Submit(const Query& query) {
   return wire::DecodeQueryReply(reply.value().body);
 }
 
+std::vector<Result<QueryResult>> SocketChannel::SubmitBatch(
+    const std::vector<Query>& queries) {
+  if (queries.empty()) return {};
+  const auto fail = [&queries](StatusCode code, const std::string& detail) {
+    std::vector<Result<QueryResult>> out;
+    out.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.push_back(Result<QueryResult>::Error(code, detail));
+    }
+    return out;
+  };
+  Result<wire::Frame> reply =
+      RoundTrip(wire::MsgType::kQueryBatch, wire::EncodeQueryBatch(queries),
+                wire::MsgType::kResultBatch);
+  if (!reply.ok()) return fail(reply.code(), reply.detail());
+  Result<std::vector<Result<QueryResult>>> decoded =
+      wire::DecodeResultBatch(reply.value().body);
+  if (!decoded.ok()) return fail(decoded.code(), decoded.detail());
+  if (decoded.value().size() != queries.size()) {
+    return fail(StatusCode::kProtocolError,
+                "result batch count mismatches query batch");
+  }
+  return decoded.take();
+}
+
 Result<int64_t> SocketChannel::Swap(const std::string& prefix) {
   // Snapshot loading legitimately exceeds the per-query timeout; swap
   // round-trips block until the replica acks.
@@ -225,10 +257,20 @@ std::vector<int64_t> ShardIds(size_t n) {
 
 Router::Router(std::vector<std::unique_ptr<ReplicaChannel>> replicas,
                const RouterConfig& config)
-    : replicas_(std::move(replicas)),
+    : config_(config),
+      replicas_(std::move(replicas)),
       shard_map_(ShardIds(replicas_.size()), config.virtual_nodes),
-      stats_(/*max_batch=*/1, StatsScope::kRouter) {
+      stats_(/*max_batch=*/std::max<int64_t>(config.max_wire_batch, 1),
+             StatsScope::kRouter) {
   RETIA_CHECK_MSG(!replicas_.empty(), "router needs at least one replica");
+  RETIA_CHECK_MSG(config_.max_wire_batch > 0 &&
+                      config_.max_wire_batch <=
+                          static_cast<int64_t>(wire::kMaxWireBatch),
+                  "max_wire_batch outside (0, wire::kMaxWireBatch]");
+  coalescers_.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    coalescers_.push_back(std::make_unique<Coalescer>());
+  }
 }
 
 Result<QueryResult> Router::Route(const Query& query) {
@@ -240,6 +282,11 @@ Result<QueryResult> Router::Route(const Query& query) {
   // the engine uses keeps the accounting split defined in exactly one
   // place (stats.cc).
   stats_.RecordQueueWait(timer.Millis());
+  if (config_.batch_window_us > 0) {
+    Result<QueryResult> result = CoalescedRoute(query, shard);
+    stats_.RecordRequest(timer.Millis());
+    return result;
+  }
   util::Timer channel_timer;
   Result<QueryResult> result = replicas_[shard]->Submit(query);
   stats_.RecordCompute(channel_timer.Millis());
@@ -253,6 +300,113 @@ Result<QueryResult> Router::Route(const Query& query) {
   }
   result.value().shard = shard;
   return result;
+}
+
+void Router::ShipToShard(int64_t shard, const std::vector<Query>& queries,
+                         const std::vector<size_t>& slots,
+                         std::vector<std::optional<Result<QueryResult>>>* out) {
+  for (size_t begin = 0; begin < queries.size();
+       begin += static_cast<size_t>(config_.max_wire_batch)) {
+    const size_t end = std::min(
+        queries.size(), begin + static_cast<size_t>(config_.max_wire_batch));
+    const std::vector<Query> chunk(queries.begin() + begin,
+                                   queries.begin() + end);
+    RETIA_OBS_COUNTER_ADD("serve.router.batch.frames", 1);
+    RETIA_OBS_COUNTER_ADD("serve.router.batch.queries",
+                          static_cast<int64_t>(chunk.size()));
+    RETIA_OBS_HIST_RECORD("serve.router.batch.size",
+                          static_cast<int64_t>(chunk.size()));
+    util::Timer channel_timer;
+    std::vector<Result<QueryResult>> replies =
+        replicas_[shard]->SubmitBatch(chunk);
+    stats_.RecordCompute(channel_timer.Millis());
+    stats_.RecordBatch(static_cast<int64_t>(chunk.size()));
+    RETIA_CHECK_EQ(replies.size(), chunk.size());
+    for (size_t i = 0; i < replies.size(); ++i) {
+      Result<QueryResult>& reply = replies[i];
+      if (reply.ok()) {
+        reply.value().shard = shard;
+      } else if (reply.code() == StatusCode::kShardUnavailable) {
+        RETIA_OBS_COUNTER_ADD("serve.router.unavailable", 1);
+      }
+      (*out)[slots[begin + i]] = std::move(reply);
+    }
+  }
+}
+
+std::vector<Result<QueryResult>> Router::RouteBatch(
+    const std::vector<Query>& queries) {
+  RETIA_OBS_COUNTER_ADD("serve.router.requests",
+                        static_cast<int64_t>(queries.size()));
+  util::Timer timer;
+  std::vector<std::optional<Result<QueryResult>>> answers(queries.size());
+  // Group by shard, preserving submission order within each group.
+  std::vector<std::vector<Query>> by_shard(replicas_.size());
+  std::vector<std::vector<size_t>> slots(replicas_.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const int64_t shard = shard_map_.ShardFor(queries[i].s);
+    by_shard[shard].push_back(queries[i]);
+    slots[shard].push_back(i);
+  }
+  stats_.RecordQueueWait(timer.Millis());
+  for (size_t shard = 0; shard < by_shard.size(); ++shard) {
+    if (by_shard[shard].empty()) continue;
+    ShipToShard(static_cast<int64_t>(shard), by_shard[shard], slots[shard],
+                &answers);
+  }
+  std::vector<Result<QueryResult>> results;
+  results.reserve(answers.size());
+  for (std::optional<Result<QueryResult>>& answer : answers) {
+    stats_.RecordRequest(timer.Millis());
+    results.push_back(std::move(*answer));
+  }
+  return results;
+}
+
+Result<QueryResult> Router::CoalescedRoute(const Query& query, int64_t shard) {
+  Coalescer& c = *coalescers_[shard];
+  std::future<Result<QueryResult>> future;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(c.mu);
+    c.queries.push_back(query);
+    std::promise<Result<QueryResult>> promise;
+    future = promise.get_future();
+    c.promises.push_back(std::move(promise));
+    if (!c.leader_active) {
+      c.leader_active = true;
+      leader = true;
+    } else if (static_cast<int64_t>(c.queries.size()) >=
+               config_.max_wire_batch) {
+      // The window is full; wake the leader early.
+      c.cv.notify_all();
+    }
+  }
+  if (leader) {
+    std::unique_lock<std::mutex> lock(c.mu);
+    c.cv.wait_for(lock, std::chrono::microseconds(config_.batch_window_us),
+                  [this, &c] {
+                    return static_cast<int64_t>(c.queries.size()) >=
+                           config_.max_wire_batch;
+                  });
+    std::vector<Query> batch = std::move(c.queries);
+    std::vector<std::promise<Result<QueryResult>>> promises =
+        std::move(c.promises);
+    c.queries.clear();
+    c.promises.clear();
+    // A caller arriving from here on starts (and leads) the next window;
+    // the swapped-out batch belongs to this leader alone.
+    c.leader_active = false;
+    lock.unlock();
+    std::vector<std::optional<Result<QueryResult>>> answers(batch.size());
+    std::vector<size_t> slots(batch.size());
+    for (size_t i = 0; i < slots.size(); ++i) slots[i] = i;
+    ShipToShard(shard, batch, slots, &answers);
+    for (size_t i = 0; i < promises.size(); ++i) {
+      promises[i].set_value(std::move(*answers[i]));
+    }
+  }
+  return future.get();
 }
 
 Result<int64_t> Router::SwapAll(const std::string& prefix) {

@@ -26,9 +26,12 @@
 // request is dropped while the fleet transitions; during the transition a
 // response comes from whichever epoch its one replica is on.
 
+#include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,9 +56,20 @@ struct RouterConfig {
   // SIGKILLed mid-request) resolves to kShardUnavailable instead of
   // hanging the router.
   int64_t timeout_ms = 5000;
+  // Submission-window coalescing for Route(): when > 0, concurrent
+  // same-shard queries arriving within this many microseconds are
+  // coalesced into one QueryBatch wire frame instead of one round-trip
+  // each. 0 (the default) keeps the historical direct per-query path —
+  // existing single-threaded callers see zero added latency. Explicit
+  // RouteBatch() calls always batch, regardless of this knob.
+  int64_t batch_window_us = 0;
+  // Cap on queries per QueryBatch frame (both for the window coalescer
+  // and for RouteBatch chunking). Bounded by wire::kMaxWireBatch.
+  int64_t max_wire_batch = 64;
 
   // Parses RETIA_SERVE_VNODES, RETIA_SERVE_CONNECTIONS,
-  // RETIA_SERVE_TIMEOUT_MS through util::Env.
+  // RETIA_SERVE_TIMEOUT_MS, RETIA_SERVE_BATCH_WINDOW_US,
+  // RETIA_SERVE_MAX_WIRE_BATCH through util::Env.
   static RouterConfig FromEnv();
 };
 
@@ -67,6 +81,13 @@ class ReplicaChannel {
 
   // Answers one typed query on this replica.
   virtual Result<QueryResult> Submit(const Query& query) = 0;
+
+  // Answers a batch of typed queries in one exchange; results align with
+  // `queries` by index, and per-query failures degrade only their own
+  // slot (a whole-channel failure replicates its error into every slot).
+  // `queries` must not exceed wire::kMaxWireBatch — the router chunks.
+  virtual std::vector<Result<QueryResult>> SubmitBatch(
+      const std::vector<Query>& queries) = 0;
 
   // Installs the snapshot at `prefix` and returns the replica's post-swap
   // epoch.
@@ -87,6 +108,8 @@ class LocalChannel : public ReplicaChannel {
   LocalChannel(ServeEngine* engine, SnapshotLoader loader = nullptr);
 
   Result<QueryResult> Submit(const Query& query) override;
+  std::vector<Result<QueryResult>> SubmitBatch(
+      const std::vector<Query>& queries) override;
   Result<int64_t> Swap(const std::string& prefix) override;
   Result<std::string> StatsJson() override;
   Result<int64_t> Ping() override;
@@ -111,6 +134,11 @@ class SocketChannel : public ReplicaChannel {
   SocketChannel& operator=(const SocketChannel&) = delete;
 
   Result<QueryResult> Submit(const Query& query) override;
+  // One kQueryBatch round-trip over a pooled connection; the replica's
+  // kResultBatch reply carries per-query statuses. A channel failure (or
+  // a reply whose entry count mismatches) degrades every slot.
+  std::vector<Result<QueryResult>> SubmitBatch(
+      const std::vector<Query>& queries) override;
   Result<int64_t> Swap(const std::string& prefix) override;
   Result<std::string> StatsJson() override;
   Result<int64_t> Ping() override;
@@ -148,8 +176,22 @@ class Router {
   // Routes the query to ShardFor(query.s) and returns that replica's
   // answer with QueryResult::shard stamped. Validation errors come back
   // from the replica's engine with the usual taxonomy; channel failures
-  // surface as kShardUnavailable.
+  // surface as kShardUnavailable. With config.batch_window_us > 0 the
+  // call joins its shard's submission window: the first arrival leads,
+  // waits up to the window (or until max_wire_batch queries pile up) for
+  // concurrent same-shard callers, and flushes everyone in coalesced
+  // QueryBatch frames — per-query answers are bit-identical to the
+  // direct path, only the wire framing changes.
   Result<QueryResult> Route(const Query& query);
+
+  // Routes a caller-assembled batch: queries are grouped by shard, each
+  // group ships in QueryBatch frames of at most config.max_wire_batch,
+  // and the answers come back aligned with `queries` by index (shard
+  // stamped, same per-query semantics as Route). One frame per
+  // same-shard group instead of one round-trip per query is the serving
+  // tier's high-throughput path (see docs/SERVING_TOPOLOGY.md).
+  std::vector<Result<QueryResult>> RouteBatch(
+      const std::vector<Query>& queries);
 
   // Coordinated hot-swap: pushes `prefix` to every replica (serially, so
   // a failure aborts before touching the remaining fleet) and returns the
@@ -171,8 +213,32 @@ class Router {
   }
 
  private:
+  // Per-shard submission window (active only when batch_window_us > 0).
+  // The first Route() caller to find no leader becomes the leader: it
+  // waits out the window, then swaps the pending queries/promises out
+  // under the lock and flushes them through SubmitBatch, fulfilling every
+  // waiter's promise. Queries only join or leave the window under `mu`,
+  // so a query is always flushed by exactly one leader.
+  struct Coalescer {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Query> queries;
+    std::vector<std::promise<Result<QueryResult>>> promises;
+    bool leader_active = false;
+  };
+
+  // Ships one shard's queries in frames of at most max_wire_batch and
+  // stamps the shard on ok results. `out[slots[i]]` receives query i's
+  // answer.
+  void ShipToShard(int64_t shard, const std::vector<Query>& queries,
+                   const std::vector<size_t>& slots,
+                   std::vector<std::optional<Result<QueryResult>>>* out);
+  Result<QueryResult> CoalescedRoute(const Query& query, int64_t shard);
+
+  RouterConfig config_;
   std::vector<std::unique_ptr<ReplicaChannel>> replicas_;
   ShardMap shard_map_;
+  std::vector<std::unique_ptr<Coalescer>> coalescers_;  // one per shard
   StatsRecorder stats_;  // StatsScope::kRouter
 };
 

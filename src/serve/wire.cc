@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/check.h"
+
 namespace retia::serve::wire {
 
 namespace {
@@ -153,7 +155,7 @@ DecodeStatus DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
   }
   const uint8_t type = data[5];
   if (type < static_cast<uint8_t>(MsgType::kQuery) ||
-      type > static_cast<uint8_t>(MsgType::kShutdownReply)) {
+      type > static_cast<uint8_t>(MsgType::kResultBatch)) {
     if (detail) *detail = "unknown message type";
     return DecodeStatus::kError;
   }
@@ -254,6 +256,104 @@ Result<QueryResult> DecodeQueryReply(const std::vector<uint8_t>& body) {
     value.candidates.push_back(candidate);
   }
   return value;
+}
+
+std::vector<uint8_t> EncodeQueryBatch(const std::vector<Query>& queries) {
+  // Encoders cannot fail; the size bounds are caller invariants (the
+  // router chunks at RouterConfig::max_wire_batch <= kMaxWireBatch).
+  RETIA_CHECK(!queries.empty());
+  RETIA_CHECK(queries.size() <= kMaxWireBatch);
+  std::vector<uint8_t> body;
+  body.reserve(2 + queries.size() * 33);
+  PutU16(static_cast<uint16_t>(queries.size()), &body);
+  for (const Query& query : queries) {
+    PutU8(static_cast<uint8_t>(query.kind), &body);
+    PutI64(query.s, &body);
+    PutI64(query.r_or_o, &body);
+    PutI64(query.t, &body);
+    PutI64(query.k, &body);
+  }
+  return body;
+}
+
+Result<std::vector<Query>> DecodeQueryBatch(const std::vector<uint8_t>& body) {
+  using Out = std::vector<Query>;
+  Reader reader(body.data(), body.size());
+  uint16_t count = 0;
+  if (!reader.ReadU16(&count)) {
+    return Malformed<Out>("truncated query batch header");
+  }
+  if (count == 0) return Malformed<Out>("empty query batch");
+  if (count > kMaxWireBatch) return Malformed<Out>("query batch too large");
+  // Each query record is 33 bytes (u8 kind + four i64 fields); reject
+  // counts the body cannot hold before reserving.
+  if (reader.Remaining() != static_cast<size_t>(count) * 33) {
+    return Malformed<Out>("query count mismatches body size");
+  }
+  Out queries;
+  queries.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint8_t kind = 0;
+    Query query;
+    if (!reader.ReadU8(&kind) || !reader.ReadI64(&query.s) ||
+        !reader.ReadI64(&query.r_or_o) || !reader.ReadI64(&query.t) ||
+        !reader.ReadI64(&query.k)) {
+      return Malformed<Out>("truncated query batch record");
+    }
+    if (kind > static_cast<uint8_t>(QueryKind::kRelation)) {
+      return Malformed<Out>("unknown query kind in batch");
+    }
+    query.kind = static_cast<QueryKind>(kind);
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+std::vector<uint8_t> EncodeResultBatch(
+    const std::vector<Result<QueryResult>>& results) {
+  RETIA_CHECK(!results.empty());
+  RETIA_CHECK(results.size() <= kMaxWireBatch);
+  std::vector<uint8_t> body;
+  PutU16(static_cast<uint16_t>(results.size()), &body);
+  for (const Result<QueryResult>& result : results) {
+    const std::vector<uint8_t> reply = EncodeQueryReply(result);
+    PutU32(static_cast<uint32_t>(reply.size()), &body);
+    body.insert(body.end(), reply.begin(), reply.end());
+  }
+  return body;
+}
+
+Result<std::vector<Result<QueryResult>>> DecodeResultBatch(
+    const std::vector<uint8_t>& body) {
+  using Out = std::vector<Result<QueryResult>>;
+  Reader reader(body.data(), body.size());
+  uint16_t count = 0;
+  if (!reader.ReadU16(&count)) {
+    return Malformed<Out>("truncated result batch header");
+  }
+  if (count == 0) return Malformed<Out>("empty result batch");
+  if (count > kMaxWireBatch) return Malformed<Out>("result batch too large");
+  Out results;
+  results.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!reader.ReadU32(&len)) {
+      return Malformed<Out>("truncated result batch entry header");
+    }
+    if (len > reader.Remaining()) {
+      return Malformed<Out>("result batch entry overruns body");
+    }
+    std::string slice;
+    reader.ReadBytes(len, &slice);
+    const std::vector<uint8_t> reply(slice.begin(), slice.end());
+    // DecodeQueryReply returns the embedded Result verbatim; a malformed
+    // entry body becomes a kProtocolError entry, degrading only itself.
+    results.push_back(DecodeQueryReply(reply));
+  }
+  if (!reader.AtEnd()) {
+    return Malformed<Out>("trailing bytes after result batch");
+  }
+  return results;
 }
 
 std::vector<uint8_t> EncodeString(const std::string& value) {

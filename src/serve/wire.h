@@ -41,7 +41,9 @@ enum class MsgType : uint8_t {
   kPing = 7,           // body: empty
   kPong = 8,           // body: i64 epoch
   kShutdown = 9,       // body: empty; replica acks with kShutdownReply
-  kShutdownReply = 10  // body: empty
+  kShutdownReply = 10,  // body: empty
+  kQueryBatch = 11,     // body: u16 count + count fixed-width Query records
+  kResultBatch = 12     // body: u16 count + count (u32 len + reply body)
 };
 
 // One parsed frame: the type byte plus the raw body bytes (payload minus
@@ -80,6 +82,25 @@ Result<Query> DecodeQuery(const std::vector<uint8_t>& body);
 // or kProtocolError when the body itself is malformed.
 std::vector<uint8_t> EncodeQueryReply(const Result<QueryResult>& result);
 Result<QueryResult> DecodeQueryReply(const std::vector<uint8_t>& body);
+
+// Coalesced query batch: u16 count (1..kMaxWireBatch) followed by `count`
+// fixed 33-byte Query records (the EncodeQuery body). The decoder
+// cross-checks count against the body size before reserving, so a hostile
+// count can neither balloon memory nor smuggle trailing bytes.
+inline constexpr size_t kMaxWireBatch = 4096;
+std::vector<uint8_t> EncodeQueryBatch(const std::vector<Query>& queries);
+Result<std::vector<Query>> DecodeQueryBatch(const std::vector<uint8_t>& body);
+
+// Batched replies: u16 count followed by `count` u32-length-prefixed
+// EncodeQueryReply bodies, one per query in submission order. Per-entry
+// statuses ride inside each embedded reply, so one failed query degrades
+// only its own slot; a structurally malformed entry decodes to a
+// kProtocolError entry the same way. Frame-level damage (bad count,
+// truncated length prefix, trailing bytes) fails the whole decode.
+std::vector<uint8_t> EncodeResultBatch(
+    const std::vector<Result<QueryResult>>& results);
+Result<std::vector<Result<QueryResult>>> DecodeResultBatch(
+    const std::vector<uint8_t>& body);
 
 std::vector<uint8_t> EncodeString(const std::string& value);  // u32 len + bytes
 Result<std::string> DecodeString(const std::vector<uint8_t>& body);

@@ -140,4 +140,8 @@ ScopedBackend::~ScopedBackend() {
   g_override.store(previous_, std::memory_order_release);
 }
 
+int64_t TopKSelectF32(const float* scores, int64_t n, int64_t k, int64_t* idx) {
+  return Kernels().topk_select_f32(scores, n, k, idx);
+}
+
 }  // namespace retia::simd

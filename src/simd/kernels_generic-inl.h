@@ -495,6 +495,43 @@ struct Gen {
       w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
     }
   }
+
+  // ---- Top-k selection -----------------------------------------------------
+
+  // Same sorted-insertion selection as the scalar reference, plus a vector
+  // prefilter: once the buffer holds k entries, whole W-wide blocks whose
+  // vector max is not strictly above the current k-th best score are
+  // skipped without per-element work. The threshold only grows during the
+  // scan, and a tie with the incumbent k-th best can never displace it
+  // (later index loses the tie-break), so the skip is exact and the result
+  // is bit-identical to the scalar kernel. Pure selection — no float
+  // arithmetic — for non-NaN scores (reduce_max contract).
+  static int64_t TopKSelectF32K(const float* scores, int64_t n, int64_t k,
+                                int64_t* idx) {
+    const int64_t take = std::min(k, n);
+    if (take <= 0) return 0;
+    int64_t filled = 0;
+    const auto insert = [&](int64_t i, float s) {
+      if (filled == take) {
+        if (!(s > scores[idx[take - 1]])) return;
+        --filled;
+      }
+      int64_t j = filled;
+      for (; j > 0 && s > scores[idx[j - 1]]; --j) idx[j] = idx[j - 1];
+      idx[j] = i;
+      ++filled;
+    };
+    int64_t i = 0;
+    for (; i + W <= n; i += W) {
+      if (filled == take) {
+        const float tau = scores[idx[take - 1]];
+        if (!(V::ReduceMax(V::Load(scores + i)) > tau)) continue;
+      }
+      for (int64_t j = i; j < i + W; ++j) insert(j, scores[j]);
+    }
+    for (; i < n; ++i) insert(i, scores[i]);
+    return filled;
+  }
 };
 
 // Fills a KernelTable with the Gen<V> kernels. The table is a function
@@ -531,6 +568,7 @@ const KernelTable* MakeGenericTable(const char* name) {
       GemmNTI8K,
       F32ToF16K,
       F16ToF32K,
+      &Gen<V>::TopKSelectF32K,
   };
   return &table;
 }

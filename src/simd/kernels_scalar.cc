@@ -164,6 +164,33 @@ void AdamK(float* w, const float* g, float* m, float* v, int64_t n, float lr,
   }
 }
 
+// Partial top-k selection: sorted insertion buffer plus a strict
+// score-threshold filter. Scanning in increasing index order means an
+// element that only TIES the current k-th best can never belong in the
+// result (its index is larger, so it loses the tie-break), so admitting
+// only scores strictly above the worst kept score is exact. The output is
+// the unique "higher score wins, ties to the lower index" total order —
+// identical to std::partial_sort with that comparator, and therefore
+// bit-identical on every backend.
+int64_t TopKSelectF32K(const float* scores, int64_t n, int64_t k,
+                       int64_t* idx) {
+  const int64_t take = std::min(k, n);
+  if (take <= 0) return 0;
+  int64_t filled = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float s = scores[i];
+    if (filled == take) {
+      if (!(s > scores[idx[take - 1]])) continue;
+      --filled;
+    }
+    int64_t j = filled;
+    for (; j > 0 && s > scores[idx[j - 1]]; --j) idx[j] = idx[j - 1];
+    idx[j] = i;
+    ++filled;
+  }
+  return filled;
+}
+
 const KernelTable kScalarTable = {
     /*name=*/"scalar",
     /*vector_width=*/1,
@@ -191,6 +218,7 @@ const KernelTable kScalarTable = {
     GemmNTI8K,
     F32ToF16K,
     F16ToF32K,
+    TopKSelectF32K,
 };
 
 }  // namespace

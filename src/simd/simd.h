@@ -127,6 +127,20 @@ struct KernelTable {
   // manipulation on every backend; overflow -> inf, NaN payload -> qNaN).
   void (*f32_to_f16)(const float* x, uint16_t* y, int64_t n);
   void (*f16_to_f32)(const uint16_t* x, float* y, int64_t n);
+
+  // ---- Top-k selection ----------------------------------------------------
+  // Writes the indices of the min(k, n) largest scores into idx[], best
+  // first, and returns that count. The order is the unique total order
+  // "higher score wins, ties broken by the lower index" — exactly the
+  // contract of eval::TopKIndices — so every correct implementation is
+  // BIT-IDENTICAL across backends (pure selection, no float arithmetic).
+  // Implementations keep a sorted k-candidate buffer and only admit
+  // elements strictly above the current k-th best score (exact, because a
+  // later index can never displace an equal-scored incumbent); the SIMD
+  // backends prefilter whole vector blocks against that threshold with a
+  // vector max. Non-NaN scores only (same contract as reduce_max).
+  int64_t (*topk_select_f32)(const float* scores, int64_t n, int64_t k,
+                             int64_t* idx);
 };
 
 // Backends in preference order (higher enum value wins when supported).
@@ -195,6 +209,11 @@ void GemmTN(const float* a, const float* g, float* out, int64_t m, int64_t k,
 // across backends and thread counts (int32 dot + fixed scale epilogue).
 void GemmNTQuant(const int8_t* a, const float* sa, const int8_t* b,
                  const float* sb, float* out, int64_t m, int64_t k, int64_t n);
+
+// Partial top-k selection via the active backend's topk_select_f32 (see the
+// KernelTable entry for the exact contract). Single-threaded — callers run
+// it once per score row, typically already inside a sharded loop.
+int64_t TopKSelectF32(const float* scores, int64_t n, int64_t k, int64_t* idx);
 
 }  // namespace retia::simd
 

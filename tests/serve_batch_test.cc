@@ -1,0 +1,398 @@
+// Tests for the batched serve path: engine SubmitBatch bit-identity with
+// the per-query path (f32 and int8, across SIMD backends), per-slot error
+// isolation in mixed-validity batches, Router::RouteBatch scatter/gather
+// over local and socket channels, the submission-window coalescer under
+// concurrent Route() callers, and the decode scratch arena's warm-path
+// no-growth guarantee. Registered under the ctest label `serve` so the
+// TSan matrix in scripts/check.sh covers the coalescer's leader handoff.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/result.h"
+#include "core/retia.h"
+#include "graph/graph_cache.h"
+#include "obs/obs.h"
+#include "serve/arena.h"
+#include "serve/engine.h"
+#include "serve/query.h"
+#include "serve/replica.h"
+#include "serve/router.h"
+#include "serve/snapshot.h"
+#include "serve/wire.h"
+#include "simd/simd.h"
+#include "stream/grow.h"
+#include "tkg/synthetic.h"
+
+namespace retia {
+namespace {
+
+using serve::LocalChannel;
+using serve::Query;
+using serve::QueryResult;
+using serve::ReplicaChannel;
+using serve::ReplicaServer;
+using serve::Result;
+using serve::Router;
+using serve::RouterConfig;
+using serve::ScratchArena;
+using serve::ServeConfig;
+using serve::ServeEngine;
+using serve::SocketChannel;
+using serve::StatusCode;
+
+// ---- Fixtures ---------------------------------------------------------------
+
+tkg::SyntheticConfig TinyDataConfig() {
+  tkg::SyntheticConfig config;
+  config.name = "batch-test";
+  config.num_entities = 32;
+  config.num_relations = 5;
+  config.num_timestamps = 16;
+  config.facts_per_timestamp = 12;
+  config.num_schemas = 40;
+  config.max_period = 4;
+  config.seed = 17;
+  return config;
+}
+
+// Above the RETIA_QUANT_MIN_ROWS=64 floor so quantized_decode=1 actually
+// takes the int8 path.
+tkg::SyntheticConfig QuantDataConfig() {
+  tkg::SyntheticConfig config = TinyDataConfig();
+  config.name = "batch-quant-test";
+  config.num_entities = 80;
+  config.facts_per_timestamp = 24;
+  config.num_schemas = 60;
+  return config;
+}
+
+core::RetiaConfig ModelConfigFor(const tkg::TkgDataset& dataset) {
+  core::RetiaConfig config;
+  config.num_entities = dataset.num_entities();
+  config.num_relations = dataset.num_relations();
+  config.dim = 10;
+  config.history_len = 2;
+  config.conv_kernels = 4;
+  config.seed = 3;
+  return config;
+}
+
+serve::EngineSnapshot SnapshotOf(const core::RetiaModel& model,
+                                 const tkg::TkgDataset& dataset) {
+  serve::EngineSnapshot snapshot;
+  snapshot.model = stream::CloneModel(model);
+  snapshot.dataset = std::make_unique<tkg::TkgDataset>(dataset);
+  snapshot.graph_cache =
+      std::make_unique<graph::GraphCache>(snapshot.dataset.get());
+  return snapshot;
+}
+
+ServeConfig SmallServeConfig() {
+  ServeConfig config;
+  config.num_threads = 2;
+  config.max_k = 5;
+  return config;
+}
+
+// Mixed-timestamp, mixed-kind batch: exercises the per-timestamp grouping
+// of the fused decode, not just one homogeneous group.
+std::vector<Query> MixedBatch(const tkg::TkgDataset& dataset, int64_t count) {
+  const std::vector<int64_t>& times = dataset.test_times();
+  std::vector<Query> queries;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t t = times[i % times.size()];
+    const int64_t s = i % dataset.num_entities();
+    const int64_t r = i % dataset.num_relations();
+    queries.push_back(i % 3 == 2 ? Query::Relation(s, (s + 1) % 7, t, 5)
+                                 : Query::Entity(s, r, t, 5));
+  }
+  return queries;
+}
+
+void ExpectBitIdentical(const Result<QueryResult>& batched,
+                        const Result<QueryResult>& single, size_t slot) {
+  ASSERT_EQ(batched.ok(), single.ok()) << "slot " << slot;
+  if (!batched.ok()) {
+    EXPECT_EQ(batched.code(), single.code()) << "slot " << slot;
+    return;
+  }
+  const auto& got = batched.value().candidates;
+  const auto& want = single.value().candidates;
+  ASSERT_EQ(got.size(), want.size()) << "slot " << slot;
+  // Scores are compared by memcmp over their bytes: bit-identical, not
+  // merely compare-equal (compares struct fields, not struct memory —
+  // ScoredCandidate has uninitialized padding).
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "slot " << slot << " rank " << i;
+    EXPECT_EQ(std::memcmp(&got[i].score, &want[i].score, sizeof(float)), 0)
+        << "slot " << slot << " rank " << i << " score not bit-identical: "
+        << got[i].score << " vs " << want[i].score;
+  }
+}
+
+// ---- Engine-level batch bit-identity ----------------------------------------
+
+void RunEngineBitIdentity(const tkg::TkgDataset& dataset,
+                          int quantized_decode) {
+  core::RetiaModel model(ModelConfigFor(dataset));
+  const std::vector<Query> queries = MixedBatch(dataset, 24);
+
+  for (simd::Backend backend :
+       {simd::Backend::kScalar, simd::BestSupportedBackend()}) {
+    simd::ScopedBackend scoped(backend);
+    ServeConfig config = SmallServeConfig();
+    config.quantized_decode = quantized_decode;
+    config.enable_cache = false;  // force a real decode on both paths
+    ServeEngine batched(SnapshotOf(model, dataset), config);
+    ServeEngine singles(SnapshotOf(model, dataset), config);
+
+    const std::vector<Result<QueryResult>> batch =
+        batched.SubmitBatch(queries);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Result<QueryResult> single = singles.Submit(queries[i]);
+      ExpectBitIdentical(batch[i], single, i);
+    }
+  }
+}
+
+TEST(EngineBatchTest, BatchBitIdenticalToPerQueryF32AcrossBackends) {
+  RunEngineBitIdentity(tkg::GenerateSynthetic(TinyDataConfig()),
+                       /*quantized_decode=*/0);
+}
+
+TEST(EngineBatchTest, BatchBitIdenticalToPerQueryInt8AcrossBackends) {
+  RunEngineBitIdentity(tkg::GenerateSynthetic(QuantDataConfig()),
+                       /*quantized_decode=*/1);
+}
+
+TEST(EngineBatchTest, MixedValidityBatchDegradesOnlyBadSlots) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(ModelConfigFor(dataset));
+  ServeEngine engine(SnapshotOf(model, dataset), SmallServeConfig());
+  ServeEngine reference(SnapshotOf(model, dataset), SmallServeConfig());
+  const int64_t t = dataset.test_times().front();
+
+  const std::vector<Query> queries = {
+      Query::Entity(0, 1, t, 5),
+      Query::Entity(1 << 20, 0, t, 5),  // unknown entity
+      Query::Entity(1, 2, t, 5),
+      Query::Entity(2, 0, -1, 5),  // bad timestamp
+      Query::Entity(3, 1, t, 0),   // bad k
+      Query::Relation(4, 5, t, 5),
+  };
+  const std::vector<Result<QueryResult>> batch = engine.SubmitBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  ASSERT_FALSE(batch[1].ok());
+  EXPECT_EQ(batch[1].code(), StatusCode::kUnknownEntity);
+  ASSERT_FALSE(batch[3].ok());
+  EXPECT_EQ(batch[3].code(), StatusCode::kBadTimestamp);
+  ASSERT_FALSE(batch[4].ok());
+  EXPECT_EQ(batch[4].code(), StatusCode::kInvalidArgument);
+  for (const size_t good : {size_t{0}, size_t{2}, size_t{5}}) {
+    ExpectBitIdentical(batch[good], reference.Submit(queries[good]), good);
+  }
+}
+
+TEST(EngineBatchTest, EmptyBatchIsANoOp) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(ModelConfigFor(dataset));
+  ServeEngine engine(SnapshotOf(model, dataset), SmallServeConfig());
+  EXPECT_TRUE(engine.SubmitBatch({}).empty());
+}
+
+// ---- Router batch path ------------------------------------------------------
+
+TEST(RouterBatchTest, RouteBatchMatchesPerQueryRouteAndStampsShards) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(ModelConfigFor(dataset));
+
+  auto build = [&] {
+    std::vector<std::unique_ptr<ReplicaChannel>> replicas;
+    std::vector<std::unique_ptr<ServeEngine>> engines;
+    for (int i = 0; i < 3; ++i) {
+      engines.push_back(std::make_unique<ServeEngine>(
+          SnapshotOf(model, dataset), SmallServeConfig()));
+      replicas.push_back(std::make_unique<LocalChannel>(engines.back().get()));
+    }
+    return std::make_pair(std::move(replicas), std::move(engines));
+  };
+  auto [replicas_a, engines_a] = build();
+  auto [replicas_b, engines_b] = build();
+  RouterConfig config;
+  Router batched(std::move(replicas_a), config);
+  Router singles(std::move(replicas_b), config);
+
+  std::vector<Query> queries = MixedBatch(dataset, 40);
+  queries.push_back(Query::Entity(1 << 20, 0, dataset.test_times().front(),
+                                  5));  // degrades only its own slot
+  const std::vector<Result<QueryResult>> batch = batched.RouteBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Result<QueryResult> single = singles.Route(queries[i]);
+    ExpectBitIdentical(batch[i], single, i);
+    if (batch[i].ok()) {
+      // The shard stamp must match what single-query routing computes.
+      EXPECT_EQ(batch[i].value().shard, single.value().shard) << "slot " << i;
+      EXPECT_GE(batch[i].value().shard, 0);
+    }
+  }
+  EXPECT_TRUE(batched.RouteBatch({}).empty());
+}
+
+TEST(RouterBatchTest, SocketBatchBitIdenticalToPerQuerySubmit) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(ModelConfigFor(dataset));
+  ServeEngine served(SnapshotOf(model, dataset), SmallServeConfig());
+  ServeEngine reference(SnapshotOf(model, dataset), SmallServeConfig());
+  const std::string path = testing::TempDir() + "/retia_batch_e2e.sock";
+  ReplicaServer server(&served, nullptr, path);
+  ASSERT_TRUE(server.Start().ok());
+
+  RouterConfig config;
+  config.timeout_ms = 10000;
+  SocketChannel channel(path, config);
+
+  std::vector<Query> queries = MixedBatch(dataset, 16);
+  queries.push_back(
+      Query::Entity(1 << 20, 0, dataset.test_times().front(), 5));
+  const std::vector<Result<QueryResult>> batch = channel.SubmitBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectBitIdentical(batch[i], reference.Submit(queries[i]), i);
+  }
+  ASSERT_FALSE(batch.back().ok());
+  EXPECT_EQ(batch.back().code(), StatusCode::kUnknownEntity);
+
+  server.Stop();
+  // A dead replica replicates kShardUnavailable into every slot.
+  const std::vector<Result<QueryResult>> down =
+      channel.SubmitBatch(MixedBatch(dataset, 4));
+  ASSERT_EQ(down.size(), 4u);
+  for (const Result<QueryResult>& result : down) {
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.code(), StatusCode::kShardUnavailable);
+  }
+}
+
+TEST(RouterBatchTest, WindowCoalescerKeepsConcurrentRoutesCorrect) {
+  const tkg::TkgDataset dataset = tkg::GenerateSynthetic(TinyDataConfig());
+  core::RetiaModel model(ModelConfigFor(dataset));
+  ServeEngine engine(SnapshotOf(model, dataset), SmallServeConfig());
+  ServeEngine reference(SnapshotOf(model, dataset), SmallServeConfig());
+
+  std::vector<std::unique_ptr<ReplicaChannel>> replicas;
+  replicas.push_back(std::make_unique<LocalChannel>(&engine));
+  RouterConfig config;
+  config.batch_window_us = 3000;
+  config.max_wire_batch = 64;
+  Router router(std::move(replicas), config);
+
+  obs::Counter* frames =
+      obs::MetricsRegistry::Get().GetCounter("serve.router.batch.frames");
+  obs::Counter* coalesced =
+      obs::MetricsRegistry::Get().GetCounter("serve.router.batch.queries");
+  const int64_t frames_before = frames->Value();
+  const int64_t queries_before = coalesced->Value();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  const std::vector<Query> pattern = MixedBatch(dataset, kPerThread);
+  std::vector<Result<QueryResult>> expected;
+  for (const Query& query : pattern) expected.push_back(reference.Submit(query));
+
+  std::atomic<int> ready{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) {
+        const Result<QueryResult> got = router.Route(pattern[i]);
+        const Result<QueryResult>& want = expected[i];
+        const bool match =
+            got.ok() == want.ok() &&
+            (!got.ok() ||
+             got.value().candidates == want.value().candidates);
+        if (!match) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const int64_t total = int64_t{kThreads} * kPerThread;
+  EXPECT_EQ(coalesced->Value() - queries_before, total);
+  // The leader always holds the window open (or fills the batch), and every
+  // concurrent Route() blocked in that window joins its frame — so with 8
+  // threads issuing queries back-to-back, strictly fewer frames than
+  // queries must have shipped.
+  EXPECT_LT(frames->Value() - frames_before, total);
+  EXPECT_GT(frames->Value() - frames_before, 0);
+}
+
+// ---- Scratch arena ----------------------------------------------------------
+
+TEST(ArenaTest, WarmArenaStopsGrowingAndReportsItsFootprint) {
+  obs::Counter* growths =
+      obs::MetricsRegistry::Get().GetCounter("serve.arena.growths");
+  obs::Gauge* bytes =
+      obs::MetricsRegistry::Get().GetGauge("serve.arena.bytes");
+
+  ScratchArena arena;
+  const int64_t before = growths->Value();
+  // Cold pass: three allocations the initial (empty) arena cannot hold.
+  arena.Alloc<int64_t>(100);
+  arena.Alloc<float>(5000);
+  arena.Alloc<double>(300);
+  const int64_t cold_growths = growths->Value() - before;
+  EXPECT_GT(cold_growths, 0);
+
+  arena.Reset();  // consolidates to one block of total capacity
+  const size_t warm_capacity = arena.capacity();
+  EXPECT_EQ(bytes->Value(), static_cast<double>(warm_capacity));
+
+  // Warm passes: the same allocation pattern must never grow again, and
+  // pointers must be served from the consolidated block.
+  for (int round = 0; round < 10; ++round) {
+    int64_t* a = arena.Alloc<int64_t>(100);
+    float* b = arena.Alloc<float>(5000);
+    double* c = arena.Alloc<double>(300);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    a[99] = round;  // the memory is real and writable
+    b[4999] = 1.0f;
+    c[299] = 2.0;
+    arena.Reset();
+    EXPECT_EQ(arena.capacity(), warm_capacity) << "round " << round;
+  }
+  EXPECT_EQ(growths->Value() - before, cold_growths)
+      << "warm path must be allocation-free";
+  EXPECT_EQ(bytes->Value(), static_cast<double>(warm_capacity));
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndZeroSizedAllocIsSafe) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.Alloc<int64_t>(0), arena.Alloc<int64_t>(0));
+  for (int i = 0; i < 50; ++i) {
+    double* p = arena.Alloc<double>(i + 1);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(double), 0u);
+    int64_t* q = arena.Alloc<int64_t>(1);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % alignof(int64_t), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace retia

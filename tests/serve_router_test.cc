@@ -264,6 +264,155 @@ TEST(WireTest, MalformedFramesAndBodiesNeverCrash) {
   EXPECT_FALSE(wire::DecodeQueryReply(reply).ok());
 }
 
+TEST(WireTest, QueryBatchRoundTrips) {
+  std::vector<Query> queries;
+  for (int64_t i = 0; i < 17; ++i) {
+    queries.push_back(i % 2 == 0 ? Query::Entity(i, i % 5, 100 + i, 4)
+                                 : Query::Relation(i, -i, 200 + i, 9));
+  }
+  std::vector<uint8_t> frame;
+  wire::AppendFrame(wire::MsgType::kQueryBatch,
+                    wire::EncodeQueryBatch(queries), &frame);
+
+  wire::Frame decoded;
+  size_t consumed = 0;
+  std::string detail;
+  ASSERT_EQ(wire::DecodeFrame(frame.data(), frame.size(), &decoded, &consumed,
+                              &detail),
+            wire::DecodeStatus::kFrame)
+      << detail;
+  EXPECT_EQ(decoded.type, wire::MsgType::kQueryBatch);
+  const Result<std::vector<Query>> round =
+      wire::DecodeQueryBatch(decoded.body);
+  ASSERT_TRUE(round.ok()) << round.ToString();
+  EXPECT_EQ(round.value(), queries);
+}
+
+TEST(WireTest, ResultBatchCarriesPerEntryStatus) {
+  QueryResult value;
+  value.candidates = {{4, 2.0f}, {1, 1.0f}};
+  value.epoch = 3;
+  std::vector<Result<QueryResult>> results;
+  results.emplace_back(value);
+  results.push_back(Result<QueryResult>::Error(StatusCode::kUnknownEntity,
+                                               "entity 99 out of range"));
+  results.emplace_back(QueryResult{});
+
+  const Result<std::vector<Result<QueryResult>>> round =
+      wire::DecodeResultBatch(wire::EncodeResultBatch(results));
+  ASSERT_TRUE(round.ok()) << round.ToString();
+  ASSERT_EQ(round.value().size(), 3u);
+  ASSERT_TRUE(round.value()[0].ok());
+  EXPECT_EQ(round.value()[0].value().candidates, value.candidates);
+  EXPECT_EQ(round.value()[0].value().epoch, 3);
+  ASSERT_FALSE(round.value()[1].ok());
+  EXPECT_EQ(round.value()[1].code(), StatusCode::kUnknownEntity);
+  EXPECT_EQ(round.value()[1].detail(), "entity 99 out of range");
+  EXPECT_TRUE(round.value()[2].ok());
+  EXPECT_TRUE(round.value()[2].value().candidates.empty());
+}
+
+TEST(WireTest, MalformedResultBatchEntryDegradesOnlyItself) {
+  // Corrupt the SECOND entry's inner reply body (its candidate count) while
+  // leaving the entry length prefix intact: the frame is still structurally
+  // valid, so decode succeeds and only that entry becomes a protocol error.
+  QueryResult value;
+  value.candidates = {{7, 1.5f}};
+  std::vector<Result<QueryResult>> results(3, Result<QueryResult>(value));
+  std::vector<uint8_t> body = wire::EncodeResultBatch(results);
+  const size_t entry_bytes =
+      wire::EncodeQueryReply(Result<QueryResult>(value)).size();
+  // Layout: u16 count, then per entry u32 len + body. The inner reply body
+  // is [u8 ok][u8 cache_hit][i64 epoch][u16 count]... — blow up the count
+  // of entry 1.
+  const size_t count_off = 2 + (4 + entry_bytes) + 4 + 1 + 1 + 8;
+  body[count_off] = 0xff;
+  body[count_off + 1] = 0xff;
+
+  const Result<std::vector<Result<QueryResult>>> round =
+      wire::DecodeResultBatch(body);
+  ASSERT_TRUE(round.ok()) << round.ToString();
+  ASSERT_EQ(round.value().size(), 3u);
+  EXPECT_TRUE(round.value()[0].ok());
+  EXPECT_FALSE(round.value()[1].ok());
+  EXPECT_EQ(round.value()[1].code(), StatusCode::kProtocolError);
+  EXPECT_TRUE(round.value()[2].ok());
+}
+
+TEST(WireTest, BatchBodiesRejectStructuralDamage) {
+  const std::vector<Query> queries = {Query::Entity(1, 2, 3, 4),
+                                      Query::Relation(5, 6, 7, 8)};
+  const std::vector<uint8_t> qbatch = wire::EncodeQueryBatch(queries);
+
+  // Truncation sweep: every proper prefix must be rejected, never crash.
+  for (size_t len = 0; len < qbatch.size(); ++len) {
+    EXPECT_FALSE(wire::DecodeQueryBatch(
+                     std::vector<uint8_t>(qbatch.begin(), qbatch.begin() + len))
+                     .ok())
+        << "query batch prefix " << len;
+  }
+
+  // Count mismatching the body size (both directions).
+  std::vector<uint8_t> bad_count = qbatch;
+  bad_count[0] = 1;
+  EXPECT_FALSE(wire::DecodeQueryBatch(bad_count).ok());
+  bad_count[0] = 3;
+  EXPECT_FALSE(wire::DecodeQueryBatch(bad_count).ok());
+  // Zero count and a count beyond kMaxWireBatch.
+  std::vector<uint8_t> zero = qbatch;
+  zero[0] = 0;
+  zero[1] = 0;
+  EXPECT_FALSE(wire::DecodeQueryBatch(zero).ok());
+  std::vector<uint8_t> oversized = qbatch;
+  oversized[0] = 0xff;
+  oversized[1] = 0xff;
+  EXPECT_FALSE(wire::DecodeQueryBatch(oversized).ok());
+  // Trailing bytes after the last record.
+  std::vector<uint8_t> trailing = qbatch;
+  trailing.push_back(0);
+  EXPECT_FALSE(wire::DecodeQueryBatch(trailing).ok());
+  // Unknown query kind inside a record.
+  std::vector<uint8_t> bad_kind = qbatch;
+  bad_kind[2] = 99;  // first record's kind byte
+  EXPECT_FALSE(wire::DecodeQueryBatch(bad_kind).ok());
+
+  std::vector<Result<QueryResult>> results;
+  results.emplace_back(QueryResult{});
+  results.push_back(
+      Result<QueryResult>::Error(StatusCode::kInternal, "boom"));
+  const std::vector<uint8_t> rbatch = wire::EncodeResultBatch(results);
+  for (size_t len = 0; len < rbatch.size(); ++len) {
+    EXPECT_FALSE(
+        wire::DecodeResultBatch(
+            std::vector<uint8_t>(rbatch.begin(), rbatch.begin() + len))
+            .ok())
+        << "result batch prefix " << len;
+  }
+  // An entry length overrunning the body, trailing bytes, zero count.
+  std::vector<uint8_t> overrun = rbatch;
+  overrun[2 + 3] = 0x7f;  // first entry length, high byte
+  EXPECT_FALSE(wire::DecodeResultBatch(overrun).ok());
+  std::vector<uint8_t> rtrailing = rbatch;
+  rtrailing.push_back(0);
+  EXPECT_FALSE(wire::DecodeResultBatch(rtrailing).ok());
+  std::vector<uint8_t> rzero = rbatch;
+  rzero[0] = 0;
+  rzero[1] = 0;
+  EXPECT_FALSE(wire::DecodeResultBatch(rzero).ok());
+}
+
+TEST(WireTest, BatchDecodersSurviveByteSoup) {
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> length(0, 160);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> bytes(length(rng));
+    for (auto& b : bytes) b = static_cast<uint8_t>(byte(rng));
+    (void)wire::DecodeQueryBatch(bytes);
+    (void)wire::DecodeResultBatch(bytes);
+  }
+}
+
 // ---- Engine fixtures --------------------------------------------------------
 
 tkg::SyntheticConfig TinyDataConfig() {
@@ -346,6 +495,15 @@ class DeadChannel : public ReplicaChannel {
   Result<QueryResult> Submit(const Query&) override {
     return Result<QueryResult>::Error(StatusCode::kShardUnavailable,
                                       "replica down");
+  }
+  std::vector<Result<QueryResult>> SubmitBatch(
+      const std::vector<Query>& queries) override {
+    std::vector<Result<QueryResult>> out;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      out.push_back(Result<QueryResult>::Error(StatusCode::kShardUnavailable,
+                                               "replica down"));
+    }
+    return out;
   }
   Result<int64_t> Swap(const std::string&) override {
     return Result<int64_t>::Error(StatusCode::kShardUnavailable,
@@ -505,6 +663,23 @@ TEST(ReplicaServerTest, MalformedBytesOnSocketAreReportedNotFatal) {
     // Reply type sent at the server.
     frame.clear();
     wire::AppendFrame(wire::MsgType::kPong, wire::EncodePong(1), &frame);
+    attack(frame);
+    // Valid frame header, truncated query-batch body.
+    frame.clear();
+    wire::AppendFrame(wire::MsgType::kQueryBatch, {2, 0, 1, 1, 1}, &frame);
+    attack(frame);
+    // Query batch whose count mismatches its body.
+    std::vector<uint8_t> batch =
+        wire::EncodeQueryBatch({Query::Entity(0, 0, 0, 1)});
+    batch[0] = 7;
+    frame.clear();
+    wire::AppendFrame(wire::MsgType::kQueryBatch, batch, &frame);
+    attack(frame);
+    // A result batch (a reply type) sent at the server.
+    frame.clear();
+    wire::AppendFrame(
+        wire::MsgType::kResultBatch,
+        wire::EncodeResultBatch({Result<QueryResult>(QueryResult{})}), &frame);
     attack(frame);
   }
   const int64_t t = dataset.test_times().front();

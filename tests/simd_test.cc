@@ -439,5 +439,120 @@ TEST(AdamTest, AdamNearScalarAndExactTails) {
   }
 }
 
+// ---- Top-k selection -------------------------------------------------------
+
+// Reference: the historical full-sort formulation of eval::TopKIndices'
+// contract ("higher score wins, ties broken by the lower index").
+std::vector<int64_t> TopKReference(const std::vector<float>& scores,
+                                   int64_t k) {
+  const int64_t n = static_cast<int64_t>(scores.size());
+  const int64_t take = std::min(k, n);
+  std::vector<int64_t> idx(n);
+  for (int64_t i = 0; i < n; ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + take, idx.end(),
+                    [&scores](int64_t a, int64_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(take);
+  return idx;
+}
+
+void ExpectTopK(const KernelTable* t, const std::vector<float>& scores,
+                int64_t k, Backend backend, const char* what) {
+  const std::vector<int64_t> want = TopKReference(scores, k);
+  std::vector<int64_t> got(std::min<int64_t>(
+      k, static_cast<int64_t>(scores.size())));
+  const int64_t took = t->topk_select_f32(
+      scores.data(), static_cast<int64_t>(scores.size()), k, got.data());
+  ASSERT_EQ(took, static_cast<int64_t>(want.size()))
+      << what << " backend " << BackendName(backend) << " k=" << k;
+  got.resize(took);
+  EXPECT_EQ(got, want) << what << " backend " << BackendName(backend)
+                       << " k=" << k << " n=" << scores.size();
+}
+
+TEST(TopKSelectTest, MatchesPartialSortReferenceOnEveryBackend) {
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : kSizes) {
+      const std::vector<float> scores = RandVec(n, 31 * n + 3);
+      for (int64_t k : {int64_t{1}, int64_t{3}, int64_t{10}, n / 2, n, n + 7}) {
+        if (k <= 0) continue;
+        ExpectTopK(t, scores, k, backend, "random");
+      }
+    }
+  }
+}
+
+TEST(TopKSelectTest, TiesBreakByLowerIndexOnEveryBackend) {
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : kSizes) {
+      // Quantize to a handful of distinct values so ties are everywhere,
+      // including runs straddling vector-block boundaries.
+      std::vector<float> scores = RandVec(n, 17 * n + 11);
+      for (float& s : scores) s = std::floor(s * 2.0f) * 0.5f;
+      for (int64_t k : {int64_t{1}, int64_t{5}, n, n + 3}) {
+        if (k <= 0) continue;
+        ExpectTopK(t, scores, k, backend, "ties");
+      }
+      // The adversarial extreme: every element ties, so the answer must be
+      // exactly the first min(k, n) indices.
+      const std::vector<float> equal(static_cast<size_t>(n), 1.25f);
+      ExpectTopK(t, equal, std::min<int64_t>(5, n), backend, "all-equal");
+    }
+  }
+}
+
+TEST(TopKSelectTest, EdgeShapes) {
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    int64_t idx[4] = {-1, -1, -1, -1};
+    // k == 0 and n == 0 select nothing (and never touch idx).
+    const float one = 3.5f;
+    EXPECT_EQ(t->topk_select_f32(&one, 1, 0, idx), 0);
+    EXPECT_EQ(t->topk_select_f32(&one, 0, 4, idx), 0);
+    EXPECT_EQ(idx[0], -1);
+    // Descending and ascending inputs (worst cases for the insertion
+    // buffer on one side and the threshold filter on the other).
+    std::vector<float> descending, ascending;
+    for (int64_t i = 0; i < 40; ++i) {
+      descending.push_back(static_cast<float>(100 - i));
+      ascending.push_back(static_cast<float>(i));
+    }
+    ExpectTopK(t, descending, 7, backend, "descending");
+    ExpectTopK(t, ascending, 7, backend, "ascending");
+    // Negative scores keep the same order semantics.
+    std::vector<float> negative = RandVec(33, 97);
+    for (float& s : negative) s = -std::abs(s) - 1.0f;
+    ExpectTopK(t, negative, 5, backend, "negative");
+  }
+}
+
+TEST(TopKSelectTest, BackendsBitIdenticalToScalar) {
+  const KernelTable* ref = TableFor(Backend::kScalar);
+  for (Backend backend : SupportedBackends()) {
+    const KernelTable* t = TableFor(backend);
+    for (int64_t n : {int64_t{64}, int64_t{257}, int64_t{1000}}) {
+      std::vector<float> scores = RandVec(n, 7 * n + 29);
+      for (float& s : scores) s = std::floor(s * 8.0f) * 0.125f;  // some ties
+      for (int64_t k : {int64_t{1}, int64_t{10}, int64_t{64}}) {
+        std::vector<int64_t> want(k), got(k);
+        const int64_t want_n =
+            ref->topk_select_f32(scores.data(), n, k, want.data());
+        const int64_t got_n =
+            t->topk_select_f32(scores.data(), n, k, got.data());
+        ASSERT_EQ(got_n, want_n);
+        EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                              static_cast<size_t>(want_n) * sizeof(int64_t)),
+                  0)
+            << "topk not bit-identical on backend " << BackendName(backend)
+            << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace retia::simd
